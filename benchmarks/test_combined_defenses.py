@@ -1,0 +1,22 @@
+"""Conclusion bench: combined defenses against Virus 3 (proposed extension).
+
+Paper claim implemented: a mechanism that only *slows* a rapid virus
+(monitoring) buys the time a *stopping* mechanism (gateway signature scan)
+needs to activate — the combination contains an outbreak that defeats
+either mechanism alone.
+"""
+
+from __future__ import annotations
+
+from conftest import assert_checks_pass, run_figure
+
+
+def test_combined_defenses(benchmark):
+    result = run_figure("combo", benchmark)
+    assert_checks_pass(result)
+
+    combo = result.series_results["monitoring+scan"].final_summary().mean
+    scan_only = result.series_results["scan-only"].final_summary().mean
+    monitoring_only = result.series_results["monitoring-only"].final_summary().mean
+    assert combo < scan_only
+    assert combo < monitoring_only

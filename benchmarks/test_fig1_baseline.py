@@ -1,0 +1,20 @@
+"""Figure 1 bench: baseline infection curves for all four viruses.
+
+Paper claims reproduced: every baseline plateaus at ≈320 infected phones;
+Virus 2's curve is step-like; Virus 3 saturates within 24 hours; Viruses 1
+and 4 take one to two weeks.
+"""
+
+from __future__ import annotations
+
+from conftest import assert_checks_pass, run_figure
+
+
+def test_fig1_baseline_curves(benchmark):
+    result = run_figure("fig1", benchmark)
+    assert_checks_pass(result)
+
+    # Headline number: plateau ≈ 800 × 0.40 for every unconstrained virus.
+    for label, series in result.series_results.items():
+        final = series.final_summary().mean
+        assert 240 <= final <= 370, f"{label} plateau {final}"

@@ -1,0 +1,21 @@
+"""Figure 3 bench: gateway detection algorithm on Virus 2 (accuracy sweep).
+
+Paper claims reproduced: higher accuracy slows the spread more (monotone
+ordering over 0.80..0.99), and at 0.95 accuracy the time for Virus 2 to
+reach 135 infected phones stretches by days relative to the baseline.
+"""
+
+from __future__ import annotations
+
+from conftest import assert_checks_pass, run_figure
+
+
+def test_fig3_detection_algorithm(benchmark):
+    result = run_figure("fig3", benchmark)
+    assert_checks_pass(result)
+
+    # Every accuracy level ends at or below the baseline.
+    baseline = result.series_results["baseline"].final_summary().mean
+    for label, series in result.series_results.items():
+        if label != "baseline":
+            assert series.final_summary().mean <= baseline * 1.05, label

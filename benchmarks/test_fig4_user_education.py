@@ -1,0 +1,21 @@
+"""Figure 4 bench: phone user education across all four viruses.
+
+Paper claims reproduced: halving the acceptance factor (total acceptance
+0.40 → ≈0.20) roughly halves the final infection plateau for every virus —
+the only mechanism that works against all four, including Virus 3.
+"""
+
+from __future__ import annotations
+
+from conftest import assert_checks_pass, run_figure
+
+
+def test_fig4_user_education(benchmark):
+    result = run_figure("fig4", benchmark)
+    assert_checks_pass(result)
+
+    # The halving holds per virus.
+    for virus in (1, 2, 3, 4):
+        baseline = result.series_results[f"virus{virus}"].final_summary().mean
+        educated = result.series_results[f"virus{virus}-usered"].final_summary().mean
+        assert 0.3 <= educated / baseline <= 0.75, f"virus{virus}"

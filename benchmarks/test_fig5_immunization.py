@@ -1,0 +1,21 @@
+"""Figure 5 bench: immunization patches on Virus 4 (dev/deploy sweep).
+
+Paper claims reproduced: shorter patch development time bends the curve
+earlier (24 h dev beats 48 h dev); slower rollout admits more infections
+(1 h < 6 h < 24 h deployment windows); the best case contains the spread
+well below baseline.
+"""
+
+from __future__ import annotations
+
+from conftest import assert_checks_pass, run_figure
+
+
+def test_fig5_immunization(benchmark):
+    result = run_figure("fig5", benchmark)
+    assert_checks_pass(result)
+
+    baseline = result.series_results["baseline"].final_summary().mean
+    best = result.series_results["hours-24-25"].final_summary().mean
+    worst = result.series_results["hours-48-72"].final_summary().mean
+    assert best <= worst <= baseline * 1.05

@@ -1,0 +1,21 @@
+"""Figure 6 bench: monitoring (forced waits) on Virus 3.
+
+Paper claims reproduced: monitoring flags Virus 3's anomalous outgoing
+volume and the forced waits slow its spread — longer waits slow it more —
+buying hours for a secondary response, while the baseline races to 150
+infections within a few hours.
+"""
+
+from __future__ import annotations
+
+from conftest import assert_checks_pass, run_figure
+
+
+def test_fig6_monitoring(benchmark):
+    result = run_figure("fig6", benchmark)
+    assert_checks_pass(result)
+
+    # Every monitored series lags the baseline at mid-horizon.
+    baseline_mid = result.series_results["baseline"].mean_infected_at(10.0)
+    for label in ("15min-wait", "30min-wait", "60min-wait"):
+        assert result.series_results[label].mean_infected_at(10.0) < baseline_mid

@@ -1,0 +1,19 @@
+"""Figure 7 bench: blacklisting thresholds on Virus 3.
+
+Paper claims reproduced: blacklisting is most effective against Virus 3
+(invalid random dials count toward the threshold); lower thresholds
+contain the virus harder, with threshold 10 strongly suppressing it.
+"""
+
+from __future__ import annotations
+
+from conftest import assert_checks_pass, run_figure
+
+
+def test_fig7_blacklist(benchmark):
+    result = run_figure("fig7", benchmark)
+    assert_checks_pass(result)
+
+    baseline = result.series_results["baseline"].final_summary().mean
+    strictest = result.series_results["10-messages"].final_summary().mean
+    assert strictest < 0.35 * baseline

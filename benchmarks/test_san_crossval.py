@@ -1,0 +1,90 @@
+"""Methodology bench: SAN-composed model vs the direct event-driven model.
+
+The paper built its model in Möbius (stochastic activity networks); this
+bench runs the same matched scenario through our SAN layer and the direct
+model and reports their agreement plus the relative simulation cost —
+the reason the production experiments run on the direct engine.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from conftest import bench_seed
+from repro.core import (
+    NetworkParameters,
+    ScenarioConfig,
+    Targeting,
+    UserParameters,
+    VirusParameters,
+)
+from repro.core.san_model import run_san_phone_network
+from repro.core.simulation import run_scenario
+from repro.des.random import StreamFactory
+from repro.topology import contact_network
+
+
+def test_san_vs_direct_crossval(benchmark):
+    streams = StreamFactory(bench_seed())
+    population = 80
+    graph = contact_network(
+        population, 12.0, streams.stream("topology"), model="random"
+    )
+    virus = VirusParameters(
+        name="xval",
+        targeting=Targeting.CONTACT_LIST,
+        min_send_interval=0.5,
+        extra_send_delay_mean=0.5,
+    )
+    user = UserParameters(read_delay_mean=0.0)
+    horizon = 48.0
+    replications = 10
+
+    def run_san_replications():
+        finals = []
+        for rep in range(replications):
+            result = run_san_phone_network(
+                graph,
+                range(population),
+                patient_zero=0,
+                virus=virus,
+                user=user,
+                until=horizon,
+                rng=streams.stream(f"san-{rep}"),
+            )
+            finals.append(result.rewards.instant_value("infected"))
+        return finals
+
+    san_start = time.perf_counter()
+    san_finals = benchmark.pedantic(run_san_replications, rounds=1, iterations=1)
+    san_elapsed = time.perf_counter() - san_start
+
+    network = NetworkParameters(
+        population=population, susceptible_fraction=1.0, mean_contact_list_size=12.0
+    )
+    scenario = ScenarioConfig(
+        name="xval", virus=virus, network=network, user=user, duration=horizon
+    )
+    direct_start = time.perf_counter()
+    direct_finals = [
+        run_scenario(scenario, seed=rep, graph=graph, patient_zero=0).total_infected
+        for rep in range(replications)
+    ]
+    direct_elapsed = time.perf_counter() - direct_start
+
+    san_mean = float(np.mean(san_finals))
+    direct_mean = float(np.mean(direct_finals))
+    print()
+    print("=== SAN cross-validation (matched scenario) ===")
+    print(f"SAN model    : mean final infected {san_mean:.1f}  "
+          f"({replications} reps, {san_elapsed:.2f}s)")
+    print(f"direct model : mean final infected {direct_mean:.1f}  "
+          f"({replications} reps, {direct_elapsed:.2f}s)")
+    if direct_elapsed > 0:
+        print(f"SAN/direct wall-clock ratio: {san_elapsed / direct_elapsed:.1f}x")
+
+    pooled_std = float(np.std(list(san_finals) + direct_finals, ddof=1))
+    tolerance = max(4.0, 2.0 * pooled_std * (2.0 / replications) ** 0.5)
+    assert abs(san_mean - direct_mean) <= tolerance

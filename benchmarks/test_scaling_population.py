@@ -1,0 +1,19 @@
+"""§5.3 text bench: population scaling from 1000 to 2000 phones.
+
+Paper claim reproduced: the results "scale nicely to larger population
+sizes" — the penetration fraction (final infections / susceptible
+population) and curve shape are preserved when the population doubles.
+"""
+
+from __future__ import annotations
+
+from conftest import assert_checks_pass, run_figure
+
+
+def test_scaling_to_2000_phones(benchmark):
+    result = run_figure("scaling2000", benchmark)
+    assert_checks_pass(result)
+
+    small = result.series_results["n1000"].final_summary().mean / 800.0
+    big = result.series_results["n2000"].final_summary().mean / 1600.0
+    assert abs(small - big) <= 0.08

@@ -1,0 +1,21 @@
+"""§5.2 text bench: blacklisting against the slow viruses (1, 4) and Virus 2.
+
+Paper claims reproduced: threshold 10 restricts Viruses 1 and 4 well below
+their baselines while higher thresholds progressively lose effectiveness,
+and blacklisting is completely ineffective against Virus 2 at any
+threshold (multi-recipient messages count once each).
+"""
+
+from __future__ import annotations
+
+from conftest import assert_checks_pass, run_figure
+
+
+def test_blacklist_against_slow_viruses(benchmark):
+    result = run_figure("blacklist-slow", benchmark)
+    assert_checks_pass(result)
+
+    # Virus 2 untouched even at the strictest threshold.
+    baseline2 = result.series_results["virus2-baseline"].final_summary().mean
+    strict2 = result.series_results["virus2-th10"].final_summary().mean
+    assert strict2 > 0.85 * baseline2

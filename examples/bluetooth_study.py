@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Bluetooth propagation study (the paper's proposed extension).
+
+The paper's conclusion proposes evaluating "response mechanisms for mobile
+phone viruses that spread through means other than MMS messages, such as
+viruses that spread using the Bluetooth interface".  This example does so
+in two parts:
+
+1. **Defense blind spots** — a pure Bluetooth worm in the core model:
+   gateway scanning and blacklisting see no MMS traffic, so only user
+   education and immunization remain effective.
+2. **Mobility matters** — using the mobility substrate, the same worm is
+   run under random mixing (fast movement) and spatially constrained
+   random-waypoint movement at two densities, showing how locality slows
+   a proximity virus.
+
+Run:  python examples/bluetooth_study.py          (~1 minute)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import (
+    GatewayScanConfig,
+    ImmunizationConfig,
+    NetworkParameters,
+    ScenarioConfig,
+    UserEducationConfig,
+    UserParameters,
+    VirusParameters,
+    run_scenario,
+)
+from repro.core.user import PAPER_ACCEPTANCE_FACTOR, acceptance_probability
+from repro.mobility import (
+    ProximityEncounterProcess,
+    RandomMixingEncounters,
+    WaypointMobility,
+    simulate_proximity_outbreak,
+)
+
+
+def part_one_defense_blind_spots() -> None:
+    network = NetworkParameters(population=500, mean_contact_list_size=30.0)
+    worm = VirusParameters(
+        name="bluetooth-worm",
+        min_send_interval=10_000.0,  # MMS channel effectively disabled
+        bluetooth_rate=2.0,          # two encounters per hour while infected
+    )
+    base = ScenarioConfig(
+        name="bluetooth-worm", virus=worm, network=network,
+        user=UserParameters(read_delay_mean=0.5), duration=120.0,
+    )
+    seed = 19
+    baseline = run_scenario(base, seed=seed)
+    rows = [["(baseline)", baseline.total_infected, "100%"]]
+    for label, config in [
+        ("gateway scan, 1 h", GatewayScanConfig(1.0)),
+        ("user education, half", UserEducationConfig(0.5)),
+        ("immunization, 6+2 h", ImmunizationConfig(6.0, 2.0)),
+    ]:
+        result = run_scenario(base.with_responses(config), seed=seed)
+        rows.append(
+            [label, result.total_infected,
+             f"{result.total_infected / baseline.total_infected:.0%}"]
+        )
+    print(
+        format_table(
+            ["defense", "final infected", "vs baseline"],
+            rows,
+            title="Part 1 — defenses against a pure Bluetooth worm "
+            "(500 phones, 120 h)",
+        )
+    )
+    print(
+        "Reading: the MMS gateway never sees Bluetooth transfers, so the "
+        "scan is a no-op; consent- and patch-based defenses still work.\n"
+    )
+
+
+def part_two_mobility() -> None:
+    population = 120
+    seed = 29
+    horizon = 48.0
+
+    def consent(times_offered: int) -> float:
+        return acceptance_probability(PAPER_ACCEPTANCE_FACTOR, times_offered)
+
+    regimes = {}
+    regimes["random mixing"] = RandomMixingEncounters(
+        population, np.random.default_rng(seed)
+    )
+    for label, arena in [("dense city (1 km²)", 1000.0), ("sparse town (3 km²)", 3000.0)]:
+        mobility = WaypointMobility(
+            num_phones=population,
+            arena_size=arena,
+            speed_range=(1000.0, 5000.0),  # 1-5 km/h in metres/hour
+            pause_range=(0.0, 1.0),
+            rng=np.random.default_rng(seed + hash(label) % 1000),
+        )
+        regimes[label] = ProximityEncounterProcess(
+            mobility, bluetooth_radius=100.0, rng=np.random.default_rng(seed)
+        )
+
+    rows = []
+    for label, encounters in regimes.items():
+        times = simulate_proximity_outbreak(
+            encounters,
+            susceptible=[True] * population,
+            patient_zero=0,
+            attempt_rate=2.0,
+            acceptance_probability_fn=consent,
+            horizon=horizon,
+            rng=np.random.default_rng(seed),
+        )
+        availability = (
+            f"{encounters.contact_availability():.0%}"
+            if isinstance(encounters, ProximityEncounterProcess)
+            else "100%"
+        )
+        rows.append([label, len(times), availability])
+    print(
+        format_table(
+            ["mobility regime", "infected by 48 h", "encounter success"],
+            rows,
+            title=f"Part 2 — mobility constrains a proximity worm "
+            f"({population} phones, Bluetooth range 100 m)",
+        )
+    )
+    print(
+        "Reading: random mixing is the worst case the core model's "
+        "bluetooth_rate channel assumes; real spatial movement lowers the "
+        "fraction of transfer attempts that find a partner and slows the "
+        "outbreak accordingly."
+    )
+
+
+def main() -> None:
+    part_one_defense_blind_spots()
+    part_two_mobility()
+
+
+if __name__ == "__main__":
+    main()

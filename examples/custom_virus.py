@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Define a custom virus and evaluate the paper's defenses against it.
+
+The paper stresses that its model "is implemented in a parameterized
+fashion" so new virus behaviours can be studied without new code.  This
+example builds a hypothetical "Virus 5" — a hybrid of the paper's test
+cases: contact-list targeting like Virus 1, multi-recipient messages like
+Virus 2, a short dormancy like Virus 4 — and asks which of the six
+response mechanisms would contain it.
+
+Run:  python examples/custom_virus.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.core import (
+    BlacklistConfig,
+    DetectionAlgorithmConfig,
+    GatewayScanConfig,
+    ImmunizationConfig,
+    LimitPeriod,
+    MonitoringConfig,
+    ScenarioConfig,
+    Targeting,
+    UserEducationConfig,
+    VirusParameters,
+    run_scenario,
+)
+from repro.core.units import DAYS, HOURS, MINUTES
+
+
+def virus5() -> VirusParameters:
+    """A hypothetical hybrid virus (not from the paper)."""
+    return VirusParameters(
+        name="virus5-hybrid",
+        targeting=Targeting.CONTACT_LIST,
+        recipients_per_message=5,      # small multi-recipient batches
+        min_send_interval=10 * MINUTES,
+        extra_send_delay_mean=10 * MINUTES,
+        message_limit=60,              # 60 recipient-copies per day
+        limit_counts_recipients=True,
+        limit_period=LimitPeriod.FIXED_WINDOW,
+        limit_window=24 * HOURS,
+        dormancy=2 * HOURS,            # brief stealth period
+    )
+
+
+def main() -> None:
+    scenario = ScenarioConfig(
+        name="virus5-baseline", virus=virus5(), duration=10 * DAYS
+    )
+    seed = 7
+
+    baseline = run_scenario(scenario, seed=seed)
+    print(
+        f"baseline: {baseline.total_infected} infected of "
+        f"{baseline.susceptible_count} susceptible "
+        f"({baseline.penetration:.0%})\n"
+    )
+
+    responses = [
+        ("gateway scan, 6 h delay", GatewayScanConfig(6 * HOURS)),
+        ("detection algorithm, 95%", DetectionAlgorithmConfig(accuracy=0.95)),
+        ("user education, half acceptance", UserEducationConfig(0.5)),
+        ("immunization, 24 h dev + 6 h deploy", ImmunizationConfig(24.0, 6.0)),
+        ("monitoring, 15 min forced wait", MonitoringConfig(forced_wait=0.25)),
+        ("blacklist, threshold 10", BlacklistConfig(threshold=10)),
+    ]
+
+    rows = []
+    for label, config in responses:
+        result = run_scenario(scenario.with_responses(config), seed=seed)
+        containment = result.total_infected / baseline.total_infected
+        verdict = (
+            "stops it" if containment < 0.25
+            else "slows it" if containment < 0.75
+            else "ineffective"
+        )
+        rows.append([label, result.total_infected, f"{containment:.0%}", verdict])
+
+    print(
+        format_table(
+            ["response mechanism", "final infected", "vs baseline", "verdict"],
+            rows,
+            title=f"Defenses against {scenario.virus.name} (seed {seed})",
+        )
+    )
+    print(
+        "\nNote: like the paper's Virus 2, the per-message blacklist count "
+        "underestimates a multi-recipient spreader, while gateway-side "
+        "mechanisms act before any recipient is reached."
+    )
+
+
+if __name__ == "__main__":
+    main()

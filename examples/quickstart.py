@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: simulate a mobile-phone virus outbreak and one response.
+
+Reproduces the paper's core workflow in ~30 lines of API use:
+
+1. take a paper virus scenario (Virus 1, the CommWarrior-like spreader);
+2. run the baseline (no defenses) over the paper's 18-day horizon;
+3. add a gateway virus scan with a 6-hour signature delay;
+4. compare the two infection curves.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import baseline_scenario, run_scenario
+from repro.analysis import ascii_chart
+from repro.core import GatewayScanConfig
+
+
+def main() -> None:
+    # The paper's Virus 1 on a 1000-phone network (800 susceptible), with
+    # power-law contact lists of mean size 80.
+    scenario = baseline_scenario(1)
+    print(f"scenario: {scenario.name}  (horizon {scenario.duration:.0f} h)")
+
+    baseline = run_scenario(scenario, seed=42)
+    print(
+        f"baseline: {baseline.total_infected} phones infected "
+        f"({baseline.penetration:.0%} of the susceptible population; "
+        f"the paper's analytic plateau is 800 x 0.40 = 320)"
+    )
+
+    # Same outbreak with the gateway virus scan: after the virus becomes
+    # detectable, the provider needs 6 hours to deploy the signature; from
+    # then on every infected MMS is stopped in transit.
+    defended_scenario = scenario.with_responses(
+        GatewayScanConfig(activation_delay=6.0), suffix="scan6h"
+    )
+    defended = run_scenario(defended_scenario, seed=42)
+    print(
+        f"with 6h gateway scan: {defended.total_infected} phones infected "
+        f"({defended.total_infected / baseline.total_infected:.0%} of baseline; "
+        f"the paper reports ~5%)"
+    )
+    scan_stats = defended.response_stats["gateway_scan"]
+    print(
+        f"  signature active at t={scan_stats['activation_time']:.1f} h, "
+        f"{scan_stats['blocked_messages']:.0f} infected messages blocked"
+    )
+
+    print()
+    print(
+        ascii_chart(
+            {"baseline": baseline.curve(), "scan-6h": defended.curve()},
+            title="Virus 1: baseline vs gateway scan (cf. paper Figure 2)",
+            end_time=scenario.duration,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

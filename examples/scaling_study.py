@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Population scaling study (paper §5.3).
+
+The paper reports that "additional experiments with a 2000-phone
+population demonstrate that our results scale nicely to larger population
+sizes."  This example sweeps the population from 250 to 2000 phones
+(holding the susceptible fraction, mean contact-list size, and virus
+behaviour fixed) and shows that the *penetration fraction* — the paper's
+normalized outcome — is population-invariant, while absolute counts scale
+linearly.
+
+Run:  python examples/scaling_study.py          (~1 minute)
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import format_table
+from repro.core import NetworkParameters, baseline_scenario, run_scenario
+
+
+def main() -> None:
+    seed = 37
+    start = time.time()
+    rows = []
+    for population in (250, 500, 1000, 2000):
+        network = NetworkParameters(population=population)
+        scenario = baseline_scenario(1, network=network)
+        result = run_scenario(scenario, seed=seed)
+        curve = result.curve()
+        half = curve.time_to_reach(result.total_infected / 2)
+        rows.append(
+            [
+                population,
+                network.susceptible_count,
+                result.total_infected,
+                f"{result.penetration:.1%}",
+                f"{half:.0f}h" if half is not None else "-",
+            ]
+        )
+        print(f"population {population} done ({time.time() - start:.0f}s)")
+
+    print()
+    print(
+        format_table(
+            ["population", "susceptible", "final infected", "penetration",
+             "t(half)"],
+            rows,
+            title=f"Virus 1 baseline across population sizes (seed {seed})",
+        )
+    )
+    print(
+        "\nReading: the consent model fixes the outcome at ~40% of the "
+        "susceptible population regardless of scale — the paper's 'results "
+        "scale nicely' claim — while the half-plateau time drifts only "
+        "mildly with network size."
+    )
+
+
+if __name__ == "__main__":
+    main()

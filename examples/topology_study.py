@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""How the contact-list topology shapes virus propagation.
+
+The paper (§4.3) argues that contact lists form a power-law network and
+generates them with NGCE.  This example quantifies why that choice
+matters: it runs the same contact-list virus over four topology families
+with identical mean contact-list size and compares degree statistics and
+infection dynamics.  Virus 3 (random dialing) is shown as the control —
+its spread ignores the contact graph entirely.
+
+Run:  python examples/topology_study.py          (~1 minute)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import NetworkParameters, baseline_scenario, run_scenario
+from repro.des.random import StreamFactory
+from repro.topology import DegreeStats, average_clustering, contact_network
+
+TOPOLOGIES = ["powerlaw", "ba", "random", "smallworld"]
+POPULATION = 500
+MEAN_DEGREE = 40.0
+
+
+def main() -> None:
+    seed = 23
+    rows = []
+    for model in TOPOLOGIES:
+        graph = contact_network(
+            POPULATION,
+            MEAN_DEGREE,
+            StreamFactory(seed).stream(f"topology-{model}"),
+            model=model,
+            exponent=1.8,
+        )
+        stats = DegreeStats.of(graph)
+        clustering = average_clustering(
+            graph, sample=100, rng=np.random.default_rng(0)
+        )
+
+        network = NetworkParameters(
+            population=POPULATION,
+            mean_contact_list_size=MEAN_DEGREE,
+            topology_model=model,
+        )
+        scenario = baseline_scenario(1, network=network)
+        result = run_scenario(scenario, seed=seed, graph=graph)
+        curve = result.curve()
+        half = curve.time_to_reach(result.total_infected / 2)
+        rows.append(
+            [
+                model,
+                f"{stats.mean:.0f}",
+                f"{stats.median:.0f}",
+                stats.maximum,
+                f"{clustering:.3f}",
+                result.total_infected,
+                f"{half:.0f}h" if half is not None else "-",
+            ]
+        )
+
+    # Control: Virus 3 ignores contact lists, so topology barely matters.
+    control_scenario = baseline_scenario(
+        3,
+        network=NetworkParameters(
+            population=POPULATION, mean_contact_list_size=MEAN_DEGREE
+        ),
+    )
+    control = run_scenario(control_scenario, seed=seed)
+    control_half = control.curve().time_to_reach(control.total_infected / 2)
+
+    print(
+        format_table(
+            ["topology", "deg mean", "deg median", "deg max", "clustering",
+             "final infected", "t(half)"],
+            rows,
+            title=f"Virus 1 over different contact topologies "
+            f"({POPULATION} phones, mean list {MEAN_DEGREE:.0f}, seed {seed})",
+        )
+    )
+    print(
+        f"\ncontrol — virus 3 (random dialing, topology-independent): "
+        f"final {control.total_infected}, t(half) {control_half:.1f}h"
+    )
+    print(
+        "\nReading: all topologies reach a similar plateau (the consent "
+        "model caps penetration at ~40%), but heavy-tailed contact lists "
+        "change *who* spreads early — hub phones accelerate the middle of "
+        "the power-law curves, while the paper's random-dialing Virus 3 is "
+        "immune to topology by construction."
+    )
+
+
+if __name__ == "__main__":
+    main()

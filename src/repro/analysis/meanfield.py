@@ -1,0 +1,180 @@
+"""Deterministic mean-field approximation of the propagation model.
+
+A classic epidemiology companion to the stochastic simulation: assume the
+population is well mixed, track the *expected* number of phones in each
+consent stratum, and integrate the resulting ODE system.  The consent
+decay makes the standard SIR form insufficient — a phone that has
+received n infected messages accepts the next with probability
+``AF/2^(n+1)`` — so the susceptible compartment is stratified by received
+count:
+
+    x_n(t)  = expected susceptible phones having received n messages
+    I(t)    = expected infected phones
+    mu(t)   = per-phone infected-message arrival rate
+            = sigma * I(t) / (N - 1)
+
+    dx_0/dt = -mu * x_0
+    dx_n/dt =  mu * (1 - p_n) * x_{n-1}  -  mu * x_n         (n >= 1)
+    dI/dt   =  mu * sum_n p_{n+1} * x_n
+
+where ``sigma`` is the rate of *valid deliveries* per infected phone and
+``p_n = AF/2^n``.  The fixed point reproduces the paper's analytic
+plateau: every susceptible phone eventually accepts with probability
+``1 - prod(1 - p_n) ≈ 0.40``, so I(∞) ≈ 0.40 × susceptible.
+
+The approximation is exact in expectation for random dialing (Virus 3's
+targets are uniform) and a well-mixed bound for contact-list viruses; it
+omits the read delay and message budgets, so it runs slightly ahead of
+the simulation.  Used by tests and the analytical example to sanity-check
+simulated plateaus and growth rates without Monte Carlo noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.user import ACCEPTANCE_NEGLIGIBLE_AFTER, acceptance_probability
+from .timeseries import StepCurve
+
+
+@dataclass(frozen=True)
+class MeanFieldParameters:
+    """Inputs to the mean-field integration."""
+
+    #: Total phones N.
+    population: int
+    #: Susceptible phones (paper: 800).
+    susceptible: int
+    #: Valid infected-message deliveries per infected phone per hour.
+    delivery_rate: float
+    #: Consent acceptance factor (paper: 0.468).
+    acceptance_factor: float = 0.468
+    #: Initially infected phones.
+    initial_infected: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.population < 2:
+            raise ValueError(f"population must be >= 2, got {self.population}")
+        if not 0 <= self.susceptible <= self.population:
+            raise ValueError(
+                f"susceptible must be in [0, population], got {self.susceptible}"
+            )
+        if self.delivery_rate <= 0:
+            raise ValueError(f"delivery_rate must be > 0, got {self.delivery_rate}")
+        if not 0.0 <= self.acceptance_factor <= 1.0:
+            raise ValueError(
+                f"acceptance_factor must be in [0, 1], got {self.acceptance_factor}"
+            )
+        if self.initial_infected < 1:
+            raise ValueError(
+                f"initial_infected must be >= 1, got {self.initial_infected}"
+            )
+
+
+@dataclass
+class MeanFieldResult:
+    """Integrated trajectory."""
+
+    times: np.ndarray
+    infected: np.ndarray
+    susceptible_remaining: np.ndarray
+
+    @property
+    def final_infected(self) -> float:
+        """Infected count at the end of the horizon."""
+        return float(self.infected[-1])
+
+    def curve(self) -> StepCurve:
+        """The trajectory as a step curve (for comparison with simulation)."""
+        return StepCurve(list(zip(self.times.tolist(), self.infected.tolist())))
+
+    def time_to_reach(self, level: float) -> Optional[float]:
+        """First time the infected count reaches ``level``."""
+        hits = np.nonzero(self.infected >= level)[0]
+        if len(hits) == 0:
+            return None
+        return float(self.times[hits[0]])
+
+
+def integrate_mean_field(
+    parameters: MeanFieldParameters,
+    horizon: float,
+    dt: float = 0.01,
+) -> MeanFieldResult:
+    """Euler-integrate the stratified mean-field ODE system to ``horizon``.
+
+    ``dt`` is adaptive-safe at the defaults: the fastest rate in the
+    system is ``mu(t) <= delivery_rate``, and the integrator refuses steps
+    with ``mu*dt > 0.5`` (it subdivides instead), so the forward-Euler
+    update stays stable.
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be > 0, got {horizon}")
+    if dt <= 0:
+        raise ValueError(f"dt must be > 0, got {dt}")
+
+    strata = ACCEPTANCE_NEGLIGIBLE_AFTER + 1
+    accept = np.array(
+        [
+            acceptance_probability(parameters.acceptance_factor, n)
+            for n in range(1, strata + 1)
+        ]
+    )
+    # x[n] = susceptible phones having received n messages.  Patient zero
+    # comes out of the susceptible pool.
+    x = np.zeros(strata + 1)
+    x[0] = max(0.0, parameters.susceptible - parameters.initial_infected)
+    infected = parameters.initial_infected
+
+    steps = int(np.ceil(horizon / dt))
+    times = np.empty(steps + 1)
+    infected_series = np.empty(steps + 1)
+    susceptible_series = np.empty(steps + 1)
+    times[0] = 0.0
+    infected_series[0] = infected
+    susceptible_series[0] = x.sum()
+
+    per_phone = parameters.delivery_rate / (parameters.population - 1)
+    for step in range(1, steps + 1):
+        remaining = min(dt, horizon - times[step - 1])
+        # Subdivide so the per-substep transition probability stays small.
+        mu = per_phone * infected
+        substeps = max(1, int(np.ceil(mu * remaining / 0.5)))
+        h = remaining / substeps
+        for _ in range(substeps):
+            mu = per_phone * infected
+            flow_out = mu * x[:strata]  # arrivals to strata 0..strata-1
+            new_infections = float(np.dot(flow_out, accept))
+            advanced = flow_out * (1.0 - accept)
+            x[:strata] -= flow_out * h
+            x[1 : strata + 1] += advanced * h
+            infected += new_infections * h
+        times[step] = times[step - 1] + remaining
+        infected_series[step] = infected
+        susceptible_series[step] = x.sum()
+
+    return MeanFieldResult(
+        times=times,
+        infected=infected_series,
+        susceptible_remaining=susceptible_series,
+    )
+
+
+def expected_mean_field_plateau(parameters: MeanFieldParameters) -> float:
+    """The analytic fixed point: initial infected + susceptible × P(ever accept)."""
+    from ..core.user import total_acceptance_probability
+
+    eventual = total_acceptance_probability(parameters.acceptance_factor)
+    pool = max(0.0, parameters.susceptible - parameters.initial_infected)
+    return parameters.initial_infected + pool * eventual
+
+
+__all__ = [
+    "MeanFieldParameters",
+    "MeanFieldResult",
+    "integrate_mean_field",
+    "expected_mean_field_plateau",
+]

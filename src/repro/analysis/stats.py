@@ -1,0 +1,104 @@
+"""Replication statistics.
+
+Small, well-tested statistical helpers for summarising Monte Carlo
+replications: sample summaries, Student-t confidence intervals, and
+relative-change comparisons used by the effectiveness reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Summary of one scalar measured across replications."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    ci_lower: float
+    ci_upper: float
+    confidence: float
+
+    @property
+    def ci_half_width(self) -> float:
+        """Half-width of the confidence interval."""
+        return (self.ci_upper - self.ci_lower) / 2.0
+
+    def format(self, unit: str = "") -> str:
+        """Render as ``mean ± hw unit (n=count)``."""
+        suffix = f" {unit}" if unit else ""
+        return f"{self.mean:.2f} ± {self.ci_half_width:.2f}{suffix} (n={self.count})"
+
+
+def summarize(values: Sequence[float], confidence: float = 0.95) -> SampleSummary:
+    """Summarise a sample with a Student-t confidence interval.
+
+    With one observation the CI degenerates to the point estimate.
+    """
+    if len(values) == 0:
+        raise ValueError("cannot summarise an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    array = np.asarray(values, dtype=float)
+    mean = float(array.mean())
+    if len(array) > 1:
+        std = float(array.std(ddof=1))
+        t_value = float(scipy_stats.t.ppf(0.5 + confidence / 2.0, df=len(array) - 1))
+        half_width = t_value * std / math.sqrt(len(array))
+    else:
+        std = 0.0
+        half_width = 0.0
+    return SampleSummary(
+        count=len(array),
+        mean=mean,
+        std=std,
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+        ci_lower=mean - half_width,
+        ci_upper=mean + half_width,
+        confidence=confidence,
+    )
+
+
+def relative_change(value: float, baseline: float) -> float:
+    """``(value - baseline) / baseline``; baseline 0 with value 0 gives 0."""
+    if baseline == 0.0:
+        if value == 0.0:
+            return 0.0
+        return math.inf if value > 0 else -math.inf
+    return (value - baseline) / baseline
+
+
+def ratio(value: float, baseline: float) -> float:
+    """``value / baseline`` with the 0/0 convention of 1."""
+    if baseline == 0.0:
+        if value == 0.0:
+            return 1.0
+        return math.inf
+    return value / baseline
+
+
+def welch_t_test(a: Sequence[float], b: Sequence[float]) -> Tuple[float, float]:
+    """Welch's two-sample t-test; returns ``(statistic, p_value)``.
+
+    Used by tests to confirm that a response mechanism's final infection
+    level differs significantly from the baseline's.
+    """
+    if len(a) < 2 or len(b) < 2:
+        raise ValueError("welch_t_test needs at least 2 observations per sample")
+    result = scipy_stats.ttest_ind(
+        np.asarray(a, dtype=float), np.asarray(b, dtype=float), equal_var=False
+    )
+    return float(result.statistic), float(result.pvalue)
+
+
+__all__ = ["SampleSummary", "summarize", "relative_change", "ratio", "welch_t_test"]

@@ -1,0 +1,188 @@
+"""Pure-Python SVG rendering of infection curves.
+
+matplotlib is not a dependency of this package, but the paper's figures
+are line charts and users want real image files; this module writes them
+as standalone SVG.  The output mirrors the paper's figure style: infection
+count vs. hours, one polyline per series, legend, gridlines, axis ticks.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+from xml.sax.saxutils import escape
+
+import numpy as np
+
+from .timeseries import StepCurve
+
+#: Default series colours (colour-blind-safe qualitative palette).
+_PALETTE = (
+    "#0072B2",  # blue
+    "#D55E00",  # vermillion
+    "#009E73",  # green
+    "#CC79A7",  # purple
+    "#E69F00",  # orange
+    "#56B4E9",  # sky
+    "#F0E442",  # yellow
+    "#000000",  # black
+)
+
+
+def _nice_ticks(maximum: float, count: int = 5) -> List[float]:
+    """Human-friendly tick values covering [0, maximum]."""
+    if maximum <= 0:
+        return [0.0, 1.0]
+    raw_step = maximum / count
+    magnitude = 10 ** np.floor(np.log10(raw_step))
+    for multiplier in (1, 2, 2.5, 5, 10):
+        step = multiplier * magnitude
+        if step >= raw_step:
+            break
+    ticks = list(np.arange(0.0, maximum + step * 0.5, step))
+    return [float(t) for t in ticks]
+
+
+def render_curves_svg(
+    series: Dict[str, StepCurve],
+    title: str = "",
+    x_label: str = "Hours",
+    y_label: str = "Infection Count",
+    width: int = 640,
+    height: int = 420,
+    end_time: Optional[float] = None,
+    y_max: Optional[float] = None,
+    samples: int = 400,
+) -> str:
+    """Render step curves as a standalone SVG document (returned as text)."""
+    if not series:
+        raise ValueError("render_curves_svg needs at least one series")
+    if len(series) > len(_PALETTE):
+        raise ValueError(f"at most {len(_PALETTE)} series supported")
+    if width < 200 or height < 150:
+        raise ValueError("chart must be at least 200x150 px")
+
+    t_end = end_time if end_time is not None else max(
+        c.end_time for c in series.values()
+    )
+    if t_end <= 0:
+        t_end = 1.0
+    top = y_max if y_max is not None else max(c.max_value for c in series.values())
+    if top <= 0:
+        top = 1.0
+
+    margin_left, margin_right = 64, 16
+    margin_top = 40 if title else 16
+    legend_height = 22 * ((len(series) + 2) // 3)
+    margin_bottom = 48 + legend_height
+    plot_w = width - margin_left - margin_right
+    plot_h = height - margin_top - margin_bottom
+
+    def sx(t: float) -> float:
+        return margin_left + (t / t_end) * plot_w
+
+    def sy(v: float) -> float:
+        return margin_top + (1.0 - v / top) * plot_h
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    font = 'font-family="Helvetica,Arial,sans-serif"'
+
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.1f}" y="22" text-anchor="middle" '
+            f'{font} font-size="14" font-weight="bold">{escape(title)}</text>'
+        )
+
+    # Gridlines + y ticks.
+    for tick in _nice_ticks(top):
+        if tick > top * 1.001:
+            continue
+        y = sy(tick)
+        parts.append(
+            f'<line x1="{margin_left}" y1="{y:.1f}" x2="{margin_left + plot_w}" '
+            f'y2="{y:.1f}" stroke="#dddddd" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{margin_left - 6}" y="{y + 4:.1f}" text-anchor="end" '
+            f'{font} font-size="11">{tick:g}</text>'
+        )
+    # X ticks.
+    for tick in _nice_ticks(t_end):
+        if tick > t_end * 1.001:
+            continue
+        x = sx(tick)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{margin_top + plot_h}" x2="{x:.1f}" '
+            f'y2="{margin_top + plot_h + 4}" stroke="#444444"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{margin_top + plot_h + 18}" '
+            f'text-anchor="middle" {font} font-size="11">{tick:g}</text>'
+        )
+
+    # Axes.
+    parts.append(
+        f'<rect x="{margin_left}" y="{margin_top}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#444444"/>'
+    )
+    parts.append(
+        f'<text x="{margin_left + plot_w / 2:.1f}" '
+        f'y="{margin_top + plot_h + 36}" text-anchor="middle" {font} '
+        f'font-size="12">{escape(x_label)}</text>'
+    )
+    parts.append(
+        f'<text x="16" y="{margin_top + plot_h / 2:.1f}" text-anchor="middle" '
+        f'{font} font-size="12" transform="rotate(-90 16 '
+        f'{margin_top + plot_h / 2:.1f})">{escape(y_label)}</text>'
+    )
+
+    # Series polylines (step curves sampled densely; horizontal+vertical
+    # segments emerge from dense sampling of the right-continuous steps).
+    grid = np.linspace(0.0, t_end, samples)
+    for (label, curve), colour in zip(series.items(), _PALETTE):
+        values = np.minimum(curve.resample(grid), top)
+        points = " ".join(
+            f"{sx(t):.1f},{sy(v):.1f}" for t, v in zip(grid, values)
+        )
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{colour}" '
+            f'stroke-width="2"/>'
+        )
+
+    # Legend rows (three entries per row).
+    legend_y = margin_top + plot_h + 44
+    for index, (label, _) in enumerate(series.items()):
+        colour = _PALETTE[index]
+        column, row = index % 3, index // 3
+        x = margin_left + column * (plot_w / 3)
+        y = legend_y + row * 20
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{y - 4:.1f}" x2="{x + 22:.1f}" '
+            f'y2="{y - 4:.1f}" stroke="{colour}" stroke-width="3"/>'
+        )
+        parts.append(
+            f'<text x="{x + 28:.1f}" y="{y:.1f}" {font} '
+            f'font-size="11">{escape(label)}</text>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_curves_svg(
+    series: Dict[str, StepCurve],
+    path: Union[str, Path],
+    **kwargs,
+) -> Path:
+    """Render and write an SVG chart to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_curves_svg(series, **kwargs), encoding="utf-8")
+    return path
+
+
+__all__ = ["render_curves_svg", "save_curves_svg"]

@@ -1,0 +1,190 @@
+"""Step-function time series (infection curves).
+
+The infection count is a right-continuous step function of time.
+:class:`StepCurve` stores its change points and supports the operations
+the experiment harness needs: evaluation, resampling onto a grid,
+time-to-level queries, and multi-replication aggregation into mean ± CI
+bands (:class:`CurveBand`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class StepCurve:
+    """A right-continuous step function given by (time, value) change points.
+
+    The first change point defines the value from that time onward; the
+    curve is undefined before the first point, so constructors should
+    anchor a point at time zero.
+    """
+
+    def __init__(self, points: Sequence[Tuple[float, float]]) -> None:
+        if not points:
+            raise ValueError("StepCurve needs at least one change point")
+        times = np.asarray([p[0] for p in points], dtype=float)
+        values = np.asarray([p[1] for p in points], dtype=float)
+        if np.any(np.diff(times) < 0):
+            raise ValueError("change points must be in non-decreasing time order")
+        self._times = times
+        self._values = values
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_event_times(
+        cls,
+        event_times: Iterable[float],
+        start_value: float = 0.0,
+        increment: float = 1.0,
+    ) -> "StepCurve":
+        """Cumulative-count curve from a sorted iterable of event times."""
+        points: List[Tuple[float, float]] = [(0.0, start_value)]
+        value = start_value
+        for time in event_times:
+            value += increment
+            points.append((float(time), value))
+        return cls(points)
+
+    @classmethod
+    def constant(cls, value: float) -> "StepCurve":
+        """A flat curve."""
+        return cls([(0.0, value)])
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def times(self) -> np.ndarray:
+        """Change-point times."""
+        return self._times.copy()
+
+    @property
+    def values(self) -> np.ndarray:
+        """Change-point values."""
+        return self._values.copy()
+
+    @property
+    def start_time(self) -> float:
+        """Time of the first change point."""
+        return float(self._times[0])
+
+    @property
+    def end_time(self) -> float:
+        """Time of the last change point."""
+        return float(self._times[-1])
+
+    @property
+    def final_value(self) -> float:
+        """Value after the last change point."""
+        return float(self._values[-1])
+
+    @property
+    def max_value(self) -> float:
+        """Maximum value attained."""
+        return float(self._values.max())
+
+    def value_at(self, time: float) -> float:
+        """Evaluate the step function at ``time``."""
+        return float(self.values_at(np.asarray([time]))[0])
+
+    def values_at(self, times: np.ndarray) -> np.ndarray:
+        """Vectorised evaluation; times before the first point get its value."""
+        indices = np.searchsorted(self._times, times, side="right") - 1
+        indices = np.clip(indices, 0, len(self._values) - 1)
+        return self._values[indices]
+
+    def resample(self, grid: np.ndarray) -> np.ndarray:
+        """Alias of :meth:`values_at` for readability at call sites."""
+        return self.values_at(np.asarray(grid, dtype=float))
+
+    def time_to_reach(self, level: float) -> Optional[float]:
+        """First change-point time at which the value is >= ``level``."""
+        hits = np.nonzero(self._values >= level)[0]
+        if len(hits) == 0:
+            return None
+        return float(self._times[hits[0]])
+
+    def increments(self) -> List[Tuple[float, float]]:
+        """(time, delta) for every change after the first point."""
+        deltas = np.diff(self._values)
+        return [
+            (float(t), float(d))
+            for t, d in zip(self._times[1:], deltas)
+            if d != 0.0
+        ]
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StepCurve({len(self)} points, t=[{self.start_time:g}, "
+            f"{self.end_time:g}], final={self.final_value:g})"
+        )
+
+
+def time_grid(end: float, points: int = 200, start: float = 0.0) -> np.ndarray:
+    """Uniform evaluation grid including both endpoints."""
+    if end <= start:
+        raise ValueError(f"end ({end}) must exceed start ({start})")
+    if points < 2:
+        raise ValueError(f"points must be >= 2, got {points}")
+    return np.linspace(start, end, points)
+
+
+@dataclass
+class CurveBand:
+    """Mean ± CI of several replications' curves, on a common grid."""
+
+    grid: np.ndarray
+    mean: np.ndarray
+    std: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    replications: int
+
+    def final_mean(self) -> float:
+        """Mean value at the end of the grid."""
+        return float(self.mean[-1])
+
+
+def aggregate_curves(
+    curves: Sequence[StepCurve],
+    grid: np.ndarray,
+    confidence: float = 0.95,
+) -> CurveBand:
+    """Resample replication curves onto ``grid`` and band them.
+
+    Uses a normal-approximation CI when only a few replications are
+    available (the experiment harness typically runs 3–10); for one
+    replication the band collapses onto the curve.
+    """
+    if not curves:
+        raise ValueError("aggregate_curves needs at least one curve")
+    grid = np.asarray(grid, dtype=float)
+    samples = np.vstack([c.resample(grid) for c in curves])
+    mean = samples.mean(axis=0)
+    if len(curves) > 1:
+        std = samples.std(axis=0, ddof=1)
+        from scipy import stats as scipy_stats
+
+        t_value = scipy_stats.t.ppf(0.5 + confidence / 2.0, df=len(curves) - 1)
+        half_width = t_value * std / np.sqrt(len(curves))
+    else:
+        std = np.zeros_like(mean)
+        half_width = np.zeros_like(mean)
+    return CurveBand(
+        grid=grid,
+        mean=mean,
+        std=std,
+        lower=mean - half_width,
+        upper=mean + half_width,
+        replications=len(curves),
+    )
+
+
+__all__ = ["StepCurve", "CurveBand", "time_grid", "aggregate_curves"]

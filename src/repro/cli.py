@@ -1,0 +1,306 @@
+"""Command-line interface.
+
+Commands
+--------
+``repro-sim list``
+    Show the registered paper experiments.
+``repro-sim run --virus 3 --response blacklist --threshold 10``
+    Simulate one scenario and print its summary/curve.
+``repro-sim figure fig2 --replications 3 --csv out/fig2.csv``
+    Regenerate one paper figure: report, ASCII chart, shape checks.
+``repro-sim topology --nodes 1000 --mean-degree 80 --out contacts.txt``
+    Generate a contact-list network file.
+``repro-sim sweep scan_delay``
+    Strength sweep + diminishing-returns knee for one mechanism (§5.3).
+``repro-sim scenario my_scenario.json --replications 3``
+    Simulate a scenario loaded from a JSON file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.report import ascii_chart, format_table
+from .core.parameters import (
+    BlacklistConfig,
+    DetectionAlgorithmConfig,
+    GatewayScanConfig,
+    ImmunizationConfig,
+    MonitoringConfig,
+    NetworkParameters,
+    ResponseConfig,
+    UserEducationConfig,
+)
+from .core.scenarios import baseline_scenario
+from .core.simulation import replicate_scenario
+from .des.random import StreamFactory
+from .experiments import (
+    experiment_ids,
+    export_csv,
+    format_experiment_report,
+    get_experiment,
+    run_experiment,
+)
+from .topology.contact_lists import write_contact_lists
+from .topology.generators import contact_network
+from .topology.metrics import DegreeStats
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description=(
+            "Reproduction of 'Quantifying the Effectiveness of Mobile Phone "
+            "Virus Response Mechanisms' (DSN 2007)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the registered paper experiments")
+
+    run_parser = subparsers.add_parser("run", help="simulate one scenario")
+    run_parser.add_argument("--virus", type=int, choices=(1, 2, 3, 4), required=True)
+    run_parser.add_argument(
+        "--response",
+        choices=("none", "scan", "detection", "education", "immunization",
+                 "monitoring", "blacklist"),
+        default="none",
+    )
+    run_parser.add_argument("--delay", type=float, default=6.0,
+                            help="scan activation delay, hours")
+    run_parser.add_argument("--accuracy", type=float, default=0.95,
+                            help="detection algorithm accuracy")
+    run_parser.add_argument("--scale", type=float, default=0.5,
+                            help="education acceptance-factor scale")
+    run_parser.add_argument("--dev-time", type=float, default=24.0,
+                            help="patch development time, hours")
+    run_parser.add_argument("--deploy-window", type=float, default=6.0,
+                            help="patch deployment window, hours")
+    run_parser.add_argument("--forced-wait", type=float, default=0.25,
+                            help="monitoring forced wait, hours")
+    run_parser.add_argument("--threshold", type=int, default=10,
+                            help="blacklist threshold, messages")
+    run_parser.add_argument("--population", type=int, default=1000)
+    run_parser.add_argument("--duration", type=float, default=None,
+                            help="override horizon, hours")
+    run_parser.add_argument("--replications", type=int, default=3)
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--no-chart", action="store_true")
+
+    figure_parser = subparsers.add_parser("figure", help="regenerate a paper figure")
+    figure_parser.add_argument("experiment_id", help="e.g. fig1 .. fig7")
+    figure_parser.add_argument("--replications", type=int, default=None)
+    figure_parser.add_argument("--seed", type=int, default=0)
+    figure_parser.add_argument("--csv", default=None, help="export mean curves to CSV")
+    figure_parser.add_argument("--svg", default=None, help="export the chart as SVG")
+    figure_parser.add_argument("--no-chart", action="store_true")
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="response-strength sweep + diminishing-returns knee (§5.3)"
+    )
+    sweep_parser.add_argument(
+        "sweep_id",
+        help="one of: scan_delay, detection_accuracy, education_scale, "
+        "patch_deployment, monitoring_wait, blacklist_threshold",
+    )
+    sweep_parser.add_argument("--replications", type=int, default=2)
+    sweep_parser.add_argument("--seed", type=int, default=0)
+
+    scenario_parser = subparsers.add_parser(
+        "scenario", help="simulate a scenario loaded from a JSON file"
+    )
+    scenario_parser.add_argument("path", help="scenario JSON file")
+    scenario_parser.add_argument("--replications", type=int, default=3)
+    scenario_parser.add_argument("--seed", type=int, default=0)
+    scenario_parser.add_argument("--no-chart", action="store_true")
+
+    topology_parser = subparsers.add_parser(
+        "topology", help="generate a contact-list network file"
+    )
+    topology_parser.add_argument("--nodes", type=int, default=1000)
+    topology_parser.add_argument("--mean-degree", type=float, default=80.0)
+    topology_parser.add_argument(
+        "--model",
+        default="powerlaw",
+        choices=("powerlaw", "chunglu", "ba", "random", "smallworld", "ring", "complete"),
+    )
+    topology_parser.add_argument("--exponent", type=float, default=1.8)
+    topology_parser.add_argument("--seed", type=int, default=0)
+    topology_parser.add_argument("--out", required=True, help="output file path")
+    return parser
+
+
+def _build_response(args: argparse.Namespace) -> Optional[ResponseConfig]:
+    if args.response == "none":
+        return None
+    if args.response == "scan":
+        return GatewayScanConfig(activation_delay=args.delay)
+    if args.response == "detection":
+        return DetectionAlgorithmConfig(accuracy=args.accuracy)
+    if args.response == "education":
+        return UserEducationConfig(acceptance_scale=args.scale)
+    if args.response == "immunization":
+        return ImmunizationConfig(
+            development_time=args.dev_time, deployment_window=args.deploy_window
+        )
+    if args.response == "monitoring":
+        return MonitoringConfig(forced_wait=args.forced_wait)
+    if args.response == "blacklist":
+        return BlacklistConfig(threshold=args.threshold)
+    raise ValueError(f"unknown response {args.response!r}")  # pragma: no cover
+
+
+def _command_list() -> int:
+    rows = []
+    for experiment_id in experiment_ids():
+        spec = get_experiment(experiment_id)
+        rows.append([experiment_id, spec.paper_ref, spec.title, len(spec.series)])
+    print(format_table(["id", "paper artifact", "title", "series"], rows))
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    network = NetworkParameters(population=args.population)
+    scenario = baseline_scenario(args.virus, network=network, duration=args.duration)
+    response = _build_response(args)
+    if response is not None:
+        scenario = scenario.with_responses(response, suffix=args.response)
+    result_set = replicate_scenario(
+        scenario, replications=args.replications, seed=args.seed
+    )
+    summary = result_set.final_summary()
+    print(f"scenario: {scenario.name}")
+    print(f"replications: {result_set.replications}  (seed {args.seed})")
+    print(f"final infected: {summary.format()}")
+    print(
+        f"penetration: {summary.mean / result_set.susceptible_count:.1%} of "
+        f"{result_set.susceptible_count} susceptible phones"
+    )
+    detection_time = result_set.mean_detection_time()
+    if detection_time is not None:
+        print(f"mean detection time: {detection_time:.1f} h")
+    if not args.no_chart:
+        print()
+        print(
+            ascii_chart(
+                {scenario.name: result_set.mean_curve()},
+                title=f"{scenario.name} (mean of {result_set.replications})",
+                end_time=scenario.duration,
+            )
+        )
+    return 0
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    try:
+        spec = get_experiment(args.experiment_id)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    result = run_experiment(spec, replications=args.replications, seed=args.seed)
+    print(format_experiment_report(result, chart=not args.no_chart))
+    if args.csv:
+        path = export_csv(result, args.csv)
+        print(f"\nmean curves written to {path}")
+    if args.svg:
+        from .analysis.svg import save_curves_svg
+
+        curves = dict(list(result.mean_curves().items())[:8])
+        path = save_curves_svg(
+            curves,
+            args.svg,
+            title=f"{spec.paper_ref}: {spec.title}",
+            end_time=spec.horizon,
+        )
+        print(f"SVG chart written to {path}")
+    return 0 if result.all_checks_pass() else 1
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    from .experiments.sensitivity import STANDARD_SWEEPS, run_strength_sweep
+
+    try:
+        spec = STANDARD_SWEEPS[args.sweep_id]
+    except KeyError:
+        known = ", ".join(STANDARD_SWEEPS)
+        print(f"unknown sweep {args.sweep_id!r}; known: {known}", file=sys.stderr)
+        return 2
+    result = run_strength_sweep(
+        spec, replications=args.replications, seed=args.seed
+    )
+    print(result.format())
+    return 0
+
+
+def _command_scenario(args: argparse.Namespace) -> int:
+    from .core.serialization import SerializationError, load_scenario
+
+    try:
+        scenario = load_scenario(args.path)
+    except (OSError, SerializationError) as exc:
+        print(f"cannot load scenario: {exc}", file=sys.stderr)
+        return 2
+    result_set = replicate_scenario(
+        scenario, replications=args.replications, seed=args.seed
+    )
+    summary = result_set.final_summary()
+    print(f"scenario: {scenario.name}  (from {args.path})")
+    print(f"final infected: {summary.format()}")
+    print(
+        f"penetration: {summary.mean / result_set.susceptible_count:.1%} of "
+        f"{result_set.susceptible_count} susceptible phones"
+    )
+    if not args.no_chart:
+        print()
+        print(
+            ascii_chart(
+                {scenario.name: result_set.mean_curve()},
+                title=f"{scenario.name} (mean of {result_set.replications})",
+                end_time=scenario.duration,
+            )
+        )
+    return 0
+
+
+def _command_topology(args: argparse.Namespace) -> int:
+    streams = StreamFactory(args.seed)
+    graph = contact_network(
+        args.nodes,
+        args.mean_degree,
+        streams.stream("topology"),
+        model=args.model,
+        exponent=args.exponent,
+    )
+    write_contact_lists(graph, args.out)
+    stats = DegreeStats.of(graph)
+    print(
+        f"wrote {args.out}: {graph.num_nodes} phones, {graph.num_edges} contacts, "
+        f"mean list size {stats.mean:.1f} (median {stats.median:.0f}, "
+        f"max {stats.maximum})"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "figure":
+        return _command_figure(args)
+    if args.command == "topology":
+        return _command_topology(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
+    if args.command == "scenario":
+        return _command_scenario(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

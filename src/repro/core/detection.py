@@ -1,0 +1,55 @@
+"""Global virus-detectability tracking.
+
+Three response mechanisms (gateway scan, gateway detection algorithm,
+immunization) start their clocks when the virus "reaches a detectable
+level" (paper §3).  The :class:`DetectionTracker` watches the cumulative
+infection count and fires registered callbacks exactly once, at the moment
+the configured threshold is crossed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .parameters import DetectionParameters
+
+DetectionCallback = Callable[[float], None]
+
+
+class DetectionTracker:
+    """Fires callbacks when the infection count reaches the detectable level."""
+
+    def __init__(self, parameters: DetectionParameters) -> None:
+        self.parameters = parameters
+        self._detection_time: Optional[float] = None
+        self._callbacks: List[DetectionCallback] = []
+
+    @property
+    def detected(self) -> bool:
+        """True once the virus has become detectable."""
+        return self._detection_time is not None
+
+    @property
+    def detection_time(self) -> Optional[float]:
+        """When the virus became detectable (``None`` if it never did)."""
+        return self._detection_time
+
+    def subscribe(self, callback: DetectionCallback) -> None:
+        """Register ``callback(time)``; called immediately if already detected."""
+        if self._detection_time is not None:
+            callback(self._detection_time)
+        else:
+            self._callbacks.append(callback)
+
+    def note_infection_count(self, count: int, time: float) -> None:
+        """Report the cumulative infection count after a new infection."""
+        if self._detection_time is not None:
+            return
+        if count >= self.parameters.detectable_infections:
+            self._detection_time = time
+            callbacks, self._callbacks = self._callbacks, []
+            for callback in callbacks:
+                callback(time)
+
+
+__all__ = ["DetectionTracker", "DetectionCallback"]

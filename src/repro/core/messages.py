@@ -1,0 +1,59 @@
+"""MMS message records.
+
+The model only tracks virus-generated traffic (paper §4: "The model only
+simulates the MMS traffic due to the virus"), so every message carries the
+infection; the dataclass still has an ``infected`` flag so gateway filters
+and future extensions (legitimate-traffic modeling) have an honest
+interface.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class MMSMessage:
+    """One MMS message sent by a phone.
+
+    ``recipients`` holds the phone ids of *valid* addressees; for random
+    dialing, ``invalid_dials`` counts addressed numbers that reached no
+    phone (they still count as outgoing messages for provider-side
+    mechanisms).
+    """
+
+    message_id: int
+    sender: int
+    recipients: Tuple[int, ...]
+    send_time: float
+    infected: bool = True
+    invalid_dials: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sender < 0:
+            raise ValueError(f"sender id must be >= 0, got {self.sender}")
+        if self.invalid_dials < 0:
+            raise ValueError(f"invalid_dials must be >= 0, got {self.invalid_dials}")
+        if not self.recipients and self.invalid_dials == 0:
+            raise ValueError("message must address at least one number")
+
+    @property
+    def addressed_count(self) -> int:
+        """Total numbers addressed, valid or not."""
+        return len(self.recipients) + self.invalid_dials
+
+
+class MessageIdAllocator:
+    """Monotone message-id source, one per model instance."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+
+    def next_id(self) -> int:
+        """Allocate the next message id."""
+        return next(self._counter)
+
+
+__all__ = ["MMSMessage", "MessageIdAllocator"]

@@ -1,0 +1,475 @@
+"""Parameter dataclasses for the phone-virus propagation model.
+
+The paper stresses that the model "is implemented in a parameterized
+fashion" so "many different virus behaviors can be simulated" (§4.1).  This
+module is that parameter surface: virus behaviour, user behaviour, network
+topology, detectability, and one config dataclass per response mechanism.
+Everything is validated at construction so a bad experiment definition
+fails before a 400-hour simulation starts.
+
+All times are in hours (see :mod:`repro.core.units`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple, Union
+
+from ..des.random import Distribution, Exponential, ShiftedExponential
+from .units import DAYS, HOURS, MINUTES
+from .user import PAPER_ACCEPTANCE_FACTOR, solve_acceptance_factor
+
+
+class Targeting(enum.Enum):
+    """How a virus picks the phones it attacks (paper §4.1)."""
+
+    #: Targets drawn from the infected phone's contact list.
+    CONTACT_LIST = "contacts"
+    #: Targets reached by dialing random phone numbers (paper's Virus 3).
+    RANDOM_DIALING = "random"
+
+
+class LimitPeriod(enum.Enum):
+    """What resets a virus's per-period outgoing-message budget."""
+
+    #: No limit at all (paper's Virus 3).
+    NONE = "none"
+    #: Budget resets when the phone reboots (paper's Virus 1).
+    REBOOT = "reboot"
+    #: Budget resets on a fixed-length window anchored at infection time
+    #: (paper's Virus 2: 30 messages per 24-hour period).
+    FIXED_WINDOW = "window"
+
+
+@dataclass(frozen=True)
+class VirusParameters:
+    """Behaviour of one MMS virus.
+
+    Parameters
+    ----------
+    name:
+        Label used in reports.
+    targeting:
+        Contact-list or random-dialing target selection.
+    recipients_per_message:
+        Maximum recipients addressed by one MMS (paper's Virus 2 uses up
+        to 100; the others use 1).  With contact-list targeting, a message
+        addresses ``min(recipients_per_message, len(contact list))``
+        distinct contacts.
+    min_send_interval:
+        Minimum wait between consecutive infected messages, in hours
+        (paper: 30 min for Viruses 1/4, 1 min for Viruses 2/3).
+    extra_send_delay_mean:
+        Mean of the exponential slack added on top of the minimum wait.
+        The paper specifies only minimums; this calibrates absolute pacing.
+    message_limit:
+        Messages allowed per limit period (``None`` = unlimited).
+    limit_counts_recipients:
+        When True, the per-period budget counts *addressed recipients*
+        (message copies routed by the MMSC) instead of message events — a
+        single MMS to 30 contacts consumes 30 budget units.  The paper's
+        Virus 2 behaves this way: its daily allotment covers ~30 contacts
+        once each (which is why per-message provider-side counting —
+        blacklisting — "does not accurately capture the amount of virus
+        propagation activity"), rather than bombarding the whole contact
+        list 30 times.
+    limit_period:
+        What resets the budget (see :class:`LimitPeriod`).
+    reboot_interval_mean:
+        Mean time between phone reboots (paper: ≈24 h), used when
+        ``limit_period`` is ``REBOOT``.
+    limit_window:
+        Window length for ``FIXED_WINDOW`` limits (paper: 24 h).
+    global_limit_windows:
+        When True, the fixed windows are anchored to the global clock
+        (boundaries at 0, 24 h, 48 h, ...) and the message budget is
+        granted *at* each boundary — a phone infected mid-window stays
+        silent until the next boundary.  The paper's Virus 2 behaves this
+        way: "those 30 messages are all sent very near the start of each
+        24-hour period", producing the step-like infection curve of
+        Figure 1 with day-quantized generations.  When False, windows are
+        anchored at each phone's infection time.
+    dormancy:
+        Delay between infection and the first propagation attempt
+        (paper's Virus 4: 1 h).
+    valid_number_fraction:
+        Fraction of randomly dialed numbers that reach a real phone
+        (paper: 1/3, the French mobile-prefix estimate).  Only used with
+        random dialing; invalid dials still count as outgoing messages
+        for the monitoring/blacklisting mechanisms.
+    bluetooth_rate:
+        Proximity-encounter rate (encounters/hour per infected phone) for
+        the Bluetooth propagation channel — the extension the paper's
+        conclusion proposes.  Each encounter offers the infection to a
+        uniformly random phone (random-mixing mobility); user consent
+        still applies, but the transfer bypasses the MMS gateway, so the
+        reception- and dissemination-point response mechanisms cannot see
+        it.  Zero (the default, and the value for all four paper viruses)
+        disables the channel.
+    """
+
+    name: str
+    targeting: Targeting = Targeting.CONTACT_LIST
+    recipients_per_message: int = 1
+    min_send_interval: float = 30 * MINUTES
+    extra_send_delay_mean: float = 15 * MINUTES
+    message_limit: Optional[int] = None
+    limit_counts_recipients: bool = False
+    limit_period: LimitPeriod = LimitPeriod.NONE
+    reboot_interval_mean: float = 24 * HOURS
+    limit_window: float = 24 * HOURS
+    global_limit_windows: bool = False
+    dormancy: float = 0.0
+    valid_number_fraction: float = 1.0
+    bluetooth_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("virus name must be non-empty")
+        if self.recipients_per_message < 1:
+            raise ValueError(
+                f"recipients_per_message must be >= 1, got {self.recipients_per_message}"
+            )
+        if self.min_send_interval < 0:
+            raise ValueError(f"min_send_interval must be >= 0, got {self.min_send_interval}")
+        if self.extra_send_delay_mean < 0:
+            raise ValueError(
+                f"extra_send_delay_mean must be >= 0, got {self.extra_send_delay_mean}"
+            )
+        if self.message_limit is not None and self.message_limit < 1:
+            raise ValueError(f"message_limit must be >= 1 or None, got {self.message_limit}")
+        if self.message_limit is not None and self.limit_period is LimitPeriod.NONE:
+            raise ValueError("message_limit set but limit_period is NONE")
+        if self.limit_counts_recipients and self.message_limit is None:
+            raise ValueError("limit_counts_recipients requires message_limit")
+        if self.message_limit is None and self.limit_period is not LimitPeriod.NONE:
+            raise ValueError(f"limit_period {self.limit_period} set but message_limit is None")
+        if self.reboot_interval_mean <= 0:
+            raise ValueError(
+                f"reboot_interval_mean must be > 0, got {self.reboot_interval_mean}"
+            )
+        if self.limit_window <= 0:
+            raise ValueError(f"limit_window must be > 0, got {self.limit_window}")
+        if self.global_limit_windows and self.limit_period is not LimitPeriod.FIXED_WINDOW:
+            raise ValueError(
+                "global_limit_windows requires limit_period FIXED_WINDOW"
+            )
+        if self.dormancy < 0:
+            raise ValueError(f"dormancy must be >= 0, got {self.dormancy}")
+        if not 0.0 < self.valid_number_fraction <= 1.0:
+            raise ValueError(
+                f"valid_number_fraction must be in (0, 1], got {self.valid_number_fraction}"
+            )
+        if self.bluetooth_rate < 0:
+            raise ValueError(f"bluetooth_rate must be >= 0, got {self.bluetooth_rate}")
+
+    def send_interval_distribution(self) -> Distribution:
+        """Distribution of the wait between consecutive infected messages."""
+        return ShiftedExponential(self.min_send_interval, self.extra_send_delay_mean)
+
+    def reboot_distribution(self) -> Distribution:
+        """Distribution of the time between phone reboots."""
+        return Exponential(self.reboot_interval_mean)
+
+
+@dataclass(frozen=True)
+class UserParameters:
+    """Phone-user behaviour (paper §4.4 plus read-delay calibration)."""
+
+    #: Acceptance factor AF in P(accept nth message) = AF / 2^n.
+    acceptance_factor: float = PAPER_ACCEPTANCE_FACTOR
+    #: Mean of the exponential delay between message delivery and the user
+    #: reading it / installing an accepted attachment.
+    read_delay_mean: float = 1.5 * HOURS
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.acceptance_factor <= 1.0:
+            raise ValueError(
+                f"acceptance_factor must be in [0, 1], got {self.acceptance_factor}"
+            )
+        if self.read_delay_mean < 0:
+            raise ValueError(f"read_delay_mean must be >= 0, got {self.read_delay_mean}")
+
+    def read_delay_distribution(self) -> Distribution:
+        """Distribution of the delivery-to-read delay."""
+        if self.read_delay_mean == 0:
+            return ShiftedExponential(0.0, 0.0)
+        return Exponential(self.read_delay_mean)
+
+
+@dataclass(frozen=True)
+class NetworkParameters:
+    """Population and topology (paper §4.1/§4.3)."""
+
+    #: Total phones (paper: 1000; §5.3 scaling study: 2000).
+    population: int = 1000
+    #: Fraction of phones vulnerable to the virus (paper: 0.8).
+    susceptible_fraction: float = 0.8
+    #: Topology model passed to :func:`repro.topology.contact_network`.
+    topology_model: str = "powerlaw"
+    #: Target mean contact-list size (paper: 80).
+    mean_contact_list_size: float = 80.0
+    #: Degree-distribution exponent for the default power-law topology.
+    #: Email address books — the paper's stated analogue for contact
+    #: lists — fit exponents near 1.7–2.0; the heavy tail (median list
+    #: far below the mean of 80) is what gives contact-list viruses
+    #: their multi-day spread.
+    powerlaw_exponent: float = 1.8
+    #: Mean MMS gateway transit delay per message.
+    gateway_delay_mean: float = 2 * MINUTES
+    #: Gateway processing capacity in messages/hour (``None`` = infinite,
+    #: the paper's assumption that "the phone network infrastructure can
+    #: support the extra volume of MMS messages generated by the
+    #: viruses").  A finite capacity models gateway congestion: when the
+    #: virus's offered load exceeds it, messages queue and delivery
+    #: latency grows — an extension for studying the infrastructure
+    #: impact the paper's introduction mentions (network congestion).
+    gateway_capacity_per_hour: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.population < 2:
+            raise ValueError(f"population must be >= 2, got {self.population}")
+        if not 0.0 < self.susceptible_fraction <= 1.0:
+            raise ValueError(
+                f"susceptible_fraction must be in (0, 1], got {self.susceptible_fraction}"
+            )
+        if self.mean_contact_list_size <= 0:
+            raise ValueError(
+                f"mean_contact_list_size must be > 0, got {self.mean_contact_list_size}"
+            )
+        if self.mean_contact_list_size >= self.population:
+            raise ValueError(
+                f"mean_contact_list_size {self.mean_contact_list_size} infeasible "
+                f"for population {self.population}"
+            )
+        if self.gateway_delay_mean < 0:
+            raise ValueError(
+                f"gateway_delay_mean must be >= 0, got {self.gateway_delay_mean}"
+            )
+        if self.gateway_capacity_per_hour is not None and self.gateway_capacity_per_hour <= 0:
+            raise ValueError(
+                "gateway_capacity_per_hour must be > 0 or None, got "
+                f"{self.gateway_capacity_per_hour}"
+            )
+
+    @property
+    def susceptible_count(self) -> int:
+        """Number of susceptible phones (rounded, paper: 800)."""
+        return int(round(self.population * self.susceptible_fraction))
+
+
+@dataclass(frozen=True)
+class DetectionParameters:
+    """When the service provider first *notices* the virus.
+
+    The gateway scan, the gateway detection algorithm, and immunization all
+    key off the moment the virus "reaches a detectable level" (paper §3/§5).
+    The paper does not quantify that level; we define it as the cumulative
+    infection count reaching ``detectable_infections``.
+    """
+
+    detectable_infections: int = 5
+
+    def __post_init__(self) -> None:
+        if self.detectable_infections < 1:
+            raise ValueError(
+                f"detectable_infections must be >= 1, got {self.detectable_infections}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Response-mechanism configurations (paper §3), one dataclass per mechanism.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GatewayScanConfig:
+    """Virus scan of all MMS attachments in the gateways (§3.1).
+
+    Blocks 100% of infected messages once the new signature is deployed,
+    ``activation_delay`` hours after the virus becomes detectable
+    (paper varies 6/12/24 h).
+    """
+
+    activation_delay: float = 6 * HOURS
+
+    def __post_init__(self) -> None:
+        if self.activation_delay < 0:
+            raise ValueError(f"activation_delay must be >= 0, got {self.activation_delay}")
+
+
+@dataclass(frozen=True)
+class DetectionAlgorithmConfig:
+    """Heuristic virus detection in the gateways (§3.1).
+
+    After an ``analysis_period`` following detectability, each infected MMS
+    is blocked with probability ``accuracy`` (paper varies 0.80–0.99).
+    """
+
+    accuracy: float = 0.95
+    analysis_period: float = 6 * HOURS
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.accuracy <= 1.0:
+            raise ValueError(f"accuracy must be in [0, 1], got {self.accuracy}")
+        if self.analysis_period < 0:
+            raise ValueError(f"analysis_period must be >= 0, got {self.analysis_period}")
+
+
+@dataclass(frozen=True)
+class UserEducationConfig:
+    """Phone user education (§3.2).
+
+    Scales the acceptance factor by ``acceptance_scale`` from time zero
+    (education is a standing condition, not a triggered response).  The
+    paper's cases: scale 0.5 ⇒ total acceptance ≈ 0.20 (half the baseline),
+    scale 0.25 ⇒ ≈ 0.10 (a quarter).  Alternatively, target a given total
+    acceptance probability via :meth:`for_total_acceptance`.
+    """
+
+    acceptance_scale: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.acceptance_scale <= 1.0:
+            raise ValueError(
+                f"acceptance_scale must be in [0, 1], got {self.acceptance_scale}"
+            )
+
+    @staticmethod
+    def for_total_acceptance(
+        total_probability: float,
+        baseline_factor: float = PAPER_ACCEPTANCE_FACTOR,
+    ) -> "UserEducationConfig":
+        """Build a config whose scaled factor yields ``total_probability``."""
+        factor = solve_acceptance_factor(total_probability)
+        return UserEducationConfig(acceptance_scale=factor / baseline_factor)
+
+
+@dataclass(frozen=True)
+class ImmunizationConfig:
+    """Immunization using software patches (§3.2).
+
+    Patch development starts at detectability and takes
+    ``development_time`` (paper: 24 or 48 h); the patch then rolls out to
+    every susceptible phone uniformly over ``deployment_window`` (paper: 1,
+    6, or 24 h).  A patched uninfected phone becomes immune; a patched
+    infected phone stops propagating.
+    """
+
+    development_time: float = 24 * HOURS
+    deployment_window: float = 6 * HOURS
+
+    def __post_init__(self) -> None:
+        if self.development_time < 0:
+            raise ValueError(
+                f"development_time must be >= 0, got {self.development_time}"
+            )
+        if self.deployment_window <= 0:
+            raise ValueError(
+                f"deployment_window must be > 0, got {self.deployment_window}"
+            )
+
+
+@dataclass(frozen=True)
+class MonitoringConfig:
+    """Monitoring for anomalous outgoing-message behaviour (§3.3).
+
+    Counts every outgoing MMS per phone over a sliding ``window``; a phone
+    exceeding ``threshold`` messages within the window is flagged, and a
+    forced minimum wait of ``forced_wait`` is imposed between its
+    subsequent outgoing messages (paper varies 15/30/60 min).
+
+    The default window/threshold are sized from "normal expected usage":
+    no legitimate user sends 10 MMS within an hour, so a virus sending
+    ~60 messages/hour (Virus 3) is flagged within minutes, while viruses
+    throttled to ≤30 messages/day with ≥30-minute spacing (Viruses 1, 2,
+    4) never trip it — the paper's stated discrimination.
+    """
+
+    forced_wait: float = 15 * MINUTES
+    window: float = 1 * HOURS
+    threshold: int = 10
+
+    def __post_init__(self) -> None:
+        if self.forced_wait <= 0:
+            raise ValueError(f"forced_wait must be > 0, got {self.forced_wait}")
+        if self.window <= 0:
+            raise ValueError(f"window must be > 0, got {self.window}")
+        if self.threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {self.threshold}")
+
+
+@dataclass(frozen=True)
+class BlacklistConfig:
+    """Blacklisting phones suspected of infection (§3.3).
+
+    Counts messages *suspected of being infected* per phone — one count per
+    MMS message (a multi-recipient message counts once; invalid random
+    dials count too).  At ``threshold`` counts, the provider blocks all
+    outgoing MMS from the phone (paper varies 10/20/30/40).
+    """
+
+    threshold: int = 10
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {self.threshold}")
+
+
+#: Union of all response-mechanism configurations.
+ResponseConfig = Union[
+    GatewayScanConfig,
+    DetectionAlgorithmConfig,
+    UserEducationConfig,
+    ImmunizationConfig,
+    MonitoringConfig,
+    BlacklistConfig,
+]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """A complete simulation scenario: virus + environment + responses."""
+
+    name: str
+    virus: VirusParameters
+    network: NetworkParameters = field(default_factory=NetworkParameters)
+    user: UserParameters = field(default_factory=UserParameters)
+    detection: DetectionParameters = field(default_factory=DetectionParameters)
+    responses: Tuple[ResponseConfig, ...] = ()
+    #: Simulation horizon in hours (paper: 432 for V1/V4, 240 for V2, 24 for V3).
+    duration: float = 432 * HOURS
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be > 0, got {self.duration}")
+
+    def with_responses(self, *responses: ResponseConfig, suffix: str = "") -> "ScenarioConfig":
+        """Copy of this scenario with the given response mechanisms added."""
+        name = self.name + (f"+{suffix}" if suffix else "")
+        return replace(self, name=name, responses=self.responses + tuple(responses))
+
+    def with_duration(self, duration: float) -> "ScenarioConfig":
+        """Copy of this scenario with a different horizon."""
+        return replace(self, duration=duration)
+
+
+__all__ = [
+    "Targeting",
+    "LimitPeriod",
+    "VirusParameters",
+    "UserParameters",
+    "NetworkParameters",
+    "DetectionParameters",
+    "GatewayScanConfig",
+    "DetectionAlgorithmConfig",
+    "UserEducationConfig",
+    "ImmunizationConfig",
+    "MonitoringConfig",
+    "BlacklistConfig",
+    "ResponseConfig",
+    "ScenarioConfig",
+]

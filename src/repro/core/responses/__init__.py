@@ -1,0 +1,57 @@
+"""The six virus response mechanisms (paper §3).
+
+* Point of reception: :class:`GatewayScan`, :class:`DetectionAlgorithm`
+* Point of infection: :class:`UserEducation`, :class:`Immunization`
+* Point of dissemination: :class:`Monitoring`, :class:`Blacklist`
+
+:func:`build_mechanism` maps a config dataclass to its runtime mechanism.
+"""
+
+from __future__ import annotations
+
+from ..parameters import (
+    BlacklistConfig,
+    DetectionAlgorithmConfig,
+    GatewayScanConfig,
+    ImmunizationConfig,
+    MonitoringConfig,
+    ResponseConfig,
+    UserEducationConfig,
+)
+from .base import ResponseMechanism
+from .blacklist import Blacklist
+from .detection_algorithm import DetectionAlgorithm
+from .gateway_scan import GatewayScan
+from .immunization import Immunization
+from .monitoring import Monitoring
+from .user_education import UserEducation
+
+_CONFIG_TO_MECHANISM = {
+    GatewayScanConfig: GatewayScan,
+    DetectionAlgorithmConfig: DetectionAlgorithm,
+    UserEducationConfig: UserEducation,
+    ImmunizationConfig: Immunization,
+    MonitoringConfig: Monitoring,
+    BlacklistConfig: Blacklist,
+}
+
+
+def build_mechanism(config: ResponseConfig) -> ResponseMechanism:
+    """Instantiate the runtime mechanism for a response config."""
+    try:
+        mechanism_class = _CONFIG_TO_MECHANISM[type(config)]
+    except KeyError:
+        raise TypeError(f"unknown response config type {type(config)!r}") from None
+    return mechanism_class(config)
+
+
+__all__ = [
+    "ResponseMechanism",
+    "GatewayScan",
+    "DetectionAlgorithm",
+    "UserEducation",
+    "Immunization",
+    "Monitoring",
+    "Blacklist",
+    "build_mechanism",
+]

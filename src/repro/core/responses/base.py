@@ -1,0 +1,83 @@
+"""Response-mechanism plugin interface.
+
+Each of the paper's six response mechanisms (§3) is a
+:class:`ResponseMechanism` that plugs into the model through a small set
+of hooks, matching the three response points in the propagation process:
+
+* **point of reception** — :meth:`message_filter` runs in the MMS gateway
+  and can block a message before it reaches any recipient;
+* **point of infection** — :meth:`acceptance_scale` adjusts user consent,
+  and mechanisms may patch phones directly (immunization);
+* **point of dissemination** — :meth:`on_message_sent` observes outgoing
+  traffic and :meth:`adjust_send_interval` throttles it.
+
+Mechanisms that key off virus detectability subscribe to the model's
+:class:`~repro.core.detection.DetectionTracker` in :meth:`attach`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from ..messages import MMSMessage
+from ..phone import Phone
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..model import PhoneNetworkModel
+
+
+class ResponseMechanism:
+    """Base class: all hooks are no-ops."""
+
+    #: Short machine-readable identifier, set by subclasses.
+    name: str = "response"
+
+    def __init__(self) -> None:
+        self.model: Optional["PhoneNetworkModel"] = None
+
+    def attach(self, model: "PhoneNetworkModel") -> None:
+        """Bind to a model before the run starts.
+
+        Subclasses that override must call ``super().attach(model)``.
+        """
+        self.model = model
+
+    # -- point of reception ---------------------------------------------------
+
+    def message_filter(self, message: MMSMessage, now: float) -> bool:
+        """Gateway filter: return True to block the message.
+
+        Only consulted if :meth:`installs_gateway_filter` is True.
+        """
+        return False
+
+    def installs_gateway_filter(self) -> bool:
+        """Whether this mechanism filters messages in the gateway."""
+        return False
+
+    # -- point of infection ----------------------------------------------------
+
+    def acceptance_scale(self) -> float:
+        """Multiplier applied to the user acceptance factor (1 = no effect)."""
+        return 1.0
+
+    # -- point of dissemination --------------------------------------------------
+
+    def on_message_sent(self, phone: Phone, message: MMSMessage, now: float) -> None:
+        """Observe one outgoing message (monitoring / blacklist counting)."""
+
+    def adjust_send_interval(self, phone: Phone, interval: float, now: float) -> float:
+        """Adjust the wait before the phone's next outgoing message."""
+        return interval
+
+    # -- reporting -----------------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        """Mechanism-specific statistics for the run report."""
+        return {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+__all__ = ["ResponseMechanism"]

@@ -1,0 +1,76 @@
+"""Blacklisting phones suspected of infection (paper §3.3).
+
+The provider counts *suspected infected* messages per phone — one count
+per MMS message (a multi-recipient message counts once, which is why the
+mechanism fails against Virus 2), and invalid random dials count too
+(which is why it is strongest against Virus 3).  When a phone's count
+reaches the threshold, all its outgoing MMS service is stopped.
+
+Messages can only be *suspected* once the provider knows a virus is
+circulating, so counting starts when the virus reaches its detectable
+level (the paper does not state this; see DESIGN.md §6 — counting from
+time zero would shut Viruses 1/4 down completely, contradicting the
+paper's ≈60%-of-baseline penetration at threshold 10).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..messages import MMSMessage
+from ..parameters import BlacklistConfig
+from ..phone import Phone
+from .base import ResponseMechanism
+
+
+class Blacklist(ResponseMechanism):
+    """Blocks outgoing MMS from phones exceeding a suspected-message count."""
+
+    name = "blacklist"
+
+    def __init__(self, config: BlacklistConfig) -> None:
+        super().__init__()
+        self.config = config
+        self._suspected_counts: Dict[int, int] = {}
+        self._blacklisted: Set[int] = set()
+        self._counting_since: Optional[float] = None
+
+    def attach(self, model) -> None:
+        super().attach(model)
+        model.detection.subscribe(self._on_detection)
+
+    def _on_detection(self, detection_time: float) -> None:
+        self._counting_since = detection_time
+
+    @property
+    def counting(self) -> bool:
+        """True once the provider is counting suspected messages."""
+        return self._counting_since is not None
+
+    @property
+    def blacklisted_phones(self) -> Set[int]:
+        """Ids of phones whose MMS service has been stopped."""
+        return set(self._blacklisted)
+
+    def suspected_count(self, phone_id: int) -> int:
+        """Suspected-infected-message count for one phone."""
+        return self._suspected_counts.get(phone_id, 0)
+
+    def on_message_sent(self, phone: Phone, message: MMSMessage, now: float) -> None:
+        if self._counting_since is None or not message.infected:
+            return
+        if phone.phone_id in self._blacklisted:
+            return
+        count = self._suspected_counts.get(phone.phone_id, 0) + 1
+        self._suspected_counts[phone.phone_id] = count
+        if count >= self.config.threshold:
+            self._blacklisted.add(phone.phone_id)
+            phone.block_outgoing()
+            if self.model is not None:
+                self.model.metrics.count("phones_blacklisted")
+
+    def stats(self) -> Dict[str, float]:
+        return {"phones_blacklisted": float(len(self._blacklisted))}
+
+
+__all__ = ["Blacklist"]

@@ -1,0 +1,65 @@
+"""Virus detection algorithm in the MMS gateways (paper §3.1).
+
+Unlike the signature scan, the heuristic detector generalises to unknown
+viruses but is imperfect: after an analysis period following
+detectability, each infected MMS is recognised and stopped with
+probability ``accuracy`` — so the mechanism slows propagation rather than
+halting it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..messages import MMSMessage
+from ..parameters import DetectionAlgorithmConfig
+from .base import ResponseMechanism
+
+
+class DetectionAlgorithm(ResponseMechanism):
+    """Probabilistically blocks infected messages in the gateway."""
+
+    name = "detection_algorithm"
+
+    def __init__(self, config: DetectionAlgorithmConfig) -> None:
+        super().__init__()
+        self.config = config
+        self.activation_time: Optional[float] = None
+        self.blocked_messages = 0
+        self.missed_messages = 0
+        self._rng: Optional[np.random.Generator] = None
+
+    def attach(self, model) -> None:
+        super().attach(model)
+        self._rng = model.streams.stream("response.detection_algorithm")
+        model.detection.subscribe(self._on_detection)
+
+    def _on_detection(self, detection_time: float) -> None:
+        self.activation_time = detection_time + self.config.analysis_period
+
+    def installs_gateway_filter(self) -> bool:
+        return True
+
+    def message_filter(self, message: MMSMessage, now: float) -> bool:
+        if self.activation_time is None or now < self.activation_time:
+            return False
+        if not message.infected:
+            return False
+        assert self._rng is not None
+        if self._rng.random() < self.config.accuracy:
+            self.blocked_messages += 1
+            return True
+        self.missed_messages += 1
+        return False
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "activation_time": -1.0 if self.activation_time is None else self.activation_time,
+            "blocked_messages": float(self.blocked_messages),
+            "missed_messages": float(self.missed_messages),
+        }
+
+
+__all__ = ["DetectionAlgorithm"]

@@ -1,0 +1,66 @@
+"""Virus scan of all MMS attachments in the MMS gateways (paper §3.1).
+
+Signature scanning is perfect but delayed: after the virus becomes
+detectable, ``activation_delay`` hours pass before the new signature is on
+the gateways' watch lists; from then on every infected message is stopped
+in transit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..messages import MMSMessage
+from ..parameters import GatewayScanConfig
+from .base import ResponseMechanism
+
+
+class GatewayScan(ResponseMechanism):
+    """Blocks 100% of infected messages once the signature is deployed."""
+
+    name = "gateway_scan"
+
+    def __init__(self, config: GatewayScanConfig) -> None:
+        super().__init__()
+        self.config = config
+        self.activation_time: Optional[float] = None
+        self.blocked_messages = 0
+
+    def attach(self, model) -> None:
+        super().attach(model)
+        model.detection.subscribe(self._on_detection)
+
+    def _on_detection(self, detection_time: float) -> None:
+        assert self.model is not None
+        delay = self.config.activation_delay
+        # Record when the scan becomes active; the filter compares against
+        # this time, so no separate activation event is needed.
+        self.activation_time = detection_time + delay
+        self.model.metrics.count("gateway_scan_scheduled")
+
+    @property
+    def active(self) -> bool:
+        """True once the signature is deployed."""
+        if self.activation_time is None or self.model is None:
+            return False
+        return self.model.sim.now >= self.activation_time
+
+    def installs_gateway_filter(self) -> bool:
+        return True
+
+    def message_filter(self, message: MMSMessage, now: float) -> bool:
+        if self.activation_time is None or now < self.activation_time:
+            return False
+        if not message.infected:
+            return False
+        self.blocked_messages += 1
+        return True
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "activation_time": -1.0 if self.activation_time is None else self.activation_time,
+            "blocked_messages": float(self.blocked_messages),
+        }
+
+
+__all__ = ["GatewayScan"]

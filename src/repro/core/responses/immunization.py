@@ -1,0 +1,88 @@
+"""Immunization using software patches (paper §3.2).
+
+After the virus becomes detectable, the provider spends
+``development_time`` building a patch, then rolls it out to the entire
+susceptible population uniformly over ``deployment_window`` (the window
+length models the number of distribution servers).  When the patch reaches
+a phone:
+
+* an uninfected phone becomes immune (an accepted-but-not-yet-installed
+  attachment no longer infects it);
+* an infected phone stops all further propagation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..parameters import ImmunizationConfig
+from .base import ResponseMechanism
+
+
+class Immunization(ResponseMechanism):
+    """Develops and deploys a vulnerability patch."""
+
+    name = "immunization"
+
+    def __init__(self, config: ImmunizationConfig) -> None:
+        super().__init__()
+        self.config = config
+        self.patch_ready_time: Optional[float] = None
+        self.phones_immunized = 0
+        self.phones_quarantined = 0
+        self._rng: Optional[np.random.Generator] = None
+
+    def attach(self, model) -> None:
+        super().attach(model)
+        self._rng = model.streams.stream("response.immunization")
+        model.detection.subscribe(self._on_detection)
+
+    def _on_detection(self, detection_time: float) -> None:
+        assert self.model is not None
+        ready = detection_time + self.config.development_time
+        self.patch_ready_time = ready
+        delay_until_ready = ready - self.model.sim.now
+        self.model.sim.schedule(delay_until_ready, self._begin_deployment, label="patch_ready")
+
+    def _begin_deployment(self) -> None:
+        """Schedule the patch arrival on every susceptible phone.
+
+        Arrival times are uniform over the deployment window — the paper's
+        "rolled out to the entire phone population uniformly over a period
+        of time".  Only susceptible phones need the patch (the shared
+        vulnerable platform).
+        """
+        assert self.model is not None and self._rng is not None
+        window = self.config.deployment_window
+        for phone in self.model.phones:
+            if not phone.susceptible:
+                continue
+            offset = float(self._rng.uniform(0.0, window))
+            self.model.sim.schedule(
+                offset,
+                lambda p=phone: self._patch_phone(p),
+                label="patch_arrival",
+            )
+
+    def _patch_phone(self, phone) -> None:
+        assert self.model is not None
+        was_infected = phone.infected
+        if phone.apply_patch():
+            if was_infected:
+                self.phones_quarantined += 1
+                self.model.metrics.count("phones_quarantined_by_patch")
+            else:
+                self.phones_immunized += 1
+                self.model.metrics.count("phones_immunized")
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "patch_ready_time": -1.0 if self.patch_ready_time is None else self.patch_ready_time,
+            "phones_immunized": float(self.phones_immunized),
+            "phones_quarantined": float(self.phones_quarantined),
+        }
+
+
+__all__ = ["Immunization"]

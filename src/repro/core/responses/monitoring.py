@@ -1,0 +1,73 @@
+"""Monitoring for anomalous behaviour (paper §3.3).
+
+The provider counts outgoing MMS messages per phone over a sliding
+observation window (the mechanism is trained on normal usage, so the
+threshold sits above legitimate volume).  A phone exceeding the threshold
+is flagged as suspicious, and a forced minimum wait is imposed between its
+subsequent outgoing messages.
+
+This flags only viruses whose send rate is radically above normal traffic
+(the paper's Virus 3); viruses that self-throttle to ~30 messages/day stay
+below the threshold, which is exactly the paper's finding.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Set
+
+from ..messages import MMSMessage
+from ..parameters import MonitoringConfig
+from ..phone import Phone
+from .base import ResponseMechanism
+
+
+class Monitoring(ResponseMechanism):
+    """Flags high-volume senders and throttles them."""
+
+    name = "monitoring"
+
+    def __init__(self, config: MonitoringConfig) -> None:
+        super().__init__()
+        self.config = config
+        self._send_times: Dict[int, Deque[float]] = {}
+        self._flagged: Set[int] = set()
+
+    @property
+    def flagged_phones(self) -> Set[int]:
+        """Ids of phones currently flagged as suspicious."""
+        return set(self._flagged)
+
+    def is_flagged(self, phone_id: int) -> bool:
+        """Whether the given phone has been flagged."""
+        return phone_id in self._flagged
+
+    def on_message_sent(self, phone: Phone, message: MMSMessage, now: float) -> None:
+        # Monitoring counts every outgoing MMS (infected or not, valid
+        # destination or not) — it is a pure volume anomaly detector.
+        if phone.phone_id in self._flagged:
+            return
+        times = self._send_times.get(phone.phone_id)
+        if times is None:
+            times = deque()
+            self._send_times[phone.phone_id] = times
+        times.append(now)
+        horizon = now - self.config.window
+        while times and times[0] < horizon:
+            times.popleft()
+        if len(times) > self.config.threshold:
+            self._flagged.add(phone.phone_id)
+            del self._send_times[phone.phone_id]
+            if self.model is not None:
+                self.model.metrics.count("phones_flagged_by_monitoring")
+
+    def adjust_send_interval(self, phone: Phone, interval: float, now: float) -> float:
+        if phone.phone_id in self._flagged:
+            return max(interval, self.config.forced_wait)
+        return interval
+
+    def stats(self) -> Dict[str, float]:
+        return {"phones_flagged": float(len(self._flagged))}
+
+
+__all__ = ["Monitoring"]

@@ -1,0 +1,39 @@
+"""Phone user education (paper §3.2).
+
+Education is a standing condition, not a triggered response: from time
+zero, users are less likely to accept unsolicited MMS attachments.  The
+mechanism scales the acceptance factor; the paper's experiments reduce the
+*total* probability of eventual acceptance from 0.40 to 0.20 (factor
+halved) and 0.10 (factor quartered).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..parameters import UserEducationConfig
+from ..user import total_acceptance_probability
+from .base import ResponseMechanism
+
+
+class UserEducation(ResponseMechanism):
+    """Scales the user acceptance factor from time zero."""
+
+    name = "user_education"
+
+    def __init__(self, config: UserEducationConfig) -> None:
+        super().__init__()
+        self.config = config
+
+    def acceptance_scale(self) -> float:
+        return self.config.acceptance_scale
+
+    def effective_total_acceptance(self, baseline_factor: float) -> float:
+        """Total probability of eventual acceptance under education."""
+        return total_acceptance_probability(baseline_factor * self.config.acceptance_scale)
+
+    def stats(self) -> Dict[str, float]:
+        return {"acceptance_scale": self.config.acceptance_scale}
+
+
+__all__ = ["UserEducation"]

@@ -1,0 +1,157 @@
+"""The paper's four illustrative virus scenarios (§4.2).
+
+Each factory returns the :class:`VirusParameters` for one virus, and
+``scenario_virus{1..4}`` wrap them into full :class:`ScenarioConfig`
+objects with the paper's simulation horizons (Figure 1: Viruses 1 and 4
+are tracked for 18 days, Virus 2 for 10 days, Virus 3 for 24 hours).
+
+Parameters stated by the paper are used verbatim; pacing-slack and
+read-delay values the paper does not state are calibration choices
+documented in DESIGN.md §6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .parameters import (
+    LimitPeriod,
+    NetworkParameters,
+    ScenarioConfig,
+    Targeting,
+    VirusParameters,
+)
+from .units import DAYS, HOURS, MINUTES
+
+#: Paper horizons per virus (hours): V1/V4 18 days, V2 10 days, V3 24 h.
+VIRUS_HORIZONS: Dict[int, float] = {
+    1: 18 * DAYS,
+    2: 10 * DAYS,
+    3: 24 * HOURS,
+    4: 18 * DAYS,
+}
+
+
+def virus1() -> VirusParameters:
+    """Virus 1: slow contact-list spreader (CommWarrior-like).
+
+    Sends to contacts one at a time, waits at least 30 minutes between
+    messages, and limits itself to 30 messages between reboots; reboots
+    happen on average every 24 hours.
+    """
+    return VirusParameters(
+        name="virus1",
+        targeting=Targeting.CONTACT_LIST,
+        recipients_per_message=1,
+        min_send_interval=30 * MINUTES,
+        extra_send_delay_mean=60 * MINUTES,
+        message_limit=30,
+        limit_period=LimitPeriod.REBOOT,
+        reboot_interval_mean=24 * HOURS,
+    )
+
+
+def virus2() -> VirusParameters:
+    """Virus 2: aggressive multi-recipient spreader.
+
+    Waits only one minute between messages, addresses up to 100 recipients
+    per message, and is throttled to 30 infected message copies per
+    24-hour period; the whole allotment goes out very near the start of
+    each period (the periods are clock-anchored — see
+    ``global_limit_windows``), producing the step-like infection curve of
+    Figure 1.  The budget counts recipient copies
+    (``limit_counts_recipients``), so a day's allotment covers ~30
+    contacts once each — which is why per-message blacklist counting
+    cannot capture this virus's activity (paper §5.2).
+    """
+    return VirusParameters(
+        name="virus2",
+        targeting=Targeting.CONTACT_LIST,
+        recipients_per_message=100,
+        min_send_interval=1 * MINUTES,
+        extra_send_delay_mean=1 * MINUTES,
+        message_limit=30,
+        limit_counts_recipients=True,
+        limit_period=LimitPeriod.FIXED_WINDOW,
+        limit_window=24 * HOURS,
+        global_limit_windows=True,
+    )
+
+
+def virus3(valid_number_fraction: float = 1.0 / 3.0) -> VirusParameters:
+    """Virus 3: rapid random dialer.
+
+    Dials random mobile numbers (a fraction ``valid_number_fraction`` of
+    which reach real phones — the paper's French-prefix estimate is 1/3),
+    waits at least one minute between messages, one recipient each, with
+    no daily limit.
+    """
+    return VirusParameters(
+        name="virus3",
+        targeting=Targeting.RANDOM_DIALING,
+        recipients_per_message=1,
+        min_send_interval=1 * MINUTES,
+        extra_send_delay_mean=0.0,
+        valid_number_fraction=valid_number_fraction,
+    )
+
+
+def virus4(legitimate_message_rate: float = 0.55) -> VirusParameters:
+    """Virus 4: stealthy traffic-piggybacking spreader.
+
+    Dormant for one hour after infection, then rides on legitimate MMS
+    activity: infected messages leave at the rate a user sends/receives
+    legitimate messages (``legitimate_message_rate`` per hour, a
+    calibration parameter), with the same 30-minute minimum spacing as
+    Virus 1 and no daily limit.
+    """
+    if legitimate_message_rate <= 0:
+        raise ValueError(
+            f"legitimate_message_rate must be > 0, got {legitimate_message_rate}"
+        )
+    return VirusParameters(
+        name="virus4",
+        targeting=Targeting.CONTACT_LIST,
+        recipients_per_message=1,
+        min_send_interval=30 * MINUTES,
+        extra_send_delay_mean=1.0 / legitimate_message_rate,
+        dormancy=1 * HOURS,
+    )
+
+
+_VIRUS_FACTORIES = {1: virus1, 2: virus2, 3: virus3, 4: virus4}
+
+
+def virus_parameters(number: int) -> VirusParameters:
+    """Virus parameters by paper number (1–4)."""
+    try:
+        factory = _VIRUS_FACTORIES[number]
+    except KeyError:
+        raise ValueError(f"virus number must be 1..4, got {number}") from None
+    return factory()
+
+
+def baseline_scenario(
+    virus_number: int,
+    network: Optional[NetworkParameters] = None,
+    duration: Optional[float] = None,
+) -> ScenarioConfig:
+    """Baseline (no response mechanisms) scenario for one paper virus."""
+    virus = virus_parameters(virus_number)
+    return ScenarioConfig(
+        name=f"virus{virus_number}-baseline",
+        virus=virus,
+        network=network if network is not None else NetworkParameters(),
+        duration=duration if duration is not None else VIRUS_HORIZONS[virus_number],
+    )
+
+
+__all__ = [
+    "VIRUS_HORIZONS",
+    "virus1",
+    "virus2",
+    "virus3",
+    "virus4",
+    "virus_parameters",
+    "baseline_scenario",
+]

@@ -1,0 +1,33 @@
+"""Time units.
+
+All simulation times in :mod:`repro.core` are floats measured in **hours**,
+matching the paper's figure axes.  These constants keep parameter
+definitions readable (``30 * MINUTES`` instead of ``0.5``).
+"""
+
+from __future__ import annotations
+
+#: One hour (the base unit).
+HOURS = 1.0
+#: One minute, in hours.
+MINUTES = 1.0 / 60.0
+#: One second, in hours.
+SECONDS = 1.0 / 3600.0
+#: One day, in hours.
+DAYS = 24.0
+
+
+def format_duration(hours: float) -> str:
+    """Render a duration in hours as a compact human-readable string."""
+    if hours < 0:
+        return f"-{format_duration(-hours)}"
+    if hours < 1.0 / 60.0:
+        return f"{hours * 3600:.0f}s"
+    if hours < 1.0:
+        return f"{hours * 60:.0f}min"
+    if hours < 48.0:
+        return f"{hours:g}h"
+    return f"{hours / 24.0:g}d"
+
+
+__all__ = ["HOURS", "MINUTES", "SECONDS", "DAYS", "format_duration"]

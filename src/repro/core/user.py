@@ -1,0 +1,139 @@
+"""The phone-user consent model (paper §4.4).
+
+The paper's key behavioural assumption: users grow suspicious as they
+receive more infected messages.  The probability that a user accepts the
+*n*-th infected MMS attachment they have ever received is::
+
+    P(accept nth) = acceptance_factor / 2**n        (n = 1, 2, ...)
+
+With the paper's acceptance factor 0.468, the probability the user *ever*
+accepts (given unboundedly many messages) is::
+
+    1 - prod_{n>=1} (1 - 0.468 / 2**n)  ≈  0.40
+
+which is why the expected plateau of every unconstrained virus is
+``800 susceptible × 0.40 = 320`` infected phones.
+
+This module implements the decay curve, the "total acceptance probability"
+transform and its numeric inverse (used by the user-education response
+mechanism to target a given total), and the per-phone sampling helper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+#: The paper's baseline acceptance factor (§4.4).
+PAPER_ACCEPTANCE_FACTOR = 0.468
+
+#: Beyond this many received messages the acceptance probability is below
+#: ~1e-10 for any factor <= 1; further messages are auto-rejected without
+#: consuming a random draw (pure optimisation, statistically negligible).
+ACCEPTANCE_NEGLIGIBLE_AFTER = 32
+
+
+def acceptance_probability(acceptance_factor: float, message_index: int) -> float:
+    """Probability of accepting the ``message_index``-th received message.
+
+    ``message_index`` is 1-based: the first infected message a user ever
+    receives has index 1.
+    """
+    if message_index < 1:
+        raise ValueError(f"message_index must be >= 1, got {message_index}")
+    if not 0.0 <= acceptance_factor <= 1.0:
+        raise ValueError(f"acceptance_factor must be in [0, 1], got {acceptance_factor}")
+    if message_index > ACCEPTANCE_NEGLIGIBLE_AFTER:
+        return 0.0
+    return acceptance_factor / (2.0**message_index)
+
+
+def total_acceptance_probability(acceptance_factor: float, terms: int = 64) -> float:
+    """Probability that a user ever accepts, given unbounded messages.
+
+    Computes ``1 - prod_{n=1..terms} (1 - factor / 2^n)``; the product
+    converges geometrically so 64 terms are far beyond double precision.
+    """
+    if not 0.0 <= acceptance_factor <= 1.0:
+        raise ValueError(f"acceptance_factor must be in [0, 1], got {acceptance_factor}")
+    log_survive = 0.0
+    for n in range(1, terms + 1):
+        p = acceptance_factor / (2.0**n)
+        if p >= 1.0:
+            return 1.0
+        log_survive += math.log1p(-p)
+        if p < 1e-18:
+            break
+    return 1.0 - math.exp(log_survive)
+
+
+def solve_acceptance_factor(total_probability: float, tolerance: float = 1e-12) -> float:
+    """Invert :func:`total_acceptance_probability` by bisection.
+
+    Used to configure user education by its *effect* ("reduce the total
+    probability of acceptance to 0.20") rather than by the raw factor.
+    """
+    if not 0.0 <= total_probability < 1.0:
+        raise ValueError(
+            f"total_probability must be in [0, 1), got {total_probability}"
+        )
+    if total_probability == 0.0:
+        return 0.0
+    low, high = 0.0, 1.0
+    if total_acceptance_probability(1.0) < total_probability:
+        raise ValueError(
+            f"total_probability {total_probability} unreachable with factor <= 1"
+        )
+    while high - low > tolerance:
+        mid = 0.5 * (low + high)
+        if total_acceptance_probability(mid) < total_probability:
+            low = mid
+        else:
+            high = mid
+    return 0.5 * (low + high)
+
+
+@dataclass
+class ConsentState:
+    """Per-phone consent state: how many infected messages were received."""
+
+    received_count: int = 0
+    accepted: bool = False
+
+    def next_acceptance_probability(self, acceptance_factor: float) -> float:
+        """Acceptance probability the *next* received message would have."""
+        return acceptance_probability(acceptance_factor, self.received_count + 1)
+
+    def receive_and_decide(
+        self,
+        acceptance_factor: float,
+        rng: np.random.Generator,
+    ) -> bool:
+        """Register one received infected message and sample user consent.
+
+        Returns ``True`` when the user accepts (opens) the attachment.
+        Acceptance is sampled at delivery; the separate read delay between
+        delivery and installation is applied by the caller.
+        """
+        self.received_count += 1
+        if self.received_count > ACCEPTANCE_NEGLIGIBLE_AFTER:
+            return False
+        p = acceptance_probability(acceptance_factor, self.received_count)
+        if p <= 0.0:
+            return False
+        decision = bool(rng.random() < p)
+        if decision:
+            self.accepted = True
+        return decision
+
+
+__all__ = [
+    "PAPER_ACCEPTANCE_FACTOR",
+    "ACCEPTANCE_NEGLIGIBLE_AFTER",
+    "acceptance_probability",
+    "total_acceptance_probability",
+    "solve_acceptance_factor",
+    "ConsentState",
+]

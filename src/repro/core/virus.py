@@ -1,0 +1,163 @@
+"""Virus behaviour engine: targeting, pacing, and message budgets.
+
+One :class:`VirusEngine` is shared by all phones in a model (virus
+behaviour is identical on every infected phone); per-phone propagation
+state lives on the :class:`~repro.core.phone.Phone`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..des.random import Distribution
+from .parameters import LimitPeriod, Targeting, VirusParameters
+from .phone import Phone
+
+
+class VirusEngine:
+    """Implements the parameterized propagation behaviour (paper §4.1)."""
+
+    def __init__(self, parameters: VirusParameters, population: int) -> None:
+        if population < 2:
+            raise ValueError(f"population must be >= 2, got {population}")
+        self.parameters = parameters
+        self.population = population
+        self._interval_dist: Distribution = parameters.send_interval_distribution()
+        self._reboot_dist: Distribution = parameters.reboot_distribution()
+
+    # -- pacing -------------------------------------------------------------
+
+    def initial_send_delay(self, rng: np.random.Generator) -> float:
+        """Delay from infection to the first propagation attempt.
+
+        Dormancy (Virus 4's one-hour sleep) plus one ordinary send
+        interval; the other viruses "immediately begin to send", which in
+        this model means the first message is paced like every later one.
+        """
+        return self.parameters.dormancy + self._interval_dist.sample(rng)
+
+    def sample_send_interval(self, rng: np.random.Generator) -> float:
+        """Wait until the next outgoing message."""
+        return self._interval_dist.sample(rng)
+
+    def sample_reboot_interval(self, rng: np.random.Generator) -> float:
+        """Wait until the phone's next reboot (REBOOT-limited viruses)."""
+        return self._reboot_dist.sample(rng)
+
+    # -- budgets --------------------------------------------------------------
+
+    @property
+    def uses_reboot_limit(self) -> bool:
+        """True when the message budget resets at phone reboots."""
+        return self.parameters.limit_period is LimitPeriod.REBOOT
+
+    @property
+    def uses_window_limit(self) -> bool:
+        """True when the message budget resets each fixed window."""
+        return self.parameters.limit_period is LimitPeriod.FIXED_WINDOW
+
+    @property
+    def uses_global_windows(self) -> bool:
+        """True when the fixed windows are anchored to the global clock."""
+        return self.uses_window_limit and self.parameters.global_limit_windows
+
+    def advance_window(self, phone: Phone, now: float) -> None:
+        """Roll the phone's fixed limit window forward to contain ``now``.
+
+        Globally anchored windows are advanced by the model's window-tick
+        event instead, so the budget becomes available only *at* each
+        boundary.
+        """
+        if not self.uses_window_limit or self.uses_global_windows:
+            return
+        window = self.parameters.limit_window
+        while now >= phone.period_start + window:
+            phone.start_new_period(phone.period_start + window)
+
+    def budget_exhausted(self, phone: Phone) -> bool:
+        """True if the phone has used its per-period message budget.
+
+        ``sent_in_period`` counts budget units: message events normally,
+        addressed recipients when ``limit_counts_recipients`` is set.
+        """
+        limit = self.parameters.message_limit
+        if limit is None:
+            return False
+        return phone.sent_in_period >= limit
+
+    def budget_units(self, addressed_count: int) -> int:
+        """Budget units consumed by a message addressing ``addressed_count``."""
+        if self.parameters.limit_counts_recipients:
+            return addressed_count
+        return 1
+
+    def next_budget_reset(self, phone: Phone) -> Optional[float]:
+        """When a FIXED_WINDOW budget next resets (``None`` otherwise).
+
+        REBOOT budgets reset at the (stochastic) reboot event, and globally
+        anchored windows reset at the model's window tick, so neither
+        reports a per-phone reset time here.
+        """
+        if self.uses_window_limit and not self.uses_global_windows:
+            return phone.period_start + self.parameters.limit_window
+        return None
+
+    # -- targeting ----------------------------------------------------------
+
+    def select_targets(
+        self,
+        phone: Phone,
+        rng: np.random.Generator,
+    ) -> Tuple[Tuple[int, ...], int]:
+        """Pick the addressees of the next message.
+
+        Returns ``(valid_recipient_ids, invalid_dial_count)``.
+
+        Contact-list targeting cycles through the contact list (round
+        robin), taking up to ``recipients_per_message`` distinct contacts
+        per message — so Virus 2's 100-recipient messages cover the whole
+        list and Virus 1 works through its contacts one at a time.
+
+        Random dialing draws ``recipients_per_message`` numbers; each is
+        valid with probability ``valid_number_fraction`` and, if valid,
+        reaches a uniformly random phone other than the sender.
+        """
+        params = self.parameters
+        if params.targeting is Targeting.CONTACT_LIST:
+            contacts = phone.contacts
+            if not contacts:
+                return ((), 0)
+            k = min(params.recipients_per_message, len(contacts))
+            if params.limit_counts_recipients and params.message_limit is not None:
+                remaining = params.message_limit - phone.sent_in_period
+                k = min(k, max(0, remaining))
+                if k == 0:
+                    return ((), 0)
+            start = phone.next_contact_index % len(contacts)
+            if k == len(contacts):
+                recipients = contacts
+                phone.next_contact_index = start  # cursor irrelevant
+            else:
+                recipients = tuple(
+                    contacts[(start + i) % len(contacts)] for i in range(k)
+                )
+                phone.next_contact_index = (start + k) % len(contacts)
+            return (recipients, 0)
+
+        # Random dialing.
+        valid: list = []
+        invalid = 0
+        for _ in range(params.recipients_per_message):
+            if rng.random() < params.valid_number_fraction:
+                target = int(rng.integers(0, self.population - 1))
+                if target >= phone.phone_id:
+                    target += 1  # skip the sender
+                valid.append(target)
+            else:
+                invalid += 1
+        return (tuple(valid), invalid)
+
+
+__all__ = ["VirusEngine"]

@@ -1,0 +1,257 @@
+"""Generator-based process layer over the event-scheduling simulator.
+
+Some model logic (e.g. a gateway worker draining a queue, or an experiment
+script that waits for conditions) reads more naturally as a sequential
+process than as a web of callbacks.  This module provides a minimal,
+SimPy-flavoured coroutine layer:
+
+* a *process* is a Python generator that yields waitables;
+* ``yield Timeout(d)`` suspends for ``d`` time units;
+* ``yield Waiter()`` suspends until someone calls ``waiter.succeed(value)``;
+* ``yield AllOf([...])`` / ``yield AnyOf([...])`` compose waitables;
+* processes can be interrupted, which raises :class:`Interrupted` inside
+  the generator at its current yield point.
+
+The layer is deliberately small — the production phone model uses raw
+callbacks for speed — but it is fully tested and used by the gateway queue
+model and several examples.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from .simulator import SimulationError, Simulator
+
+
+class Interrupted(Exception):
+    """Raised inside a process generator when it is interrupted."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Waitable:
+    """Base class for things a process can ``yield``.
+
+    A waitable either *succeeds* with a value or *fails* with an exception;
+    callbacks registered before completion run at completion time, callbacks
+    registered after completion run immediately.
+    """
+
+    def __init__(self) -> None:
+        self._done = False
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Waitable"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        """True once succeeded or failed."""
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        """Result value (only meaningful when ``done`` and not failed)."""
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """Failure exception, if any."""
+        return self._exception
+
+    def add_done_callback(self, callback: Callable[["Waitable"], None]) -> None:
+        """Invoke ``callback(self)`` when done (immediately if already done)."""
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def succeed(self, value: Any = None) -> None:
+        """Complete successfully with ``value``."""
+        if self._done:
+            raise SimulationError("waitable already completed")
+        self._done = True
+        self._value = value
+        self._fire()
+
+    def fail(self, exception: BaseException) -> None:
+        """Complete with failure ``exception``."""
+        if self._done:
+            raise SimulationError("waitable already completed")
+        self._done = True
+        self._exception = exception
+        self._fire()
+
+    def _fire(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Waiter(Waitable):
+    """A bare waitable completed externally via ``succeed``/``fail``."""
+
+
+class Timeout(Waitable):
+    """Succeeds after a delay.  Bind to a simulator lazily at yield time."""
+
+    def __init__(self, delay: float, value: Any = None) -> None:
+        super().__init__()
+        if delay < 0:
+            raise SimulationError(f"Timeout delay must be >= 0, got {delay}")
+        self.delay = delay
+        self._timeout_value = value
+        self._scheduled = False
+
+    def _bind(self, sim: Simulator) -> None:
+        if self._scheduled:
+            return
+        self._scheduled = True
+        sim.schedule(self.delay, lambda: self.succeed(self._timeout_value), label="timeout")
+
+
+class AllOf(Waitable):
+    """Succeeds when every child waitable is done; value is list of values."""
+
+    def __init__(self, children: Iterable[Waitable]) -> None:
+        super().__init__()
+        self.children = list(children)
+        self._remaining = len(self.children)
+        if self._remaining == 0:
+            self.succeed([])
+
+    def _bind(self, sim: Simulator) -> None:
+        for child in self.children:
+            if isinstance(child, (Timeout, AllOf, AnyOf)):
+                child._bind(sim)
+            child.add_done_callback(self._child_done)
+
+    def _child_done(self, child: Waitable) -> None:
+        if self._done:
+            return
+        if child.exception is not None:
+            self.fail(child.exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c.value for c in self.children])
+
+
+class AnyOf(Waitable):
+    """Succeeds when the first child completes; value is that child's value."""
+
+    def __init__(self, children: Iterable[Waitable]) -> None:
+        super().__init__()
+        self.children = list(children)
+        if not self.children:
+            raise SimulationError("AnyOf requires at least one child")
+
+    def _bind(self, sim: Simulator) -> None:
+        for child in self.children:
+            if isinstance(child, (Timeout, AllOf, AnyOf)):
+                child._bind(sim)
+            child.add_done_callback(self._child_done)
+
+    def _child_done(self, child: Waitable) -> None:
+        if self._done:
+            return
+        if child.exception is not None:
+            self.fail(child.exception)
+        else:
+            self.succeed(child.value)
+
+
+ProcessGenerator = Generator[Waitable, Any, Any]
+
+
+class Process(Waitable):
+    """A running process.  Itself waitable: done when the generator returns."""
+
+    def __init__(self, sim: Simulator, generator: ProcessGenerator, name: str = "") -> None:
+        super().__init__()
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._waiting_on: Optional[Waitable] = None
+        # Start on the next event at current time, so the creator can attach
+        # callbacks before the first statement runs.
+        sim.schedule(0.0, self._resume_first, label=f"start:{self.name}")
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Interrupt the process at its current yield point."""
+        if self._done:
+            return
+        target = self._waiting_on
+        self._waiting_on = None
+        # Deliver asynchronously so interrupts issued from within the
+        # interrupted process's own callbacks are safe.
+        self.sim.schedule(
+            0.0,
+            lambda: self._step(error=Interrupted(cause)),
+            label=f"interrupt:{self.name}",
+        )
+        # Detach from whatever it was waiting on (the waitable may still
+        # complete later; the stale callback checks identity).
+        del target
+
+    def _resume_first(self) -> None:
+        self._step(value=None)
+
+    def _step(self, value: Any = None, error: Optional[BaseException] = None) -> None:
+        if self._done:
+            return
+        try:
+            if error is not None:
+                waitable = self._generator.throw(error)
+            else:
+                waitable = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(getattr(stop, "value", None))
+            return
+        except Interrupted as exc:
+            # Process chose not to handle the interrupt: treat as failure.
+            self.fail(exc)
+            return
+        except Exception as exc:
+            self.fail(exc)
+            return
+
+        if not isinstance(waitable, Waitable):
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {waitable!r}, expected a Waitable"
+                )
+            )
+            return
+        if isinstance(waitable, (Timeout, AllOf, AnyOf)):
+            waitable._bind(self.sim)
+        self._waiting_on = waitable
+        waitable.add_done_callback(self._wake)
+
+    def _wake(self, waitable: Waitable) -> None:
+        if self._waiting_on is not waitable:
+            return  # interrupted while waiting; stale completion
+        self._waiting_on = None
+        if waitable.exception is not None:
+            self._step(error=waitable.exception)
+        else:
+            self._step(value=waitable.value)
+
+
+def start_process(sim: Simulator, generator: ProcessGenerator, name: str = "") -> Process:
+    """Create and start a :class:`Process` on ``sim``."""
+    return Process(sim, generator, name)
+
+
+__all__ = [
+    "Interrupted",
+    "Waitable",
+    "Waiter",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Process",
+    "start_process",
+]

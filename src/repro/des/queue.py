@@ -1,0 +1,106 @@
+"""Time-ordered event queue with lazy cancellation.
+
+A thin wrapper around :mod:`heapq` specialised for the simulation kernel:
+
+* deterministic ordering — ties on time are broken by priority, then by
+  insertion order;
+* O(log n) push/pop, O(1) cancellation (dead events are skipped on pop);
+* periodic compaction so that a workload that cancels most of its events
+  (e.g. reboot timers superseded by patches) does not grow the heap
+  unboundedly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+from .events import Event, EventHandle, EventState
+
+
+class EventQueue:
+    """Priority queue of :class:`~repro.des.events.Event` objects."""
+
+    #: Compact the heap when more than this fraction of entries are dead
+    #: (and the heap is large enough for compaction to matter).
+    _COMPACT_RATIO = 0.5
+    _COMPACT_MIN_SIZE = 1024
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._cancelled = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (pending) events."""
+        return len(self._heap) - self._cancelled
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap size including not-yet-collected cancelled entries."""
+        return len(self._heap)
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` at ``time`` and return a cancellable handle."""
+        event = Event(time, priority, self._seq, callback, label)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        self._skip_dead()
+        if self._heap:
+            return self._heap[0].time
+        return None
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event (``None`` when empty)."""
+        self._skip_dead()
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        event.state = EventState.FIRED
+        return event
+
+    def clear(self) -> None:
+        """Drop all scheduled events."""
+        self._heap.clear()
+        self._cancelled = 0
+
+    def note_cancellation(self) -> None:
+        """Record that one heap entry was cancelled (for live-count/compaction).
+
+        Called by the simulator when a handle it issued is cancelled; the
+        queue itself never sees ``EventHandle.cancel`` directly.
+        """
+        self._cancelled += 1
+        self._maybe_compact()
+
+    def _skip_dead(self) -> None:
+        heap = self._heap
+        while heap and heap[0].state is EventState.CANCELLED:
+            heapq.heappop(heap)
+            self._cancelled -= 1
+
+    def _maybe_compact(self) -> None:
+        if (
+            len(self._heap) >= self._COMPACT_MIN_SIZE
+            and self._cancelled > len(self._heap) * self._COMPACT_RATIO
+        ):
+            live = [e for e in self._heap if e.state is EventState.PENDING]
+            heapq.heapify(live)
+            self._heap = live
+            self._cancelled = 0
+
+
+__all__ = ["EventQueue"]

@@ -1,0 +1,133 @@
+"""Queueing primitives for the process layer.
+
+Two classic primitives suffice for the models in this package:
+
+* :class:`Resource` — ``capacity`` identical servers with a FIFO wait queue
+  (used to model MMS gateway processing slots);
+* :class:`Store` — an unbounded (or bounded) FIFO buffer of items with
+  blocking ``get`` (used to model message queues between stages).
+
+Both hand out :class:`~repro.des.process.Waiter` objects so processes can
+``yield`` on them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from .process import Waiter
+from .simulator import SimulationError, Simulator
+
+
+class Resource:
+    """A pool of ``capacity`` servers with FIFO queueing."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource") -> None:
+        if capacity < 1:
+            raise SimulationError(f"Resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiting: Deque[Waiter] = deque()
+        #: Peak queue length observed (for reporting).
+        self.max_queue_length = 0
+
+    @property
+    def in_use(self) -> int:
+        """Number of servers currently held."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of acquire requests waiting."""
+        return len(self._waiting)
+
+    def acquire(self) -> Waiter:
+        """Request one server.  The returned waiter succeeds when granted."""
+        waiter = Waiter()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            waiter.succeed(self)
+        else:
+            self._waiting.append(waiter)
+            self.max_queue_length = max(self.max_queue_length, len(self._waiting))
+        return waiter
+
+    def release(self) -> None:
+        """Return one server; wakes the longest-waiting request, if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release() on {self.name!r} with no server in use")
+        if self._waiting:
+            waiter = self._waiting.popleft()
+            # Ownership transfers directly; _in_use stays constant.
+            self.sim.schedule(0.0, lambda: waiter.succeed(self), label=f"grant:{self.name}")
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """FIFO item buffer with blocking ``get`` and optionally bounded ``put``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: Optional[int] = None,
+        name: str = "store",
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"Store capacity must be >= 1 or None, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Waiter] = deque()
+        self._putters: Deque[Waiter] = deque()
+        #: Total number of items ever put (for reporting).
+        self.total_put = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def getters_waiting(self) -> int:
+        """Number of blocked ``get`` requests."""
+        return len(self._getters)
+
+    def put(self, item: Any) -> Waiter:
+        """Insert ``item``; the waiter succeeds once the item is accepted."""
+        waiter = Waiter()
+        if self._getters:
+            getter = self._getters.popleft()
+            self.total_put += 1
+            self.sim.schedule(0.0, lambda: getter.succeed(item), label=f"handoff:{self.name}")
+            waiter.succeed(None)
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            self.total_put += 1
+            waiter.succeed(None)
+        else:
+            self._putters.append((waiter, item))  # type: ignore[arg-type]
+        return waiter
+
+    def get(self) -> Waiter:
+        """Remove the oldest item; blocks (waiter pends) when empty."""
+        waiter = Waiter()
+        if self._items:
+            item = self._items.popleft()
+            self._admit_blocked_putter()
+            waiter.succeed(item)
+        else:
+            self._getters.append(waiter)
+        return waiter
+
+    def _admit_blocked_putter(self) -> None:
+        if self._putters and (self.capacity is None or len(self._items) < self.capacity):
+            put_waiter, item = self._putters.popleft()  # type: ignore[misc]
+            self._items.append(item)
+            self.total_put += 1
+            self.sim.schedule(0.0, lambda: put_waiter.succeed(None), label=f"admit:{self.name}")
+
+
+__all__ = ["Resource", "Store"]

@@ -1,0 +1,191 @@
+"""The discrete-event simulator: clock + event queue + run loop.
+
+This is the executable substrate for every model in the package (the phone
+network model in :mod:`repro.core` schedules callbacks directly; the SAN
+layer in :mod:`repro.san` and the process layer in
+:mod:`repro.des.process` are built on top of it).
+
+Semantics:
+
+* time is a non-negative float (the phone model uses hours);
+* events at equal times fire in (priority, insertion) order, so runs are
+  fully deterministic given a seed;
+* ``schedule`` takes a *delay*; ``schedule_at`` takes an absolute time;
+  scheduling in the past is an error;
+* the run loop stops at an end time, after a number of events, when a stop
+  condition becomes true, or when the queue drains.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .events import PRIORITY_NORMAL, EventHandle
+from .queue import EventQueue
+from .trace import NULL_TRACER, Tracer
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduling or run-loop misuse."""
+
+
+class Simulator:
+    """Event-scheduling discrete-event simulator."""
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self._stop_requested = False
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._events_fired = 0
+        self._end_hooks: List[Callable[[], None]] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far."""
+        return self._events_fired
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live scheduled events."""
+        return len(self._queue)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` to fire ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule with negative delay {delay}")
+        return self.schedule_at(self._now + delay, callback, priority, label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute time ``time`` (>= now)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} which is before current time {self._now}"
+            )
+        handle = self._queue.push(time, callback, priority, label)
+        return _TrackedHandle(handle, self._queue)
+
+    def stop(self) -> None:
+        """Request the run loop to stop after the current event."""
+        self._stop_requested = True
+
+    def add_end_hook(self, hook: Callable[[], None]) -> None:
+        """Register a callable invoked once when a run finishes."""
+        self._end_hooks.append(hook)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> float:
+        """Execute events until a limit is reached.
+
+        Parameters
+        ----------
+        until:
+            Absolute end time.  Events scheduled exactly at ``until`` do
+            fire; the clock never passes ``until``.  When the queue drains
+            earlier, the clock is advanced to ``until`` (so interval metrics
+            cover the full horizon).
+        max_events:
+            Stop after this many events have fired in *this* call.
+        stop_when:
+            Predicate evaluated after every event; truthy stops the run.
+
+        Returns the simulation time when the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (no re-entrant runs)")
+        if until is not None and until < self._now:
+            raise SimulationError(f"until={until} is before current time {self._now}")
+
+        self._running = True
+        self._stop_requested = False
+        fired_this_run = 0
+        try:
+            while True:
+                if self._stop_requested:
+                    break
+                if max_events is not None and fired_this_run >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    if until is not None:
+                        self._now = max(self._now, until)
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                event = self._queue.pop()
+                assert event is not None  # peek said non-empty
+                self._now = event.time
+                self._events_fired += 1
+                fired_this_run += 1
+                if self.tracer.enabled and event.label:
+                    self.tracer.record(self._now, "event", event.label)
+                event.callback()
+                if stop_when is not None and stop_when():
+                    break
+        finally:
+            self._running = False
+        for hook in self._end_hooks:
+            hook()
+        return self._now
+
+    def step(self) -> bool:
+        """Fire exactly one event.  Returns ``False`` when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._now = event.time
+        self._events_fired += 1
+        if self.tracer.enabled and event.label:
+            self.tracer.record(self._now, "event", event.label)
+        event.callback()
+        return True
+
+    def peek_next_time(self) -> Optional[float]:
+        """Time of the next scheduled event without firing it."""
+        return self._queue.peek_time()
+
+
+class _TrackedHandle(EventHandle):
+    """Event handle that informs the queue about cancellations.
+
+    Keeping the accounting here lets ``len(queue)`` stay exact without the
+    queue scanning for dead entries.
+    """
+
+    __slots__ = ("_queue",)
+
+    def __init__(self, inner: EventHandle, queue: EventQueue) -> None:
+        super().__init__(inner._event)
+        self._queue = queue
+
+    def cancel(self) -> bool:
+        cancelled = super().cancel()
+        if cancelled:
+            self._queue.note_cancellation()
+        return cancelled
+
+
+__all__ = ["Simulator", "SimulationError"]

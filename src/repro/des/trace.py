@@ -1,0 +1,103 @@
+"""Structured tracing for simulation runs.
+
+A :class:`Tracer` records ``TraceRecord`` entries (time, category, message,
+payload).  Tracing is off by default — the hot path pays only a boolean
+check.  Filters restrict recording to a category set and/or a time window,
+which keeps traces of million-event runs manageable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: float
+    category: str
+    message: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def format(self) -> str:
+        """Render as a single human-readable line."""
+        extra = ""
+        if self.payload:
+            parts = ", ".join(f"{k}={v!r}" for k, v in sorted(self.payload.items()))
+            extra = f" [{parts}]"
+        return f"[{self.time:12.4f}] {self.category:<12} {self.message}{extra}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries during a run."""
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        categories: Optional[Iterable[str]] = None,
+        start_time: float = 0.0,
+        end_time: float = float("inf"),
+        max_records: Optional[int] = None,
+    ) -> None:
+        self.enabled = enabled
+        self._categories: Optional[Set[str]] = set(categories) if categories else None
+        self.start_time = start_time
+        self.end_time = end_time
+        self.max_records = max_records
+        self._records: List[TraceRecord] = []
+        self._dropped = 0
+
+    def record(self, time: float, category: str, message: str, **payload: Any) -> None:
+        """Record one entry if tracing is enabled and the filters pass."""
+        if not self.enabled:
+            return
+        if self._categories is not None and category not in self._categories:
+            return
+        if not (self.start_time <= time <= self.end_time):
+            return
+        if self.max_records is not None and len(self._records) >= self.max_records:
+            self._dropped += 1
+            return
+        self._records.append(TraceRecord(time, category, message, dict(payload)))
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """All recorded entries, in time order of recording."""
+        return list(self._records)
+
+    @property
+    def dropped(self) -> int:
+        """Entries discarded because ``max_records`` was reached."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def by_category(self, category: str) -> List[TraceRecord]:
+        """Entries with the given category."""
+        return [r for r in self._records if r.category == category]
+
+    def clear(self) -> None:
+        """Discard all recorded entries."""
+        self._records.clear()
+        self._dropped = 0
+
+    def format(self) -> str:
+        """Render the whole trace as text."""
+        lines = [r.format() for r in self._records]
+        if self._dropped:
+            lines.append(f"... {self._dropped} records dropped (max_records reached)")
+        return "\n".join(lines)
+
+
+#: A module-level tracer that ignores everything; used as a default so model
+#: code can call ``tracer.record(...)`` unconditionally.
+NULL_TRACER = Tracer(enabled=False)
+
+
+__all__ = ["TraceRecord", "Tracer", "NULL_TRACER"]

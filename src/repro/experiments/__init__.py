@@ -1,0 +1,30 @@
+"""Per-figure experiment harness.
+
+One :class:`ExperimentSpec` per paper table/figure (see
+:mod:`repro.experiments.figures`), a registry keyed by experiment id, and
+a runner that executes the series and renders paper-style reports.
+"""
+
+from .registry import EXPERIMENT_FACTORIES, experiment_ids, get_experiment
+from .runner import export_csv, format_experiment_report, run_experiment
+from .spec import (
+    CheckResult,
+    ExperimentResult,
+    ExperimentSpec,
+    SeriesSpec,
+    ShapeCheck,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "ExperimentResult",
+    "SeriesSpec",
+    "CheckResult",
+    "ShapeCheck",
+    "EXPERIMENT_FACTORIES",
+    "experiment_ids",
+    "get_experiment",
+    "run_experiment",
+    "format_experiment_report",
+    "export_csv",
+]

@@ -1,0 +1,42 @@
+"""Registry of all paper experiments, keyed by experiment id."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from . import figures
+from .spec import ExperimentSpec
+
+#: Factories for every reproduced paper artifact.
+EXPERIMENT_FACTORIES: Dict[str, Callable[[], ExperimentSpec]] = {
+    "fig1": figures.fig1,
+    "fig2": figures.fig2,
+    "fig3": figures.fig3,
+    "fig4": figures.fig4,
+    "fig5": figures.fig5,
+    "fig6": figures.fig6,
+    "fig7": figures.fig7,
+    "blacklist-slow": figures.text_blacklist_slow,
+    "combo": figures.combined_defenses,
+    "scaling2000": figures.scaling2000,
+}
+
+
+def experiment_ids() -> List[str]:
+    """All registered experiment ids, in paper order."""
+    return list(EXPERIMENT_FACTORIES)
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Build the spec for one experiment id."""
+    try:
+        factory = EXPERIMENT_FACTORIES[experiment_id]
+    except KeyError:
+        known = ", ".join(EXPERIMENT_FACTORIES)
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+    return factory()
+
+
+__all__ = ["EXPERIMENT_FACTORIES", "experiment_ids", "get_experiment"]

@@ -1,0 +1,241 @@
+"""Response-strength sweeps and diminishing-returns analysis (paper §5.3).
+
+The paper argues its results are "useful for locating the point of
+diminishing returns for each individual response mechanism, the point
+where implementing a faster or more accurate response mechanism does not
+much improve the success rate."  This module makes that analysis a
+first-class operation:
+
+* :func:`run_strength_sweep` simulates a scenario across a grid of
+  response strengths and records the final infection level per strength;
+* :func:`knee_point` locates the diminishing-returns knee on the
+  resulting benefit curve (maximum-distance-to-chord method);
+* :data:`STANDARD_SWEEPS` pre-defines one sweep per mechanism at the
+  paper's operating points (scan delay, detection accuracy, patch
+  timings, monitoring wait, blacklist threshold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.report import format_table
+from ..core.parameters import (
+    BlacklistConfig,
+    DetectionAlgorithmConfig,
+    GatewayScanConfig,
+    ImmunizationConfig,
+    MonitoringConfig,
+    ResponseConfig,
+    ScenarioConfig,
+    UserEducationConfig,
+)
+from ..core.scenarios import baseline_scenario
+from ..core.simulation import replicate_scenario
+
+#: Builds a response config from one scalar strength value.
+StrengthToConfig = Callable[[float], ResponseConfig]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One mechanism-strength sweep."""
+
+    #: Identifier, e.g. ``"scan_delay"``.
+    sweep_id: str
+    #: Human description of the strength axis.
+    strength_label: str
+    #: Whether *larger* strength values mean a *stronger* response.
+    larger_is_stronger: bool
+    #: The grid of strength values to simulate.
+    strengths: Tuple[float, ...]
+    #: Builds the response config for one strength value.
+    build: StrengthToConfig
+    #: The base scenario the mechanism is applied to.
+    base_scenario: ScenarioConfig
+
+    def __post_init__(self) -> None:
+        if len(self.strengths) < 3:
+            raise ValueError(
+                f"sweep {self.sweep_id!r} needs >= 3 strengths for knee analysis"
+            )
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one strength sweep."""
+
+    spec: SweepSpec
+    strengths: List[float]
+    final_infected: List[float]
+    baseline_infected: float
+    replications: int
+
+    def containment(self) -> List[float]:
+        """Final infections as a fraction of the baseline, per strength."""
+        if self.baseline_infected <= 0:
+            return [1.0 for _ in self.final_infected]
+        return [v / self.baseline_infected for v in self.final_infected]
+
+    def benefit(self) -> List[float]:
+        """Infections *prevented* relative to baseline, per strength."""
+        return [max(0.0, self.baseline_infected - v) for v in self.final_infected]
+
+    def knee(self) -> Optional[float]:
+        """Strength at the diminishing-returns knee (``None`` if flat)."""
+        xs = list(self.strengths)
+        ys = self.benefit()
+        if not self.spec.larger_is_stronger:
+            # Re-orient so benefit is non-decreasing left to right.
+            xs = list(reversed(xs))
+            ys = list(reversed(ys))
+        index = knee_point(xs, ys)
+        if index is None:
+            return None
+        return xs[index]
+
+    def format(self) -> str:
+        """Render the sweep as a table plus the knee verdict."""
+        rows = []
+        for strength, final, fraction in zip(
+            self.strengths, self.final_infected, self.containment()
+        ):
+            rows.append([f"{strength:g}", f"{final:.1f}", f"{fraction:.1%}"])
+        table = format_table(
+            [self.spec.strength_label, "final infected", "vs baseline"],
+            rows,
+            title=f"sweep {self.spec.sweep_id}: baseline {self.baseline_infected:.1f}",
+        )
+        knee = self.knee()
+        verdict = (
+            f"diminishing-returns knee at {self.spec.strength_label} ≈ {knee:g}"
+            if knee is not None
+            else "no knee found (benefit curve is flat)"
+        )
+        return f"{table}\n{verdict}"
+
+
+def knee_point(xs: Sequence[float], ys: Sequence[float]) -> Optional[int]:
+    """Index of the knee of an increasing benefit curve.
+
+    Maximum perpendicular distance from the chord joining the first and
+    last points — the standard discrete "kneedle" criterion.  Returns
+    ``None`` when the curve is flat (no meaningful knee).
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 3:
+        return None
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    x_span = x[-1] - x[0]
+    y_span = y[-1] - y[0]
+    if abs(y_span) < 1e-9 or abs(x_span) < 1e-12:
+        return None
+    # Normalise both axes, then distance to the y=x chord.
+    xn = (x - x[0]) / x_span
+    yn = (y - y[0]) / y_span
+    distances = yn - xn
+    index = int(np.argmax(distances))
+    if distances[index] <= 0.01:
+        return None  # essentially linear: no knee
+    return index
+
+
+def run_strength_sweep(
+    spec: SweepSpec,
+    replications: int = 2,
+    seed: int = 0,
+) -> SweepResult:
+    """Simulate the sweep grid plus the baseline."""
+    baseline = replicate_scenario(
+        spec.base_scenario, replications=replications, seed=seed
+    )
+    finals: List[float] = []
+    for strength in spec.strengths:
+        scenario = spec.base_scenario.with_responses(
+            spec.build(strength), suffix=f"{spec.sweep_id}={strength:g}"
+        )
+        result_set = replicate_scenario(
+            scenario, replications=replications, seed=seed
+        )
+        finals.append(result_set.final_summary().mean)
+    return SweepResult(
+        spec=spec,
+        strengths=list(spec.strengths),
+        final_infected=finals,
+        baseline_infected=baseline.final_summary().mean,
+        replications=replications,
+    )
+
+
+def _standard_sweeps() -> Dict[str, SweepSpec]:
+    return {
+        "scan_delay": SweepSpec(
+            sweep_id="scan_delay",
+            strength_label="activation delay (h)",
+            larger_is_stronger=False,
+            strengths=(1.0, 3.0, 6.0, 12.0, 24.0, 48.0, 96.0),
+            build=lambda v: GatewayScanConfig(activation_delay=v),
+            base_scenario=baseline_scenario(1),
+        ),
+        "detection_accuracy": SweepSpec(
+            sweep_id="detection_accuracy",
+            strength_label="accuracy",
+            larger_is_stronger=True,
+            strengths=(0.5, 0.7, 0.8, 0.85, 0.9, 0.95, 0.99),
+            build=lambda v: DetectionAlgorithmConfig(accuracy=v),
+            base_scenario=baseline_scenario(2),
+        ),
+        "education_scale": SweepSpec(
+            sweep_id="education_scale",
+            strength_label="acceptance scale",
+            larger_is_stronger=False,
+            strengths=(0.125, 0.25, 0.5, 0.75, 1.0),
+            build=lambda v: UserEducationConfig(acceptance_scale=v),
+            base_scenario=baseline_scenario(1),
+        ),
+        "patch_deployment": SweepSpec(
+            sweep_id="patch_deployment",
+            strength_label="deployment window (h)",
+            larger_is_stronger=False,
+            strengths=(0.5, 1.0, 3.0, 6.0, 12.0, 24.0, 48.0),
+            build=lambda v: ImmunizationConfig(
+                development_time=24.0, deployment_window=v
+            ),
+            base_scenario=baseline_scenario(4),
+        ),
+        "monitoring_wait": SweepSpec(
+            sweep_id="monitoring_wait",
+            strength_label="forced wait (h)",
+            larger_is_stronger=True,
+            strengths=(0.05, 0.125, 0.25, 0.5, 1.0, 2.0),
+            build=lambda v: MonitoringConfig(forced_wait=v),
+            base_scenario=baseline_scenario(3),
+        ),
+        "blacklist_threshold": SweepSpec(
+            sweep_id="blacklist_threshold",
+            strength_label="threshold (messages)",
+            larger_is_stronger=False,
+            strengths=(5.0, 10.0, 20.0, 30.0, 40.0, 60.0),
+            build=lambda v: BlacklistConfig(threshold=int(v)),
+            base_scenario=baseline_scenario(3),
+        ),
+    }
+
+
+#: One pre-defined sweep per response mechanism (paper §5.3 analysis).
+STANDARD_SWEEPS: Dict[str, SweepSpec] = _standard_sweeps()
+
+
+__all__ = [
+    "SweepSpec",
+    "SweepResult",
+    "StrengthToConfig",
+    "knee_point",
+    "run_strength_sweep",
+    "STANDARD_SWEEPS",
+]

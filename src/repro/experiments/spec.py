@@ -1,0 +1,116 @@
+"""Experiment specifications: a paper artifact as runnable data.
+
+An :class:`ExperimentSpec` names a paper table/figure, the series
+(scenarios) that regenerate it, and a list of *shape checks* — the
+qualitative claims the paper makes about that artifact, encoded as
+predicates over the simulated results.  The benchmark harness runs the
+spec and prints the same rows/series the paper plots plus the check
+outcomes, and EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.timeseries import StepCurve
+from ..core.parameters import ScenarioConfig
+from ..core.simulation import ReplicationSet
+
+
+@dataclass(frozen=True)
+class SeriesSpec:
+    """One plotted series: a label and the scenario that produces it."""
+
+    label: str
+    scenario: ScenarioConfig
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ValueError("series label must be non-empty")
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one shape check."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def format(self) -> str:
+        """Render as a single report line."""
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.name}: {self.detail}"
+
+
+#: A shape check: maps {series label -> ReplicationSet} to check results.
+ShapeCheck = Callable[[Dict[str, ReplicationSet]], CheckResult]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A paper artifact (figure/table) as a runnable experiment."""
+
+    #: Stable identifier, e.g. ``"fig2"``.
+    experiment_id: str
+    #: Human title, e.g. ``"Virus Scan: Varying the Activation Time Delay"``.
+    title: str
+    #: Which paper artifact this regenerates, e.g. ``"Figure 2"``.
+    paper_ref: str
+    #: What the paper reports and what to look for.
+    description: str
+    #: The plotted series.
+    series: Tuple[SeriesSpec, ...]
+    #: Default replication count for this experiment.
+    default_replications: int = 3
+    #: Times (hours) at which the report tabulates each curve.
+    checkpoints: Tuple[float, ...] = ()
+    #: Qualitative claims to verify against the simulated results.
+    shape_checks: Tuple[ShapeCheck, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.series:
+            raise ValueError(f"experiment {self.experiment_id!r} has no series")
+        labels = [s.label for s in self.series]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate series labels in {self.experiment_id!r}: {labels}")
+
+    @property
+    def horizon(self) -> float:
+        """Longest series duration (chart x-extent)."""
+        return max(s.scenario.duration for s in self.series)
+
+
+@dataclass
+class ExperimentResult:
+    """Executed experiment: the spec plus per-series replication sets."""
+
+    spec: ExperimentSpec
+    series_results: Dict[str, ReplicationSet]
+    seed: int
+    replications: int
+
+    def mean_curves(self, grid_points: int = 200) -> Dict[str, StepCurve]:
+        """Mean infection curve per series."""
+        return {
+            label: result.mean_curve(grid_points)
+            for label, result in self.series_results.items()
+        }
+
+    def run_checks(self) -> List[CheckResult]:
+        """Evaluate every shape check against the results."""
+        return [check(self.series_results) for check in self.spec.shape_checks]
+
+    def all_checks_pass(self) -> bool:
+        """True when every shape check passes."""
+        return all(check.passed for check in self.run_checks())
+
+
+__all__ = [
+    "SeriesSpec",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "CheckResult",
+    "ShapeCheck",
+]

@@ -1,0 +1,24 @@
+"""Mobility substrate for the Bluetooth propagation extension.
+
+The paper's conclusion proposes extending the study to viruses "that
+spread using the Bluetooth interface on a phone"; Bluetooth needs
+co-location, so this subpackage provides a random-waypoint mobility model
+and proximity-encounter processes over it, plus a random-mixing control
+(the fast-mobility limit used by the core model's ``bluetooth_rate``
+channel).
+"""
+
+from .encounters import (
+    ProximityEncounterProcess,
+    RandomMixingEncounters,
+    simulate_proximity_outbreak,
+)
+from .waypoint import Leg, WaypointMobility
+
+__all__ = [
+    "WaypointMobility",
+    "Leg",
+    "ProximityEncounterProcess",
+    "RandomMixingEncounters",
+    "simulate_proximity_outbreak",
+]

@@ -1,0 +1,183 @@
+"""Random-waypoint mobility model.
+
+The paper's proposed Bluetooth extension needs phones that *move*: a
+proximity virus spreads only between co-located devices.  The classic
+random-waypoint model drives that: each phone picks a uniform destination
+in a square arena, travels there at a uniform-random speed, pauses, and
+repeats.
+
+The model is continuous-time and analytic between waypoints: positions are
+computed on demand by interpolating the current leg, so no per-tick events
+are needed.  :class:`WaypointMobility` manages the whole population and
+answers the two queries the proximity channel needs:
+
+* ``position(phone_id, time)`` — where is this phone now?
+* ``neighbors_within(phone_id, time, radius)`` — who is in Bluetooth range?
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Leg:
+    """One movement leg: pause at the origin, then travel to the target."""
+
+    start_time: float
+    origin: Tuple[float, float]
+    target: Tuple[float, float]
+    pause: float
+    speed: float
+
+    @property
+    def travel_distance(self) -> float:
+        """Euclidean length of the leg."""
+        return math.hypot(
+            self.target[0] - self.origin[0], self.target[1] - self.origin[1]
+        )
+
+    @property
+    def departure_time(self) -> float:
+        """When travel begins (after the pause)."""
+        return self.start_time + self.pause
+
+    @property
+    def arrival_time(self) -> float:
+        """When the phone reaches the target."""
+        if self.speed <= 0:
+            return math.inf
+        return self.departure_time + self.travel_distance / self.speed
+
+    def position(self, time: float) -> Tuple[float, float]:
+        """Interpolated position at ``time`` (clamped to the leg's span)."""
+        if time <= self.departure_time:
+            return self.origin
+        if time >= self.arrival_time:
+            return self.target
+        fraction = (time - self.departure_time) / (
+            self.arrival_time - self.departure_time
+        )
+        return (
+            self.origin[0] + fraction * (self.target[0] - self.origin[0]),
+            self.origin[1] + fraction * (self.target[1] - self.origin[1]),
+        )
+
+
+class WaypointMobility:
+    """Random-waypoint mobility for a phone population.
+
+    Parameters
+    ----------
+    num_phones:
+        Population size.
+    arena_size:
+        Side length of the square arena (arbitrary distance units; the
+        Bluetooth radius is expressed in the same units).
+    speed_range:
+        ``(min, max)`` travel speed, units/hour.
+    pause_range:
+        ``(min, max)`` pause duration at each waypoint, hours.
+    rng:
+        Source of all randomness (initial positions, waypoints, speeds).
+    """
+
+    def __init__(
+        self,
+        num_phones: int,
+        arena_size: float,
+        speed_range: Tuple[float, float],
+        pause_range: Tuple[float, float],
+        rng: np.random.Generator,
+    ) -> None:
+        if num_phones < 1:
+            raise ValueError(f"num_phones must be >= 1, got {num_phones}")
+        if arena_size <= 0:
+            raise ValueError(f"arena_size must be > 0, got {arena_size}")
+        if not 0 < speed_range[0] <= speed_range[1]:
+            raise ValueError(f"bad speed_range {speed_range}")
+        if not 0 <= pause_range[0] <= pause_range[1]:
+            raise ValueError(f"bad pause_range {pause_range}")
+        self.num_phones = num_phones
+        self.arena_size = arena_size
+        self.speed_range = speed_range
+        self.pause_range = pause_range
+        self._rng = rng
+        self._legs: List[Leg] = [
+            self._new_leg(0.0, self._random_point()) for _ in range(num_phones)
+        ]
+
+    def _random_point(self) -> Tuple[float, float]:
+        return (
+            float(self._rng.uniform(0.0, self.arena_size)),
+            float(self._rng.uniform(0.0, self.arena_size)),
+        )
+
+    def _new_leg(self, start_time: float, origin: Tuple[float, float]) -> Leg:
+        return Leg(
+            start_time=start_time,
+            origin=origin,
+            target=self._random_point(),
+            pause=float(self._rng.uniform(*self.pause_range)),
+            speed=float(self._rng.uniform(*self.speed_range)),
+        )
+
+    def _advance(self, phone_id: int, time: float) -> Leg:
+        """Roll the phone's legs forward so the current leg spans ``time``.
+
+        Queries must be (weakly) time-monotone per phone — the simulation
+        clock never goes backwards.
+        """
+        leg = self._legs[phone_id]
+        if time < leg.start_time:
+            raise ValueError(
+                f"time {time} precedes phone {phone_id}'s current leg "
+                f"(start {leg.start_time}); queries must be time-monotone"
+            )
+        while leg.arrival_time < time:
+            leg = self._new_leg(leg.arrival_time, leg.target)
+            self._legs[phone_id] = leg
+        return leg
+
+    def position(self, phone_id: int, time: float) -> Tuple[float, float]:
+        """Phone position at ``time``."""
+        if not 0 <= phone_id < self.num_phones:
+            raise ValueError(f"phone_id {phone_id} out of range")
+        return self._advance(phone_id, time).position(time)
+
+    def positions(self, time: float) -> np.ndarray:
+        """All positions at ``time`` as an (n, 2) array."""
+        return np.asarray(
+            [self.position(i, time) for i in range(self.num_phones)], dtype=float
+        )
+
+    def neighbors_within(
+        self, phone_id: int, time: float, radius: float
+    ) -> List[int]:
+        """Ids of other phones within ``radius`` of ``phone_id`` at ``time``."""
+        if radius <= 0:
+            raise ValueError(f"radius must be > 0, got {radius}")
+        own = np.asarray(self.position(phone_id, time))
+        everyone = self.positions(time)
+        distances = np.hypot(
+            everyone[:, 0] - own[0], everyone[:, 1] - own[1]
+        )
+        hits = np.nonzero(distances <= radius)[0]
+        return [int(i) for i in hits if i != phone_id]
+
+    def expected_contact_fraction(self, radius: float) -> float:
+        """Mean fraction of the population within radius, under uniformity.
+
+        For a uniform stationary distribution the expected neighbour count
+        is ≈ n·π·r²/A (ignoring edge effects); used to size encounter
+        rates.
+        """
+        area = math.pi * radius**2
+        return min(1.0, area / (self.arena_size**2))
+
+
+__all__ = ["Leg", "WaypointMobility"]

@@ -1,0 +1,257 @@
+"""Timed and instantaneous activities.
+
+An activity (Möbius/SAN terminology for a transition) completes after a
+stochastic delay (timed) or immediately upon enabling (instantaneous).
+Completion may branch over *cases* — probabilistic alternatives, each with
+its own output arcs and output gates.
+
+Enabling rule: every input arc's place holds at least the arc multiplicity
+AND every input gate predicate is true.
+
+Reactivation semantics follow Möbius's default "race with enabling memory
+reset": a timed activity samples its completion time when it becomes
+enabled; if any marking change disables it before completion, the sampled
+time is discarded (the activity is *aborted*); it re-samples when enabled
+again.  Marking changes that keep the activity enabled do not resample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..des.random import Distribution, as_distribution
+from .gates import InputGate, OutputGate
+from .marking import Marking
+
+#: A delay specification: a fixed distribution or marking-dependent factory.
+DelaySpec = Union[Distribution, float, int, Callable[[Marking], Distribution]]
+
+
+@dataclass(frozen=True)
+class Arc:
+    """A (place, multiplicity) pair."""
+
+    place: str
+    multiplicity: int = 1
+
+    def __post_init__(self) -> None:
+        if self.multiplicity < 1:
+            raise ValueError(
+                f"arc multiplicity must be >= 1, got {self.multiplicity} on {self.place!r}"
+            )
+
+
+#: A case probability: fixed, or evaluated in the firing marking
+#: (Möbius supports marking-dependent case probabilities; the consent
+#: decay AF/2^n needs them).
+CaseProbability = Union[float, Callable[["Marking"], float]]
+
+
+@dataclass(frozen=True)
+class Case:
+    """One probabilistic completion branch of an activity."""
+
+    probability: CaseProbability
+    output_arcs: Tuple[Arc, ...] = ()
+    output_gates: Tuple[OutputGate, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not callable(self.probability) and not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"case probability must be in [0, 1], got {self.probability}")
+        # Coerce convenience arc forms ('place' or ('place', k)) like the
+        # activity constructors do.
+        object.__setattr__(self, "output_arcs", _as_arcs(self.output_arcs))
+
+    def evaluate_probability(self, marking: "Marking") -> float:
+        """Resolve the probability in the firing marking."""
+        if callable(self.probability):
+            value = float(self.probability(marking))
+        else:
+            value = self.probability
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"case probability evaluated to {value}, outside [0, 1]")
+        return value
+
+
+def _as_arcs(arcs: Sequence[Union[Arc, str, Tuple[str, int]]]) -> Tuple[Arc, ...]:
+    """Coerce convenience forms ('place' or ('place', k)) into Arc objects."""
+    result = []
+    for arc in arcs:
+        if isinstance(arc, Arc):
+            result.append(arc)
+        elif isinstance(arc, str):
+            result.append(Arc(arc))
+        elif isinstance(arc, tuple) and len(arc) == 2:
+            result.append(Arc(arc[0], arc[1]))
+        else:
+            raise TypeError(f"cannot interpret {arc!r} as an arc")
+    return tuple(result)
+
+
+class Activity:
+    """Base class: shared structure of timed and instantaneous activities."""
+
+    def __init__(
+        self,
+        name: str,
+        input_arcs: Sequence[Union[Arc, str, Tuple[str, int]]] = (),
+        output_arcs: Sequence[Union[Arc, str, Tuple[str, int]]] = (),
+        input_gates: Sequence[InputGate] = (),
+        output_gates: Sequence[OutputGate] = (),
+        cases: Sequence[Case] = (),
+    ) -> None:
+        if not name:
+            raise ValueError("activity name must be non-empty")
+        self.name = name
+        self.input_arcs = _as_arcs(input_arcs)
+        self.output_arcs = _as_arcs(output_arcs)
+        self.input_gates = tuple(input_gates)
+        self.output_gates = tuple(output_gates)
+        self.cases = tuple(cases)
+        if self.cases:
+            if all(not callable(c.probability) for c in self.cases):
+                total = sum(c.probability for c in self.cases)  # type: ignore[misc]
+                if abs(total - 1.0) > 1e-9:
+                    raise ValueError(
+                        f"activity {name!r}: case probabilities sum to {total}, expected 1"
+                    )
+            if self.output_arcs or self.output_gates:
+                raise ValueError(
+                    f"activity {name!r}: use either cases or direct outputs, not both"
+                )
+
+    # -- structure queries -------------------------------------------------
+
+    def read_places(self) -> Tuple[str, ...]:
+        """Places whose token counts influence this activity's enabling."""
+        places = [arc.place for arc in self.input_arcs]
+        for gate in self.input_gates:
+            places.extend(gate.places)
+        return tuple(dict.fromkeys(places))
+
+    def touched_places(self) -> Tuple[str, ...]:
+        """All places this activity reads or may write."""
+        places = list(self.read_places())
+        places.extend(arc.place for arc in self.output_arcs)
+        for gate in self.output_gates:
+            places.extend(gate.places)
+        for case in self.cases:
+            places.extend(arc.place for arc in case.output_arcs)
+            for gate in case.output_gates:
+                places.extend(gate.places)
+        return tuple(dict.fromkeys(places))
+
+    # -- semantics ----------------------------------------------------------
+
+    def enabled(self, marking: Marking) -> bool:
+        """Evaluate the enabling rule in ``marking``."""
+        for arc in self.input_arcs:
+            if marking[arc.place] < arc.multiplicity:
+                return False
+        for gate in self.input_gates:
+            if not gate.predicate(marking):
+                return False
+        return True
+
+    def fire(self, marking: Marking, rng: np.random.Generator) -> Optional[int]:
+        """Complete the activity: consume inputs, produce outputs.
+
+        Returns the index of the selected case (``None`` when the activity
+        has no cases).  The firing order matches Möbius: input arcs, input
+        gate functions, then the chosen case's output arcs and gates (or the
+        direct outputs).
+        """
+        for arc in self.input_arcs:
+            marking.remove(arc.place, arc.multiplicity)
+        for gate in self.input_gates:
+            gate.function(marking)
+        if self.cases:
+            probs = np.asarray(
+                [c.evaluate_probability(marking) for c in self.cases], dtype=float
+            )
+            total = probs.sum()
+            if total <= 0:
+                raise ValueError(
+                    f"activity {self.name!r}: case probabilities sum to {total} "
+                    "in the firing marking"
+                )
+            index = int(rng.choice(len(self.cases), p=probs / total))
+            case = self.cases[index]
+            for arc in case.output_arcs:
+                marking.add(arc.place, arc.multiplicity)
+            for gate in case.output_gates:
+                gate.function(marking)
+            return index
+        for arc in self.output_arcs:
+            marking.add(arc.place, arc.multiplicity)
+        for gate in self.output_gates:
+            gate.function(marking)
+        return None
+
+
+class TimedActivity(Activity):
+    """Activity that completes after a stochastic delay."""
+
+    def __init__(
+        self,
+        name: str,
+        delay: DelaySpec,
+        input_arcs: Sequence[Union[Arc, str, Tuple[str, int]]] = (),
+        output_arcs: Sequence[Union[Arc, str, Tuple[str, int]]] = (),
+        input_gates: Sequence[InputGate] = (),
+        output_gates: Sequence[OutputGate] = (),
+        cases: Sequence[Case] = (),
+    ) -> None:
+        super().__init__(name, input_arcs, output_arcs, input_gates, output_gates, cases)
+        if callable(delay) and not isinstance(delay, Distribution):
+            self._delay_factory: Optional[Callable[[Marking], Distribution]] = delay
+            self._delay_dist: Optional[Distribution] = None
+        else:
+            self._delay_factory = None
+            self._delay_dist = as_distribution(delay)  # type: ignore[arg-type]
+
+    def sample_delay(self, marking: Marking, rng: np.random.Generator) -> float:
+        """Sample the completion delay in the current marking."""
+        dist = self._delay_dist
+        if dist is None:
+            assert self._delay_factory is not None
+            dist = self._delay_factory(marking)
+        value = dist.sample(rng)
+        if value < 0:
+            raise ValueError(f"activity {self.name!r} sampled negative delay {value}")
+        return value
+
+
+class InstantaneousActivity(Activity):
+    """Activity that completes immediately when enabled.
+
+    ``priority`` breaks ties among simultaneously enabled instantaneous
+    activities (higher fires first), mirroring Möbius's instantaneous
+    activity ranking.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        input_arcs: Sequence[Union[Arc, str, Tuple[str, int]]] = (),
+        output_arcs: Sequence[Union[Arc, str, Tuple[str, int]]] = (),
+        input_gates: Sequence[InputGate] = (),
+        output_gates: Sequence[OutputGate] = (),
+        cases: Sequence[Case] = (),
+        priority: int = 0,
+    ) -> None:
+        super().__init__(name, input_arcs, output_arcs, input_gates, output_gates, cases)
+        self.priority = priority
+
+
+__all__ = [
+    "Arc",
+    "Case",
+    "Activity",
+    "TimedActivity",
+    "InstantaneousActivity",
+    "DelaySpec",
+]

@@ -1,0 +1,100 @@
+"""Rep/Join composition of SAN models.
+
+Möbius builds large models by *composing* submodels:
+
+* ``Join`` merges several models, fusing the places named in ``shared`` —
+  a shared place becomes one place visible to all submodels;
+* ``Rep`` joins ``count`` renamed copies of one submodel, again fusing the
+  shared places.
+
+The paper's phone-network model is exactly ``Rep(phone_submodel, 1000)``
+with globally shared infection counters; :mod:`repro.core.san_model`
+rebuilds that construction for cross-validation.
+
+Shared places must agree on their initial marking across submodels (Möbius
+enforces equality of the shared state variable's definition).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+from .model import SANModel, SANStructureError
+from .places import Place
+
+
+def join(
+    models: Sequence[Tuple[str, SANModel]],
+    shared: Iterable[str] = (),
+    name: str = "join",
+) -> SANModel:
+    """Join named submodels, fusing the ``shared`` places.
+
+    Parameters
+    ----------
+    models:
+        ``(instance_name, model)`` pairs.  Instance names must be unique;
+        non-shared place and activity names are prefixed with
+        ``instance_name + "."``.
+    shared:
+        Place names fused across submodels.  Each shared place must exist in
+        at least one submodel; submodels that declare it must give it the
+        same initial marking.
+    """
+    instance_names = [instance for instance, _ in models]
+    if len(set(instance_names)) != len(instance_names):
+        raise SANStructureError(f"duplicate instance names in join: {instance_names}")
+    shared_list = list(shared)
+    shared_set = set(shared_list)
+
+    composed = SANModel(name)
+    shared_initial: Dict[str, int] = {}
+
+    # First pass: check shared-place declarations agree.
+    declared_anywhere = set()
+    for instance, model in models:
+        for place in model.places:
+            if place.name in shared_set:
+                declared_anywhere.add(place.name)
+                if place.name in shared_initial:
+                    if shared_initial[place.name] != place.initial_tokens:
+                        raise SANStructureError(
+                            f"shared place {place.name!r} has conflicting initial "
+                            f"markings ({shared_initial[place.name]} vs {place.initial_tokens})"
+                        )
+                else:
+                    shared_initial[place.name] = place.initial_tokens
+    missing = shared_set - declared_anywhere
+    if missing:
+        raise SANStructureError(f"shared places {sorted(missing)} not declared in any submodel")
+
+    for place_name in shared_list:
+        composed.add_place(Place(place_name, shared_initial[place_name]))
+
+    for instance, model in models:
+        submodel_shared = [p.name for p in model.places if p.name in shared_set]
+        renamed = model.renamed(instance, shared=submodel_shared)
+        for place in renamed.places:
+            if place.name in shared_set:
+                continue  # fused; already added
+            composed.add_place(place)
+        for activity in renamed.activities:
+            composed.add_activity(activity)
+    return composed
+
+
+def replicate(
+    model: SANModel,
+    count: int,
+    shared: Iterable[str] = (),
+    name: str = "rep",
+    instance_format: str = "r{index}",
+) -> SANModel:
+    """Rep node: join ``count`` copies of ``model`` fusing ``shared`` places."""
+    if count < 1:
+        raise SANStructureError(f"replicate count must be >= 1, got {count}")
+    instances = [(instance_format.format(index=i), model) for i in range(count)]
+    return join(instances, shared=shared, name=name)
+
+
+__all__ = ["join", "replicate"]

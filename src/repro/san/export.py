@@ -1,0 +1,104 @@
+"""Structural export of SAN models to Graphviz DOT.
+
+Möbius renders SANs graphically; this module provides the equivalent for
+inspection and documentation: places as circles (with initial markings),
+timed activities as thick bars, instantaneous activities as thin bars,
+arcs as edges, and gates as diamonds connected to the places they read or
+write.  The output is deterministic (sorted) so it can be snapshot-tested
+and diffed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .activities import InstantaneousActivity, TimedActivity
+from .model import SANModel
+
+
+def _quote(identifier: str) -> str:
+    escaped = identifier.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def to_dot(model: SANModel, graph_name: str = "san") -> str:
+    """Render the model's structure as a Graphviz DOT document."""
+    lines: List[str] = [
+        f"digraph {_quote(graph_name)} {{",
+        "  rankdir=LR;",
+        '  node [fontname="Helvetica"];',
+    ]
+
+    for place in sorted(model.places, key=lambda p: p.name):
+        label = place.name
+        if place.initial_tokens:
+            label += f"\\n({place.initial_tokens})"
+        lines.append(
+            f"  {_quote('p:' + place.name)} [shape=circle, label={_quote(label)}];"
+        )
+
+    for activity in sorted(model.activities, key=lambda a: a.name):
+        if isinstance(activity, TimedActivity):
+            shape = 'shape=box, style=filled, fillcolor="#cfe2f3"'
+        elif isinstance(activity, InstantaneousActivity):
+            shape = 'shape=box, height=0.15, style=filled, fillcolor="#222222", fontcolor=white'
+        else:  # pragma: no cover - model guards activity types
+            shape = "shape=box"
+        node = _quote("a:" + activity.name)
+        lines.append(f"  {node} [{shape}, label={_quote(activity.name)}];")
+
+        for arc in activity.input_arcs:
+            attributes = f' [label="{arc.multiplicity}"]' if arc.multiplicity > 1 else ""
+            lines.append(f"  {_quote('p:' + arc.place)} -> {node}{attributes};")
+        for arc in activity.output_arcs:
+            attributes = f' [label="{arc.multiplicity}"]' if arc.multiplicity > 1 else ""
+            lines.append(f"  {node} -> {_quote('p:' + arc.place)}{attributes};")
+
+        for gate in activity.input_gates:
+            gate_node = _quote(f"ig:{activity.name}:{gate.name}")
+            lines.append(
+                f"  {gate_node} [shape=diamond, label={_quote(gate.name)}];"
+            )
+            for place_name in sorted(gate.places):
+                lines.append(
+                    f"  {_quote('p:' + place_name)} -> {gate_node} [style=dashed];"
+                )
+            lines.append(f"  {gate_node} -> {node} [style=dashed];")
+        for gate in activity.output_gates:
+            gate_node = _quote(f"og:{activity.name}:{gate.name}")
+            lines.append(
+                f"  {gate_node} [shape=diamond, label={_quote(gate.name)}];"
+            )
+            lines.append(f"  {node} -> {gate_node} [style=dashed];")
+            for place_name in sorted(gate.places):
+                lines.append(
+                    f"  {gate_node} -> {_quote('p:' + place_name)} [style=dashed];"
+                )
+
+        for index, case in enumerate(activity.cases):
+            case_node = _quote(f"case:{activity.name}:{index}")
+            probability = (
+                "p(m)" if callable(case.probability) else f"{case.probability:g}"
+            )
+            lines.append(
+                f"  {case_node} [shape=point, xlabel={_quote(probability)}];"
+            )
+            lines.append(f"  {node} -> {case_node};")
+            for arc in case.output_arcs:
+                lines.append(f"  {case_node} -> {_quote('p:' + arc.place)};")
+            for gate in case.output_gates:
+                gate_node = _quote(f"og:{activity.name}:{index}:{gate.name}")
+                lines.append(
+                    f"  {gate_node} [shape=diamond, label={_quote(gate.name)}];"
+                )
+                lines.append(f"  {case_node} -> {gate_node} [style=dashed];")
+                for place_name in sorted(gate.places):
+                    lines.append(
+                        f"  {gate_node} -> {_quote('p:' + place_name)} [style=dashed];"
+                    )
+
+    lines.append("}")
+    return "\n".join(lines)
+
+
+__all__ = ["to_dot"]

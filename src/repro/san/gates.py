@@ -1,0 +1,132 @@
+"""Input and output gates.
+
+Gates are the SAN mechanism for enabling conditions and state changes that
+go beyond plain arcs:
+
+* an **input gate** has a *predicate* over the marking (part of the
+  activity's enabling condition) and a *function* applied to the marking
+  when the activity completes;
+* an **output gate** has only a function, applied after the activity's
+  (case's) output arcs.
+
+Gate predicates/functions receive the :class:`~repro.san.marking.Marking`
+and must only read/write places listed in ``places`` — the declaration is
+what lets the simulator know which activities to re-check when a place
+changes, exactly like Möbius requires gates to declare their connected
+places.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Tuple
+
+from .marking import Marking
+
+Predicate = Callable[[Marking], bool]
+MarkingFunction = Callable[[Marking], None]
+
+
+def _no_change(marking: Marking) -> None:
+    """Default gate function: leave the marking unchanged."""
+
+
+def _always(marking: Marking) -> bool:
+    """Default gate predicate: always enabled."""
+    return True
+
+
+@dataclass(frozen=True)
+class InputGate:
+    """Enabling predicate + completion function."""
+
+    name: str
+    places: Tuple[str, ...]
+    predicate: Predicate = _always
+    function: MarkingFunction = _no_change
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("input gate name must be non-empty")
+        if not self.places:
+            raise ValueError(f"input gate {self.name!r} must declare at least one place")
+
+    def renamed(self, mapping: Callable[[str], str]) -> "InputGate":
+        """Copy with place names transformed (used by Rep/Join composition).
+
+        The predicate/function are wrapped so they see a *view* of the
+        marking under the original names.
+        """
+        renamed_places = tuple(mapping(p) for p in self.places)
+        translation = dict(zip(self.places, renamed_places))
+        predicate, function = self.predicate, self.function
+        return InputGate(
+            name=self.name,
+            places=renamed_places,
+            predicate=lambda m: predicate(_MarkingView(m, translation)),
+            function=lambda m: function(_MarkingView(m, translation)),
+        )
+
+
+@dataclass(frozen=True)
+class OutputGate:
+    """Completion function applied after output arcs."""
+
+    name: str
+    places: Tuple[str, ...]
+    function: MarkingFunction = _no_change
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("output gate name must be non-empty")
+        if not self.places:
+            raise ValueError(f"output gate {self.name!r} must declare at least one place")
+
+    def renamed(self, mapping: Callable[[str], str]) -> "OutputGate":
+        """Copy with place names transformed (used by Rep/Join composition)."""
+        renamed_places = tuple(mapping(p) for p in self.places)
+        translation = dict(zip(self.places, renamed_places))
+        function = self.function
+        return OutputGate(
+            name=self.name,
+            places=renamed_places,
+            function=lambda m: function(_MarkingView(m, translation)),
+        )
+
+
+class _MarkingView:
+    """Marking adapter that translates place names through a mapping.
+
+    Lets gate code written against a submodel's local place names operate on
+    the composed model's prefixed marking.
+    """
+
+    __slots__ = ("_marking", "_translation")
+
+    def __init__(self, marking, translation):
+        self._marking = marking
+        self._translation = translation
+
+    def _resolve(self, place: str) -> str:
+        return self._translation.get(place, place)
+
+    def __getitem__(self, place: str) -> int:
+        return self._marking[self._resolve(place)]
+
+    def get(self, place: str) -> int:
+        return self._marking[self._resolve(place)]
+
+    def __setitem__(self, place: str, tokens: int) -> None:
+        self._marking[self._resolve(place)] = tokens
+
+    def add(self, place: str, amount: int = 1) -> None:
+        self._marking.add(self._resolve(place), amount)
+
+    def remove(self, place: str, amount: int = 1) -> None:
+        self._marking.remove(self._resolve(place), amount)
+
+    def __contains__(self, place: str) -> bool:
+        return self._resolve(place) in self._marking
+
+
+__all__ = ["InputGate", "OutputGate", "Predicate", "MarkingFunction"]

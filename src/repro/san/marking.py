@@ -1,0 +1,78 @@
+"""Markings: the state of a stochastic activity network.
+
+A marking assigns a non-negative integer token count to every place.  The
+:class:`Marking` class tracks which places changed since the last
+``take_dirty()`` call so the simulator can re-evaluate only the activities
+whose enabling conditions may have changed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Set, Tuple
+
+
+class Marking:
+    """Mutable place → token-count mapping with dirty tracking."""
+
+    def __init__(self, initial: Dict[str, int]) -> None:
+        for place, tokens in initial.items():
+            if tokens < 0:
+                raise ValueError(f"place {place!r} initialised with negative tokens {tokens}")
+        self._tokens: Dict[str, int] = dict(initial)
+        self._dirty: Set[str] = set()
+
+    def __getitem__(self, place: str) -> int:
+        try:
+            return self._tokens[place]
+        except KeyError:
+            raise KeyError(f"unknown place {place!r}") from None
+
+    def get(self, place: str) -> int:
+        """Token count of ``place``."""
+        return self[place]
+
+    def __setitem__(self, place: str, tokens: int) -> None:
+        if place not in self._tokens:
+            raise KeyError(f"unknown place {place!r}")
+        if tokens < 0:
+            raise ValueError(f"cannot set place {place!r} to negative count {tokens}")
+        if self._tokens[place] != tokens:
+            self._tokens[place] = tokens
+            self._dirty.add(place)
+
+    def add(self, place: str, amount: int = 1) -> None:
+        """Add ``amount`` tokens to ``place`` (amount may be negative)."""
+        self[place] = self[place] + amount
+
+    def remove(self, place: str, amount: int = 1) -> None:
+        """Remove ``amount`` tokens from ``place``."""
+        self[place] = self[place] - amount
+
+    def __contains__(self, place: str) -> bool:
+        return place in self._tokens
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tokens)
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def items(self) -> Iterable[Tuple[str, int]]:
+        """(place, tokens) pairs."""
+        return self._tokens.items()
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot copy of the marking."""
+        return dict(self._tokens)
+
+    def take_dirty(self) -> Set[str]:
+        """Return and clear the set of places changed since the last call."""
+        dirty, self._dirty = self._dirty, set()
+        return dirty
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{p}={t}" for p, t in sorted(self._tokens.items()) if t)
+        return f"Marking({inner})"
+
+
+__all__ = ["Marking"]

@@ -1,0 +1,194 @@
+"""SAN model structure: places + activities, with validation."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..des.random import Distribution
+from .activities import Activity, Arc, Case, InstantaneousActivity, TimedActivity
+from .gates import _MarkingView
+from .marking import Marking
+from .places import Place
+
+
+class SANStructureError(ValueError):
+    """Raised when a model references undeclared places or duplicates names."""
+
+
+class SANModel:
+    """A stochastic activity network: a set of places and activities."""
+
+    def __init__(self, name: str = "san") -> None:
+        self.name = name
+        self._places: Dict[str, Place] = {}
+        self._activities: Dict[str, Activity] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_place(self, place: Place) -> Place:
+        """Declare a place; duplicate names are an error."""
+        if place.name in self._places:
+            raise SANStructureError(f"duplicate place {place.name!r} in model {self.name!r}")
+        self._places[place.name] = place
+        return place
+
+    def place(self, name: str, initial_tokens: int = 0) -> Place:
+        """Convenience: create and add a place."""
+        return self.add_place(Place(name, initial_tokens))
+
+    def add_activity(self, activity: Activity) -> Activity:
+        """Declare an activity; all referenced places must already exist."""
+        if activity.name in self._activities:
+            raise SANStructureError(
+                f"duplicate activity {activity.name!r} in model {self.name!r}"
+            )
+        for place_name in activity.touched_places():
+            if place_name not in self._places:
+                raise SANStructureError(
+                    f"activity {activity.name!r} references undeclared place {place_name!r}"
+                )
+        self._activities[activity.name] = activity
+        return activity
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def places(self) -> Tuple[Place, ...]:
+        """All declared places."""
+        return tuple(self._places.values())
+
+    @property
+    def activities(self) -> Tuple[Activity, ...]:
+        """All declared activities."""
+        return tuple(self._activities.values())
+
+    def get_place(self, name: str) -> Place:
+        """Look up a place by name."""
+        try:
+            return self._places[name]
+        except KeyError:
+            raise SANStructureError(f"no place {name!r} in model {self.name!r}") from None
+
+    def get_activity(self, name: str) -> Activity:
+        """Look up an activity by name."""
+        try:
+            return self._activities[name]
+        except KeyError:
+            raise SANStructureError(f"no activity {name!r} in model {self.name!r}") from None
+
+    def initial_marking(self) -> Marking:
+        """Marking at time zero."""
+        return Marking({p.name: p.initial_tokens for p in self._places.values()})
+
+    # -- composition support ---------------------------------------------------
+
+    def renamed(self, prefix: str, shared: Iterable[str] = ()) -> "SANModel":
+        """Deep-copy the model with non-shared names prefixed.
+
+        ``shared`` places keep their names (they will be merged with other
+        submodels' same-named places during composition); everything else
+        becomes ``{prefix}.{name}``.  Activity names are always prefixed.
+        """
+        shared_set = set(shared)
+        for name in shared_set:
+            if name not in self._places:
+                raise SANStructureError(
+                    f"shared place {name!r} not present in model {self.name!r}"
+                )
+
+        def rename_place(name: str) -> str:
+            return name if name in shared_set else f"{prefix}.{name}"
+
+        clone = SANModel(f"{prefix}.{self.name}")
+        for place in self._places.values():
+            clone.add_place(Place(rename_place(place.name), place.initial_tokens))
+        for activity in self._activities.values():
+            clone.add_activity(_rename_activity(activity, prefix, rename_place))
+        return clone
+
+
+def _rename_activity(
+    activity: Activity,
+    prefix: str,
+    rename_place: Callable[[str], str],
+) -> Activity:
+    """Rebuild an activity with translated place names."""
+
+    def rename_arcs(arcs: Sequence[Arc]) -> Tuple[Arc, ...]:
+        return tuple(Arc(rename_place(a.place), a.multiplicity) for a in arcs)
+
+    input_arcs = rename_arcs(activity.input_arcs)
+    output_arcs = rename_arcs(activity.output_arcs)
+    input_gates = tuple(g.renamed(rename_place) for g in activity.input_gates)
+    output_gates = tuple(g.renamed(rename_place) for g in activity.output_gates)
+    def rename_probability(probability):
+        if not callable(probability):
+            return probability
+        return lambda marking: probability(_RenamingView(marking, rename_place))
+
+    cases = tuple(
+        Case(
+            probability=rename_probability(c.probability),
+            output_arcs=rename_arcs(c.output_arcs),
+            output_gates=tuple(g.renamed(rename_place) for g in c.output_gates),
+        )
+        for c in activity.cases
+    )
+    name = f"{prefix}.{activity.name}"
+
+    if isinstance(activity, TimedActivity):
+        delay = _rename_delay(activity, rename_place)
+        return TimedActivity(
+            name,
+            delay,
+            input_arcs=input_arcs,
+            output_arcs=output_arcs,
+            input_gates=input_gates,
+            output_gates=output_gates,
+            cases=cases,
+        )
+    if isinstance(activity, InstantaneousActivity):
+        return InstantaneousActivity(
+            name,
+            input_arcs=input_arcs,
+            output_arcs=output_arcs,
+            input_gates=input_gates,
+            output_gates=output_gates,
+            cases=cases,
+            priority=activity.priority,
+        )
+    raise TypeError(f"unknown activity type {type(activity)!r}")  # pragma: no cover
+
+
+def _rename_delay(activity: TimedActivity, rename_place: Callable[[str], str]):
+    """Translate a marking-dependent delay factory through the renaming."""
+    factory = activity._delay_factory
+    if factory is None:
+        return activity._delay_dist
+
+    def renamed_factory(marking) -> Distribution:
+        return factory(_RenamingView(marking, rename_place))
+
+    return renamed_factory
+
+
+class _RenamingView:
+    """Marking view that translates names through a renaming function."""
+
+    __slots__ = ("_marking", "_rename")
+
+    def __init__(self, marking, rename: Callable[[str], str]) -> None:
+        self._marking = marking
+        self._rename = rename
+
+    def __getitem__(self, place: str) -> int:
+        return self._marking[self._rename(place)]
+
+    def get(self, place: str) -> int:
+        return self._marking[self._rename(place)]
+
+    def __contains__(self, place: str) -> bool:
+        return self._rename(place) in self._marking
+
+
+__all__ = ["SANModel", "SANStructureError"]

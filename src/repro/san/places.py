@@ -1,0 +1,33 @@
+"""Places for stochastic activity networks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Place:
+    """A token holder.
+
+    Parameters
+    ----------
+    name:
+        Unique within a model.  Composition (Rep/Join) prefixes names of
+        non-shared places with the submodel instance name.
+    initial_tokens:
+        Marking at time zero.
+    """
+
+    name: str
+    initial_tokens: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("place name must be non-empty")
+        if self.initial_tokens < 0:
+            raise ValueError(
+                f"place {self.name!r} initial tokens must be >= 0, got {self.initial_tokens}"
+            )
+
+
+__all__ = ["Place"]

@@ -1,0 +1,183 @@
+"""Reward variables over SAN executions.
+
+Möbius measures are *reward variables*: a rate reward accumulates a
+function of the marking over time, an impulse reward accumulates a value on
+each firing of selected activities.  Three evaluation modes are supported:
+
+* **instant-of-time** — the rate function evaluated at time ``t``;
+* **interval-of-time** — the integral of the rate function (plus impulses)
+  over ``[t0, t1]``;
+* **time-averaged** — the interval value divided by the interval length.
+
+The paper's headline measure (infection count vs time) is an
+instant-of-time rate reward sampled on a grid; the simulator also lets
+callers record the full step trajectory of a rate reward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .marking import Marking
+
+RateFunction = Callable[[Marking], float]
+
+
+@dataclass
+class RateReward:
+    """A function of the marking, tracked over the whole run."""
+
+    name: str
+    function: RateFunction
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("reward name must be non-empty")
+
+
+@dataclass
+class ImpulseReward:
+    """A value accumulated each time one of ``activities`` fires."""
+
+    name: str
+    activities: Tuple[str, ...]
+    value: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("reward name must be non-empty")
+        if not self.activities:
+            raise ValueError(f"impulse reward {self.name!r} must name at least one activity")
+
+
+class RewardAccumulator:
+    """Tracks rewards during a simulation run.
+
+    The simulator calls :meth:`observe` after every state change (and once
+    at time zero) and :meth:`impulse` on each activity completion.
+    """
+
+    def __init__(
+        self,
+        rate_rewards: Sequence[RateReward] = (),
+        impulse_rewards: Sequence[ImpulseReward] = (),
+        record_trajectories: bool = True,
+    ) -> None:
+        self.rate_rewards = list(rate_rewards)
+        self.impulse_rewards = list(impulse_rewards)
+        self.record_trajectories = record_trajectories
+        self._last_time = 0.0
+        self._last_values: Dict[str, float] = {}
+        self._integrals: Dict[str, float] = {r.name: 0.0 for r in self.rate_rewards}
+        self._impulse_totals: Dict[str, float] = {r.name: 0.0 for r in self.impulse_rewards}
+        self._trajectories: Dict[str, List[Tuple[float, float]]] = {
+            r.name: [] for r in self.rate_rewards
+        }
+        self._activity_index: Dict[str, List[ImpulseReward]] = {}
+        for reward in self.impulse_rewards:
+            for activity in reward.activities:
+                self._activity_index.setdefault(activity, []).append(reward)
+        self._started = False
+
+    def start(self, marking: Marking) -> None:
+        """Record the initial state at time zero."""
+        self._last_time = 0.0
+        for reward in self.rate_rewards:
+            value = reward.function(marking)
+            self._last_values[reward.name] = value
+            if self.record_trajectories:
+                self._trajectories[reward.name].append((0.0, value))
+        self._started = True
+
+    def observe(self, time: float, marking: Marking) -> None:
+        """Account for state between the previous observation and ``time``."""
+        if not self._started:
+            raise RuntimeError("RewardAccumulator.observe() before start()")
+        dt = time - self._last_time
+        for reward in self.rate_rewards:
+            previous = self._last_values[reward.name]
+            if dt > 0:
+                self._integrals[reward.name] += previous * dt
+            current = reward.function(marking)
+            if current != previous:
+                self._last_values[reward.name] = current
+                if self.record_trajectories:
+                    self._trajectories[reward.name].append((time, current))
+        self._last_time = time
+
+    def impulse(self, activity_name: str) -> None:
+        """Record an activity completion."""
+        for reward in self._activity_index.get(activity_name, ()):
+            self._impulse_totals[reward.name] += reward.value
+
+    def finish(self, time: float, marking: Marking) -> None:
+        """Close the accounting interval at the end of the run."""
+        self.observe(time, marking)
+
+    # -- results ----------------------------------------------------------
+
+    def instant_value(self, name: str) -> float:
+        """Latest observed value of a rate reward."""
+        try:
+            return self._last_values[name]
+        except KeyError:
+            raise KeyError(f"unknown rate reward {name!r}") from None
+
+    def interval_value(self, name: str) -> float:
+        """Integral of a rate reward (or total of an impulse reward)."""
+        if name in self._integrals:
+            return self._integrals[name]
+        if name in self._impulse_totals:
+            return self._impulse_totals[name]
+        raise KeyError(f"unknown reward {name!r}")
+
+    def time_averaged_value(self, name: str) -> float:
+        """Integral divided by elapsed time."""
+        if self._last_time <= 0:
+            return self.instant_value(name)
+        return self.interval_value(name) / self._last_time
+
+    def impulse_total(self, name: str) -> float:
+        """Total accumulated by an impulse reward."""
+        try:
+            return self._impulse_totals[name]
+        except KeyError:
+            raise KeyError(f"unknown impulse reward {name!r}") from None
+
+    def trajectory(self, name: str) -> List[Tuple[float, float]]:
+        """Step trajectory of a rate reward as (time, value) change points."""
+        if not self.record_trajectories:
+            raise RuntimeError("trajectories were not recorded for this run")
+        try:
+            return list(self._trajectories[name])
+        except KeyError:
+            raise KeyError(f"unknown rate reward {name!r}") from None
+
+
+def place_count(place: str) -> RateFunction:
+    """Rate function returning the token count of one place."""
+
+    def function(marking: Marking) -> float:
+        return float(marking[place])
+
+    return function
+
+
+def place_sum(places: Sequence[str]) -> RateFunction:
+    """Rate function returning the total tokens across ``places``."""
+    place_tuple = tuple(places)
+
+    def function(marking: Marking) -> float:
+        return float(sum(marking[p] for p in place_tuple))
+
+    return function
+
+
+__all__ = [
+    "RateReward",
+    "ImpulseReward",
+    "RewardAccumulator",
+    "place_count",
+    "place_sum",
+]

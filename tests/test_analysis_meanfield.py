@@ -1,0 +1,129 @@
+"""Tests for the mean-field analytical model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.meanfield import (
+    MeanFieldParameters,
+    expected_mean_field_plateau,
+    integrate_mean_field,
+)
+
+
+def paper_scale(delivery_rate=20.0) -> MeanFieldParameters:
+    """Virus-3-like deliveries: 60 dials/h × 1/3 valid = 20 deliveries/h."""
+    return MeanFieldParameters(
+        population=1000, susceptible=800, delivery_rate=delivery_rate
+    )
+
+
+class TestIntegration:
+    def test_plateau_matches_paper_analytic(self):
+        result = integrate_mean_field(paper_scale(), horizon=48.0, dt=0.01)
+        # 1 + 799 × 0.40 ≈ 320.6
+        assert result.final_infected == pytest.approx(
+            expected_mean_field_plateau(paper_scale()), rel=0.02
+        )
+        assert result.final_infected == pytest.approx(320.0, abs=8.0)
+
+    def test_monotone_and_bounded(self):
+        result = integrate_mean_field(paper_scale(), horizon=24.0)
+        assert np.all(np.diff(result.infected) >= -1e-9)
+        assert np.all(result.infected <= 801.0)
+        assert np.all(result.susceptible_remaining >= -1e-9)
+
+    def test_conservation(self):
+        """Infected + remaining-susceptible + rejected never exceeds pool."""
+        result = integrate_mean_field(paper_scale(), horizon=48.0)
+        total = result.infected + result.susceptible_remaining
+        assert np.all(total <= 801.0 + 1e-6)
+
+    def test_faster_delivery_faster_growth(self):
+        slow = integrate_mean_field(paper_scale(5.0), horizon=48.0)
+        fast = integrate_mean_field(paper_scale(40.0), horizon=48.0)
+        assert fast.time_to_reach(160.0) < slow.time_to_reach(160.0)
+
+    def test_s_shape(self):
+        from repro.analysis import is_s_shaped
+
+        result = integrate_mean_field(paper_scale(), horizon=48.0)
+        assert is_s_shaped(result.curve())
+
+    def test_time_to_reach(self):
+        result = integrate_mean_field(paper_scale(), horizon=48.0)
+        t_half = result.time_to_reach(160.0)
+        assert t_half is not None and 0 < t_half < 24.0
+        assert result.time_to_reach(10_000.0) is None
+
+    def test_stable_for_coarse_dt(self):
+        fine = integrate_mean_field(paper_scale(), horizon=24.0, dt=0.005)
+        coarse = integrate_mean_field(paper_scale(), horizon=24.0, dt=0.2)
+        assert coarse.final_infected == pytest.approx(
+            fine.final_infected, rel=0.05
+        )
+
+    def test_education_scaling(self):
+        """Halving the acceptance factor ≈ halves the mean-field plateau."""
+        educated = MeanFieldParameters(
+            population=1000, susceptible=800, delivery_rate=20.0,
+            acceptance_factor=0.234,
+        )
+        result = integrate_mean_field(educated, horizon=96.0)
+        assert result.final_infected == pytest.approx(170.0, abs=15.0)
+
+
+class TestAgreementWithSimulation:
+    def test_virus3_like_scenario(self):
+        """Mean field tracks the simulated Virus 3 plateau and timescale."""
+        from repro.core import NetworkParameters, baseline_scenario
+        from repro.core.simulation import run_scenario
+
+        network = NetworkParameters(population=300, mean_contact_list_size=24.0)
+        simulated = run_scenario(
+            baseline_scenario(3, network=network), seed=3
+        )
+        # Virus 3: ~60 dials/h x 1/3 valid = 20 valid deliveries/h.
+        analytic = integrate_mean_field(
+            MeanFieldParameters(
+                population=300,
+                susceptible=network.susceptible_count,
+                delivery_rate=20.0,
+            ),
+            horizon=24.0,
+        )
+        assert analytic.final_infected == pytest.approx(
+            simulated.total_infected, rel=0.25
+        )
+        # Mean field omits the read delay, so it runs earlier — but within
+        # a few hours at this scale.
+        sim_half = simulated.curve().time_to_reach(simulated.total_infected / 2)
+        mf_half = analytic.time_to_reach(analytic.final_infected / 2)
+        assert mf_half < sim_half < mf_half + 6.0
+
+
+class TestValidation:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MeanFieldParameters(population=1, susceptible=1, delivery_rate=1.0)
+        with pytest.raises(ValueError):
+            MeanFieldParameters(population=10, susceptible=11, delivery_rate=1.0)
+        with pytest.raises(ValueError):
+            MeanFieldParameters(population=10, susceptible=5, delivery_rate=0.0)
+        with pytest.raises(ValueError):
+            MeanFieldParameters(
+                population=10, susceptible=5, delivery_rate=1.0,
+                acceptance_factor=2.0,
+            )
+        with pytest.raises(ValueError):
+            MeanFieldParameters(
+                population=10, susceptible=5, delivery_rate=1.0,
+                initial_infected=0,
+            )
+
+    def test_integration_validation(self):
+        with pytest.raises(ValueError):
+            integrate_mean_field(paper_scale(), horizon=0.0)
+        with pytest.raises(ValueError):
+            integrate_mean_field(paper_scale(), horizon=1.0, dt=0.0)

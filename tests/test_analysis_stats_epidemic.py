@@ -1,0 +1,156 @@
+"""Tests for statistics helpers and epidemic-curve analysis."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    StepCurve,
+    containment_ratio,
+    delay_to_level,
+    expected_plateau,
+    growth_concentration,
+    is_s_shaped,
+    plateau_reached,
+    ratio,
+    relative_change,
+    summarize,
+    summarize_epidemic,
+    welch_t_test,
+)
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == 2.5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.count == 4
+        assert summary.ci_lower < 2.5 < summary.ci_upper
+
+    def test_single_observation_degenerates(self):
+        summary = summarize([7.0])
+        assert summary.mean == 7.0
+        assert summary.ci_half_width == 0.0
+
+    def test_ci_contains_true_mean_usually(self):
+        rng = np.random.default_rng(0)
+        hits = 0
+        for _ in range(200):
+            sample = rng.normal(10.0, 2.0, size=10)
+            summary = summarize(sample.tolist(), confidence=0.95)
+            if summary.ci_lower <= 10.0 <= summary.ci_upper:
+                hits += 1
+        assert hits >= 180  # ≈ 95% coverage
+
+    def test_format(self):
+        assert "n=3" in summarize([1.0, 2.0, 3.0]).format("phones")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            summarize([])
+        with pytest.raises(ValueError):
+            summarize([1.0], confidence=1.5)
+
+
+class TestRatios:
+    def test_relative_change(self):
+        assert relative_change(150.0, 100.0) == pytest.approx(0.5)
+        assert relative_change(0.0, 0.0) == 0.0
+        assert math.isinf(relative_change(1.0, 0.0))
+
+    def test_ratio(self):
+        assert ratio(50.0, 100.0) == 0.5
+        assert ratio(0.0, 0.0) == 1.0
+        assert math.isinf(ratio(1.0, 0.0))
+
+
+class TestWelch:
+    def test_distinguishes_different_means(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(10, 1, 30).tolist()
+        b = rng.normal(14, 1, 30).tolist()
+        _, p = welch_t_test(a, b)
+        assert p < 0.001
+
+    def test_same_distribution_not_significant(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(10, 1, 30).tolist()
+        b = rng.normal(10, 1, 30).tolist()
+        _, p = welch_t_test(a, b)
+        assert p > 0.01
+
+    def test_needs_two_observations(self):
+        with pytest.raises(ValueError):
+            welch_t_test([1.0], [1.0, 2.0])
+
+
+def logistic_curve(final=320.0, rate=0.08, midpoint=80.0, end=432.0) -> StepCurve:
+    times = np.linspace(0, end, 400)
+    values = final / (1 + np.exp(-rate * (times - midpoint)))
+    return StepCurve(list(zip(times.tolist(), values.tolist())))
+
+
+class TestEpidemicMeasures:
+    def test_summary(self):
+        curve = logistic_curve()
+        summary = summarize_epidemic(curve, susceptible=800)
+        assert summary.final_infected == pytest.approx(320.0, rel=0.01)
+        assert summary.penetration == pytest.approx(0.4, abs=0.01)
+        assert summary.time_to_half_final == pytest.approx(80.0, abs=5.0)
+        assert summary.time_to_90pct_final > summary.time_to_half_final
+
+    def test_containment_ratio(self):
+        baseline = logistic_curve(final=320.0)
+        contained = logistic_curve(final=16.0)
+        assert containment_ratio(contained, baseline) == pytest.approx(0.05, abs=0.01)
+
+    def test_delay_to_level(self):
+        fast = logistic_curve(midpoint=50.0)
+        slow = logistic_curve(midpoint=150.0)
+        delay = delay_to_level(slow, fast, level=160.0)
+        assert delay == pytest.approx(100.0, abs=5.0)
+
+    def test_delay_none_when_never_reached(self):
+        baseline = logistic_curve(final=320.0)
+        contained = logistic_curve(final=50.0)
+        assert delay_to_level(contained, baseline, level=160.0) is None
+
+    def test_delay_requires_baseline_reaching(self):
+        low = logistic_curve(final=50.0)
+        with pytest.raises(ValueError):
+            delay_to_level(low, low, level=160.0)
+
+    def test_s_shape_detection(self):
+        assert is_s_shaped(logistic_curve())
+        linear = StepCurve([(0.0, 0.0), (432.0, 320.0)])
+        # A pure two-point step is technically monotone; growth happens
+        # in one jump, middle third compares fine — use a decreasing check.
+        decreasing = StepCurve([(0.0, 5.0), (1.0, 3.0)])
+        assert not is_s_shaped(decreasing)
+        assert not is_s_shaped(StepCurve.constant(0.0))
+
+    def test_growth_concentration_orders_step_vs_smooth(self):
+        smooth = logistic_curve(rate=0.02, midpoint=200.0)
+        steps = StepCurve(
+            [(0.0, 0.0)]
+            + [(24.0 * (k + 1), 80.0 * (k + 1)) for k in range(4)]
+            + [(432.0, 320.0)]
+        )
+        assert growth_concentration(steps) > growth_concentration(smooth)
+
+    def test_plateau_reached(self):
+        assert plateau_reached(logistic_curve(rate=0.2, midpoint=50.0, end=432.0))
+        still_growing = logistic_curve(rate=0.01, midpoint=400.0, end=432.0)
+        assert not plateau_reached(still_growing)
+
+    def test_expected_plateau_paper_number(self):
+        assert expected_plateau(800, 0.40) == pytest.approx(320.0)
+        with pytest.raises(ValueError):
+            expected_plateau(-1, 0.4)
+        with pytest.raises(ValueError):
+            expected_plateau(800, 1.4)

@@ -1,0 +1,66 @@
+"""Tests for the SVG chart renderer."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ElementTree
+
+import pytest
+
+from repro.analysis import StepCurve
+from repro.analysis.svg import render_curves_svg, save_curves_svg
+
+
+def sample_series():
+    return {
+        "baseline": StepCurve([(0.0, 0.0), (50.0, 320.0)]),
+        "defended": StepCurve([(0.0, 0.0), (50.0, 16.0)]),
+    }
+
+
+def test_output_is_wellformed_xml():
+    document = render_curves_svg(sample_series(), title="Figure 2")
+    root = ElementTree.fromstring(document)
+    assert root.tag.endswith("svg")
+
+
+def test_contains_series_polylines_and_legend():
+    document = render_curves_svg(sample_series())
+    assert document.count("<polyline") == 2
+    assert "baseline" in document
+    assert "defended" in document
+
+
+def test_title_and_labels_escaped():
+    series = {"a<b>&c": StepCurve.constant(1.0)}
+    document = render_curves_svg(series, title='T<"&>')
+    ElementTree.fromstring(document)  # would raise if unescaped
+    assert "a&lt;b&gt;&amp;c" in document
+
+
+def test_axis_ticks_present():
+    document = render_curves_svg(sample_series(), end_time=400.0)
+    # Some round tick labels must appear.
+    assert ">100<" in document or ">200<" in document
+
+
+def test_save_creates_file(tmp_path):
+    path = save_curves_svg(
+        sample_series(), tmp_path / "figs" / "fig2.svg", title="Figure 2"
+    )
+    assert path.exists()
+    assert path.read_text().startswith("<svg")
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        render_curves_svg({})
+    with pytest.raises(ValueError):
+        render_curves_svg(sample_series(), width=50)
+    too_many = {f"s{i}": StepCurve.constant(1.0) for i in range(9)}
+    with pytest.raises(ValueError):
+        render_curves_svg(too_many)
+
+
+def test_flat_zero_series_supported():
+    document = render_curves_svg({"flat": StepCurve.constant(0.0)})
+    ElementTree.fromstring(document)

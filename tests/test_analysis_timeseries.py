@@ -1,0 +1,105 @@
+"""Tests for step-curve time series."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import CurveBand, StepCurve, aggregate_curves, time_grid
+
+
+def simple_curve() -> StepCurve:
+    return StepCurve([(0.0, 0.0), (1.0, 2.0), (3.0, 5.0)])
+
+
+class TestStepCurve:
+    def test_right_continuous_evaluation(self):
+        curve = simple_curve()
+        assert curve.value_at(0.0) == 0.0
+        assert curve.value_at(0.99) == 0.0
+        assert curve.value_at(1.0) == 2.0
+        assert curve.value_at(2.5) == 2.0
+        assert curve.value_at(3.0) == 5.0
+        assert curve.value_at(100.0) == 5.0
+
+    def test_before_first_point_clamps(self):
+        curve = StepCurve([(1.0, 7.0)])
+        assert curve.value_at(0.0) == 7.0
+
+    def test_vectorised_matches_scalar(self):
+        curve = simple_curve()
+        times = np.linspace(0, 4, 17)
+        vector = curve.values_at(times)
+        scalars = [curve.value_at(float(t)) for t in times]
+        assert np.allclose(vector, scalars)
+
+    def test_from_event_times(self):
+        curve = StepCurve.from_event_times([1.0, 2.0, 2.0, 5.0])
+        assert curve.value_at(0.5) == 0.0
+        assert curve.value_at(2.0) == 3.0
+        assert curve.final_value == 4.0
+
+    def test_constant(self):
+        curve = StepCurve.constant(3.0)
+        assert curve.value_at(1000.0) == 3.0
+
+    def test_time_to_reach(self):
+        curve = simple_curve()
+        assert curve.time_to_reach(0.0) == 0.0
+        assert curve.time_to_reach(1.0) == 1.0
+        assert curve.time_to_reach(5.0) == 3.0
+        assert curve.time_to_reach(6.0) is None
+
+    def test_properties(self):
+        curve = simple_curve()
+        assert curve.start_time == 0.0
+        assert curve.end_time == 3.0
+        assert curve.final_value == 5.0
+        assert curve.max_value == 5.0
+        assert len(curve) == 3
+
+    def test_increments(self):
+        curve = simple_curve()
+        assert curve.increments() == [(1.0, 2.0), (3.0, 3.0)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepCurve([])
+        with pytest.raises(ValueError):
+            StepCurve([(2.0, 1.0), (1.0, 2.0)])
+
+
+class TestTimeGrid:
+    def test_endpoints_included(self):
+        grid = time_grid(10.0, points=11)
+        assert grid[0] == 0.0
+        assert grid[-1] == 10.0
+        assert len(grid) == 11
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            time_grid(0.0)
+        with pytest.raises(ValueError):
+            time_grid(10.0, points=1)
+
+
+class TestAggregation:
+    def test_single_curve_band_collapses(self):
+        curve = simple_curve()
+        band = aggregate_curves([curve], time_grid(3.0, 7))
+        assert np.allclose(band.mean, band.lower)
+        assert np.allclose(band.mean, band.upper)
+        assert band.replications == 1
+
+    def test_mean_between_min_and_max(self):
+        curves = [
+            StepCurve([(0.0, 0.0), (1.0, float(k))]) for k in (1, 2, 3, 4)
+        ]
+        band = aggregate_curves(curves, time_grid(2.0, 5))
+        assert band.mean[-1] == pytest.approx(2.5)
+        assert band.final_mean() == pytest.approx(2.5)
+        assert band.lower[-1] < 2.5 < band.upper[-1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_curves([], time_grid(1.0))

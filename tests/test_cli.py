@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    output = capsys.readouterr().out
+    for experiment_id in ("fig1", "fig7", "scaling2000"):
+        assert experiment_id in output
+
+
+def test_run_command_small(capsys):
+    code = main(
+        [
+            "run",
+            "--virus", "3",
+            "--population", "150",
+            "--duration", "6",
+            "--replications", "1",
+            "--no-chart",
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "final infected" in output
+    assert "penetration" in output
+
+
+def test_run_with_response(capsys):
+    code = main(
+        [
+            "run",
+            "--virus", "3",
+            "--response", "blacklist",
+            "--threshold", "10",
+            "--population", "150",
+            "--duration", "6",
+            "--replications", "1",
+            "--no-chart",
+        ]
+    )
+    assert code == 0
+    assert "blacklist" in capsys.readouterr().out
+
+
+def test_run_chart_rendering(capsys):
+    code = main(
+        [
+            "run",
+            "--virus", "3",
+            "--population", "120",
+            "--duration", "4",
+            "--replications", "1",
+        ]
+    )
+    assert code == 0
+    assert "(hours)" in capsys.readouterr().out
+
+
+def test_figure_unknown_id(capsys):
+    assert main(["figure", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_topology_command(tmp_path, capsys):
+    out = tmp_path / "contacts.txt"
+    code = main(
+        [
+            "topology",
+            "--nodes", "80",
+            "--mean-degree", "8",
+            "--model", "random",
+            "--out", str(out),
+        ]
+    )
+    assert code == 0
+    assert out.exists()
+    header = out.read_text().splitlines()[0]
+    assert header == "# contact-list v1 n=80"
+    assert "mean list size" in capsys.readouterr().out
+
+
+def test_every_response_option_builds():
+    parser = build_parser()
+    for response in ("scan", "detection", "education", "immunization",
+                     "monitoring", "blacklist"):
+        args = parser.parse_args(
+            ["run", "--virus", "1", "--response", response]
+        )
+        from repro.cli import _build_response
+
+        assert _build_response(args) is not None
+
+
+def test_parser_rejects_bad_virus():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--virus", "9"])

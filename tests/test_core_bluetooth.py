@@ -1,0 +1,124 @@
+"""Tests for the Bluetooth proximity channel (paper's proposed extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BlacklistConfig,
+    GatewayScanConfig,
+    ImmunizationConfig,
+    NetworkParameters,
+    ScenarioConfig,
+    Targeting,
+    UserEducationConfig,
+    UserParameters,
+    VirusParameters,
+)
+from repro.core.simulation import run_scenario
+
+NETWORK = NetworkParameters(population=250, mean_contact_list_size=20.0)
+
+
+def bluetooth_virus(rate: float = 2.0) -> VirusParameters:
+    """A pure Bluetooth worm: no MMS traffic at all.
+
+    Contact-list targeting with an isolated... rather: the MMS channel is
+    effectively disabled by an enormous minimum send interval, so only
+    proximity encounters spread the infection.
+    """
+    return VirusParameters(
+        name="bluetooth-worm",
+        targeting=Targeting.CONTACT_LIST,
+        min_send_interval=10_000.0,
+        extra_send_delay_mean=0.0,
+        bluetooth_rate=rate,
+    )
+
+
+def scenario(*responses, rate: float = 2.0) -> ScenarioConfig:
+    config = ScenarioConfig(
+        name="bluetooth",
+        virus=bluetooth_virus(rate),
+        network=NETWORK,
+        user=UserParameters(read_delay_mean=0.5),
+        duration=96.0,
+    )
+    if responses:
+        config = config.with_responses(*responses)
+    return config
+
+
+def test_bluetooth_channel_spreads():
+    result = run_scenario(scenario(), seed=1)
+    assert result.counters["bluetooth_encounters"] > 0
+    assert result.total_infected > 10
+    # No MMS traffic: the only sends the model counts are MMS messages.
+    assert result.counters.get("messages_sent", 0) == 0
+
+
+def test_penetration_matches_consent_model():
+    """The 0.40 lifetime-acceptance cap applies to Bluetooth too."""
+    result = run_scenario(scenario(rate=4.0).with_duration(200.0), seed=2)
+    assert result.penetration == pytest.approx(0.40, abs=0.10)
+
+
+def test_gateway_scan_cannot_see_bluetooth():
+    baseline = run_scenario(scenario(), seed=3)
+    scanned = run_scenario(scenario(GatewayScanConfig(activation_delay=1.0)), seed=3)
+    assert scanned.total_infected >= 0.9 * baseline.total_infected
+    assert scanned.counters["gateway_messages_blocked"] == 0
+
+
+def test_blacklist_cannot_see_bluetooth():
+    baseline = run_scenario(scenario(), seed=3)
+    blocked = run_scenario(scenario(BlacklistConfig(threshold=1)), seed=3)
+    assert blocked.total_infected >= 0.9 * baseline.total_infected
+    assert blocked.response_stats["blacklist"]["phones_blacklisted"] == 0
+
+
+def test_education_still_works():
+    baseline = run_scenario(scenario(), seed=4)
+    educated = run_scenario(scenario(UserEducationConfig(0.5)), seed=4)
+    assert educated.total_infected < 0.75 * baseline.total_infected
+
+
+def test_immunization_still_works():
+    baseline = run_scenario(scenario(), seed=5)
+    patched = run_scenario(
+        scenario(ImmunizationConfig(development_time=2.0, deployment_window=1.0)),
+        seed=5,
+    )
+    assert patched.total_infected < 0.7 * baseline.total_infected
+    # Patched infected phones stop their encounter loops.
+    assert patched.response_stats["immunization"]["phones_quarantined"] >= 0
+
+
+def test_hybrid_mms_plus_bluetooth():
+    """A hybrid spreader uses both channels; the gateway only curbs MMS."""
+    virus = VirusParameters(
+        name="hybrid",
+        targeting=Targeting.CONTACT_LIST,
+        min_send_interval=0.1,
+        extra_send_delay_mean=0.1,
+        bluetooth_rate=1.0,
+    )
+    config = ScenarioConfig(
+        name="hybrid", virus=virus, network=NETWORK,
+        user=UserParameters(read_delay_mean=0.5), duration=72.0,
+    )
+    baseline = run_scenario(config, seed=6)
+    scanned = run_scenario(
+        config.with_responses(GatewayScanConfig(activation_delay=1.0)), seed=6
+    )
+    assert baseline.counters["messages_sent"] > 0
+    assert baseline.counters["bluetooth_encounters"] > 0
+    # The scan slows the combined spread (MMS leg removed) but cannot
+    # contain the Bluetooth leg, which alone still reaches the consent cap.
+    assert scanned.infected_at(12.0) < baseline.infected_at(12.0)
+    assert scanned.total_infected > 0.5 * baseline.total_infected
+
+
+def test_negative_rate_rejected():
+    with pytest.raises(ValueError):
+        VirusParameters(name="bad", bluetooth_rate=-1.0)

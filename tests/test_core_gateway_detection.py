@@ -1,0 +1,135 @@
+"""Tests for the MMS gateway and the detectability tracker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DetectionParameters, MMSGateway, MMSMessage
+from repro.core.detection import DetectionTracker
+from repro.des import Simulator
+
+
+def make_message(message_id: int = 0, recipients=(1,)) -> MMSMessage:
+    return MMSMessage(
+        message_id=message_id,
+        sender=0,
+        recipients=tuple(recipients),
+        send_time=0.0,
+    )
+
+
+class TestGateway:
+    def test_delivers_after_delay(self):
+        sim = Simulator()
+        delivered = []
+        gateway = MMSGateway(sim, np.random.default_rng(0), 0.05, delivered.append)
+        assert gateway.submit(make_message()) is True
+        assert delivered == []  # not yet: transit delay pending
+        sim.run()
+        assert len(delivered) == 1
+        assert sim.now > 0.0
+
+    def test_zero_delay_delivers_inline(self):
+        sim = Simulator()
+        delivered = []
+        gateway = MMSGateway(sim, np.random.default_rng(0), 0.0, delivered.append)
+        gateway.submit(make_message())
+        assert len(delivered) == 1
+
+    def test_filter_blocks(self):
+        sim = Simulator()
+        delivered = []
+        gateway = MMSGateway(sim, np.random.default_rng(0), 0.0, delivered.append)
+        gateway.add_filter(lambda message, now: True)
+        assert gateway.submit(make_message()) is False
+        assert delivered == []
+        assert gateway.messages_blocked == 1
+        assert gateway.messages_processed == 1
+        assert gateway.messages_delivered == 0
+
+    def test_filters_consulted_in_order_until_block(self):
+        sim = Simulator()
+        calls = []
+        gateway = MMSGateway(sim, np.random.default_rng(0), 0.0, lambda m: None)
+        gateway.add_filter(lambda m, t: (calls.append("first"), False)[1])
+        gateway.add_filter(lambda m, t: (calls.append("second"), True)[1])
+        gateway.add_filter(lambda m, t: (calls.append("third"), False)[1])
+        gateway.submit(make_message())
+        assert calls == ["first", "second"]
+
+    def test_counts(self):
+        sim = Simulator()
+        gateway = MMSGateway(sim, np.random.default_rng(0), 0.0, lambda m: None)
+        for i in range(5):
+            gateway.submit(make_message(i))
+        assert gateway.messages_processed == 5
+        assert gateway.messages_delivered == 5
+
+    def test_message_without_recipients_rejected(self):
+        sim = Simulator()
+        gateway = MMSGateway(sim, np.random.default_rng(0), 0.0, lambda m: None)
+        bad = MMSMessage(
+            message_id=0, sender=0, recipients=(), send_time=0.0, invalid_dials=3
+        )
+        with pytest.raises(ValueError):
+            gateway.submit(bad)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            MMSGateway(Simulator(), np.random.default_rng(0), -1.0, lambda m: None)
+
+
+class TestMessages:
+    def test_addressed_count(self):
+        message = MMSMessage(
+            message_id=0, sender=1, recipients=(2, 3), send_time=0.0, invalid_dials=4
+        )
+        assert message.addressed_count == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MMSMessage(message_id=0, sender=-1, recipients=(1,), send_time=0.0)
+        with pytest.raises(ValueError):
+            MMSMessage(message_id=0, sender=0, recipients=(), send_time=0.0)
+        with pytest.raises(ValueError):
+            MMSMessage(
+                message_id=0, sender=0, recipients=(1,), send_time=0.0, invalid_dials=-1
+            )
+
+    def test_id_allocator_monotone(self):
+        from repro.core import MessageIdAllocator
+
+        allocator = MessageIdAllocator()
+        ids = [allocator.next_id() for _ in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+
+
+class TestDetectionTracker:
+    def test_fires_once_at_threshold(self):
+        tracker = DetectionTracker(DetectionParameters(detectable_infections=3))
+        times = []
+        tracker.subscribe(times.append)
+        tracker.note_infection_count(1, 1.0)
+        tracker.note_infection_count(2, 2.0)
+        assert not tracker.detected
+        tracker.note_infection_count(3, 3.0)
+        assert tracker.detected
+        assert tracker.detection_time == 3.0
+        tracker.note_infection_count(4, 4.0)  # no re-fire
+        assert times == [3.0]
+
+    def test_late_subscriber_called_immediately(self):
+        tracker = DetectionTracker(DetectionParameters(detectable_infections=1))
+        tracker.note_infection_count(1, 5.0)
+        times = []
+        tracker.subscribe(times.append)
+        assert times == [5.0]
+
+    def test_multiple_subscribers(self):
+        tracker = DetectionTracker(DetectionParameters(detectable_infections=1))
+        calls = []
+        tracker.subscribe(lambda t: calls.append("a"))
+        tracker.subscribe(lambda t: calls.append("b"))
+        tracker.note_infection_count(1, 1.0)
+        assert calls == ["a", "b"]

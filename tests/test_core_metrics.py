@@ -1,0 +1,55 @@
+"""Tests for run metrics recording."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ModelMetrics
+
+
+def test_infection_recording():
+    metrics = ModelMetrics()
+    assert metrics.record_infection(1.0) == 1
+    assert metrics.record_infection(2.5) == 2
+    assert metrics.total_infected == 2
+    assert metrics.infection_times == [1.0, 2.5]
+
+
+def test_infections_must_be_time_ordered():
+    metrics = ModelMetrics()
+    metrics.record_infection(5.0)
+    with pytest.raises(ValueError):
+        metrics.record_infection(4.0)
+
+
+def test_infection_steps_anchor_zero():
+    metrics = ModelMetrics()
+    metrics.record_infection(2.0)
+    metrics.record_infection(3.0)
+    assert metrics.infection_steps() == [(0.0, 0), (2.0, 1), (3.0, 2)]
+
+
+def test_infections_by_time():
+    metrics = ModelMetrics()
+    for t in (1.0, 2.0, 4.0):
+        metrics.record_infection(t)
+    assert metrics.infections_by(0.5) == 0
+    assert metrics.infections_by(2.0) == 2
+    assert metrics.infections_by(10.0) == 3
+
+
+def test_counters():
+    metrics = ModelMetrics()
+    metrics.count("sent")
+    metrics.count("sent", 4)
+    assert metrics.get("sent") == 5
+    assert metrics.get("missing") == 0
+    assert metrics.counters() == {"sent": 5}
+
+
+def test_infection_times_returns_copy():
+    metrics = ModelMetrics()
+    metrics.record_infection(1.0)
+    times = metrics.infection_times
+    times.append(99.0)
+    assert metrics.infection_times == [1.0]

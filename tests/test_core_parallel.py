@@ -1,0 +1,41 @@
+"""Tests for the parallel replication runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parallel import default_process_count, replicate_scenario_parallel
+from repro.core.simulation import replicate_scenario
+
+
+def test_serial_fallback_matches_reference(small_scenario):
+    serial = replicate_scenario(small_scenario, replications=2, seed=9)
+    fallback = replicate_scenario_parallel(
+        small_scenario, replications=2, seed=9, processes=1
+    )
+    assert fallback.final_infected() == serial.final_infected()
+    assert [r.infection_times for r in fallback.results] == [
+        r.infection_times for r in serial.results
+    ]
+
+
+def test_parallel_matches_serial(small_scenario):
+    serial = replicate_scenario(small_scenario, replications=3, seed=4)
+    parallel = replicate_scenario_parallel(
+        small_scenario, replications=3, seed=4, processes=2
+    )
+    assert parallel.final_infected() == serial.final_infected()
+    assert parallel.replications == 3
+    # Replication indices preserved in order.
+    assert [r.replication for r in parallel.results] == [0, 1, 2]
+
+
+def test_default_process_count_positive():
+    assert default_process_count() >= 1
+
+
+def test_validation(small_scenario):
+    with pytest.raises(ValueError):
+        replicate_scenario_parallel(small_scenario, replications=0)
+    with pytest.raises(ValueError):
+        replicate_scenario_parallel(small_scenario, replications=2, processes=0)

@@ -1,0 +1,171 @@
+"""Tests for parameter dataclass validation and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BlacklistConfig,
+    DetectionAlgorithmConfig,
+    DetectionParameters,
+    GatewayScanConfig,
+    ImmunizationConfig,
+    LimitPeriod,
+    MonitoringConfig,
+    NetworkParameters,
+    ScenarioConfig,
+    Targeting,
+    UserEducationConfig,
+    UserParameters,
+    VirusParameters,
+)
+from repro.core.user import total_acceptance_probability
+from repro.des.random import ShiftedExponential
+
+
+class TestVirusParameters:
+    def test_send_interval_distribution(self):
+        virus = VirusParameters(
+            name="v", min_send_interval=0.5, extra_send_delay_mean=0.25
+        )
+        dist = virus.send_interval_distribution()
+        assert isinstance(dist, ShiftedExponential)
+        assert dist.shift == 0.5
+        assert dist.mean == 0.75
+
+    def test_limit_requires_period(self):
+        with pytest.raises(ValueError, match="limit_period"):
+            VirusParameters(name="v", message_limit=30)
+
+    def test_period_requires_limit(self):
+        with pytest.raises(ValueError):
+            VirusParameters(name="v", limit_period=LimitPeriod.REBOOT)
+
+    def test_global_windows_require_fixed_window(self):
+        with pytest.raises(ValueError):
+            VirusParameters(
+                name="v",
+                message_limit=30,
+                limit_period=LimitPeriod.REBOOT,
+                global_limit_windows=True,
+            )
+
+    def test_recipient_budget_requires_limit(self):
+        with pytest.raises(ValueError):
+            VirusParameters(name="v", limit_counts_recipients=True)
+
+    def test_valid_number_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            VirusParameters(name="v", valid_number_fraction=0.0)
+        with pytest.raises(ValueError):
+            VirusParameters(name="v", valid_number_fraction=1.2)
+
+    def test_misc_validation(self):
+        with pytest.raises(ValueError):
+            VirusParameters(name="")
+        with pytest.raises(ValueError):
+            VirusParameters(name="v", recipients_per_message=0)
+        with pytest.raises(ValueError):
+            VirusParameters(name="v", min_send_interval=-1.0)
+        with pytest.raises(ValueError):
+            VirusParameters(name="v", dormancy=-1.0)
+
+
+class TestUserParameters:
+    def test_defaults_match_paper(self):
+        user = UserParameters()
+        assert user.acceptance_factor == pytest.approx(0.468)
+
+    def test_zero_read_delay_supported(self):
+        dist = UserParameters(read_delay_mean=0.0).read_delay_distribution()
+        import numpy as np
+
+        assert dist.sample(np.random.default_rng(0)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UserParameters(acceptance_factor=1.5)
+        with pytest.raises(ValueError):
+            UserParameters(read_delay_mean=-1.0)
+
+
+class TestNetworkParameters:
+    def test_paper_defaults(self):
+        network = NetworkParameters()
+        assert network.population == 1000
+        assert network.susceptible_count == 800
+        assert network.mean_contact_list_size == 80.0
+
+    def test_susceptible_count_rounds(self):
+        assert NetworkParameters(population=999).susceptible_count == 799
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkParameters(population=1)
+        with pytest.raises(ValueError):
+            NetworkParameters(susceptible_fraction=0.0)
+        with pytest.raises(ValueError):
+            NetworkParameters(population=50, mean_contact_list_size=80.0)
+
+
+class TestResponseConfigs:
+    def test_scan_validation(self):
+        GatewayScanConfig(0.0)  # zero delay allowed
+        with pytest.raises(ValueError):
+            GatewayScanConfig(-1.0)
+
+    def test_detection_algorithm_validation(self):
+        with pytest.raises(ValueError):
+            DetectionAlgorithmConfig(accuracy=1.5)
+        with pytest.raises(ValueError):
+            DetectionAlgorithmConfig(analysis_period=-1.0)
+
+    def test_education_for_total_acceptance(self):
+        config = UserEducationConfig.for_total_acceptance(0.20)
+        scaled = 0.468 * config.acceptance_scale
+        assert total_acceptance_probability(scaled) == pytest.approx(0.20, abs=1e-6)
+
+    def test_education_validation(self):
+        with pytest.raises(ValueError):
+            UserEducationConfig(acceptance_scale=-0.1)
+
+    def test_immunization_validation(self):
+        with pytest.raises(ValueError):
+            ImmunizationConfig(development_time=-1.0)
+        with pytest.raises(ValueError):
+            ImmunizationConfig(deployment_window=0.0)
+
+    def test_monitoring_validation(self):
+        with pytest.raises(ValueError):
+            MonitoringConfig(forced_wait=0.0)
+        with pytest.raises(ValueError):
+            MonitoringConfig(threshold=0)
+        with pytest.raises(ValueError):
+            MonitoringConfig(window=0.0)
+
+    def test_blacklist_validation(self):
+        with pytest.raises(ValueError):
+            BlacklistConfig(threshold=0)
+
+    def test_detection_parameters_validation(self):
+        with pytest.raises(ValueError):
+            DetectionParameters(detectable_infections=0)
+
+
+class TestScenarioConfig:
+    def test_with_responses_appends_and_renames(self):
+        base = ScenarioConfig(name="base", virus=VirusParameters(name="v"))
+        extended = base.with_responses(GatewayScanConfig(6.0), suffix="scan")
+        assert extended.name == "base+scan"
+        assert len(extended.responses) == 1
+        assert base.responses == ()  # original untouched
+
+    def test_with_duration(self):
+        base = ScenarioConfig(name="base", virus=VirusParameters(name="v"))
+        assert base.with_duration(10.0).duration == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(name="", virus=VirusParameters(name="v"))
+        with pytest.raises(ValueError):
+            ScenarioConfig(name="x", virus=VirusParameters(name="v"), duration=0.0)

@@ -1,0 +1,141 @@
+"""Tests for per-phone state transitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Phone, PhoneState, PhoneStateError
+
+
+def make_phone(susceptible: bool = True) -> Phone:
+    return Phone(phone_id=7, susceptible=susceptible, contacts=(1, 2, 3))
+
+
+class TestInfection:
+    def test_infect_transitions(self):
+        phone = make_phone()
+        assert phone.can_become_infected
+        phone.infect(5.0)
+        assert phone.infected
+        assert phone.state is PhoneState.INFECTED
+        assert phone.infection_time == 5.0
+        assert phone.actively_spreading
+        assert not phone.can_become_infected
+
+    def test_double_infection_rejected(self):
+        phone = make_phone()
+        phone.infect(1.0)
+        with pytest.raises(PhoneStateError):
+            phone.infect(2.0)
+
+    def test_insusceptible_cannot_be_infected(self):
+        phone = make_phone(susceptible=False)
+        assert not phone.can_become_infected
+        with pytest.raises(PhoneStateError):
+            phone.infect(1.0)
+
+    def test_immune_cannot_be_infected(self):
+        phone = make_phone()
+        phone.apply_patch()
+        with pytest.raises(PhoneStateError):
+            phone.infect(1.0)
+
+
+class TestPatching:
+    def test_patch_uninfected_makes_immune(self):
+        phone = make_phone()
+        assert phone.apply_patch() is True
+        assert phone.state is PhoneState.IMMUNE
+        assert not phone.can_become_infected
+        assert not phone.actively_spreading
+
+    def test_patch_infected_quarantines(self):
+        phone = make_phone()
+        phone.infect(1.0)
+        assert phone.apply_patch() is True
+        assert phone.infected  # still counted as infected
+        assert phone.propagation_stopped
+        assert not phone.actively_spreading
+
+    def test_patch_idempotent(self):
+        phone = make_phone()
+        phone.apply_patch()
+        assert phone.apply_patch() is False
+        infected = make_phone()
+        infected.infect(1.0)
+        infected.apply_patch()
+        assert infected.apply_patch() is False
+
+
+class TestBlocking:
+    def test_block_outgoing(self):
+        phone = make_phone()
+        phone.infect(1.0)
+        assert phone.block_outgoing() is True
+        assert not phone.actively_spreading
+        assert phone.block_outgoing() is False
+
+
+class TestBudgets:
+    def test_record_send_counts(self):
+        phone = make_phone()
+        phone.infect(0.0)
+        phone.record_send(1.0)
+        phone.record_send(2.0, budget_units=5)
+        assert phone.total_messages_sent == 2
+        assert phone.sent_in_period == 6
+        assert phone.last_send_time == 2.0
+
+    def test_reboot_resets_period(self):
+        phone = make_phone()
+        phone.infect(0.0)
+        phone.record_send(1.0)
+        phone.reboot(24.0)
+        assert phone.sent_in_period == 0
+        assert phone.period_start == 24.0
+        assert phone.total_messages_sent == 1  # lifetime count kept
+
+    def test_start_new_period(self):
+        phone = make_phone()
+        phone.infect(0.0)
+        phone.record_send(1.0)
+        phone.start_new_period(24.0)
+        assert phone.sent_in_period == 0
+        assert phone.period_start == 24.0
+
+
+class TestPendingEvents:
+    def test_cancel_pending_send(self):
+        from repro.des import Simulator
+
+        sim = Simulator()
+        phone = make_phone()
+        fired = []
+        phone.pending_send = sim.schedule(1.0, lambda: fired.append(1))
+        phone.cancel_pending_send()
+        assert phone.pending_send is None
+        sim.run()
+        assert fired == []
+
+    def test_patch_cancels_pending_send(self):
+        from repro.des import Simulator
+
+        sim = Simulator()
+        phone = make_phone()
+        phone.infect(0.0)
+        fired = []
+        phone.pending_send = sim.schedule(1.0, lambda: fired.append(1))
+        phone.apply_patch()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_pending_reboot(self):
+        from repro.des import Simulator
+
+        sim = Simulator()
+        phone = make_phone()
+        fired = []
+        phone.pending_reboot = sim.schedule(1.0, lambda: fired.append(1))
+        phone.cancel_pending_reboot()
+        sim.run()
+        assert fired == []

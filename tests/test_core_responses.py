@@ -1,0 +1,245 @@
+"""Unit tests for the six response mechanisms (using small live models)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Blacklist,
+    BlacklistConfig,
+    DetectionAlgorithm,
+    DetectionAlgorithmConfig,
+    GatewayScan,
+    GatewayScanConfig,
+    Immunization,
+    ImmunizationConfig,
+    Monitoring,
+    MonitoringConfig,
+    PhoneNetworkModel,
+    UserEducation,
+    UserEducationConfig,
+    build_mechanism,
+)
+from repro.core.messages import MMSMessage
+from repro.core.phone import Phone
+from repro.des.random import StreamFactory
+
+
+def make_model(small_scenario, *responses):
+    config = small_scenario.with_responses(*responses) if responses else small_scenario
+    return PhoneNetworkModel(config, StreamFactory(0))
+
+
+def make_message(sender=0, recipients=(1,), invalid=0) -> MMSMessage:
+    return MMSMessage(
+        message_id=0,
+        sender=sender,
+        recipients=tuple(recipients),
+        send_time=0.0,
+        invalid_dials=invalid,
+    )
+
+
+class TestBuildMechanism:
+    def test_dispatch_table(self):
+        pairs = [
+            (GatewayScanConfig(), GatewayScan),
+            (DetectionAlgorithmConfig(), DetectionAlgorithm),
+            (UserEducationConfig(), UserEducation),
+            (ImmunizationConfig(), Immunization),
+            (MonitoringConfig(), Monitoring),
+            (BlacklistConfig(), Blacklist),
+        ]
+        for config, mechanism_class in pairs:
+            assert isinstance(build_mechanism(config), mechanism_class)
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(TypeError):
+            build_mechanism(object())
+
+
+class TestGatewayScan:
+    def test_blocks_only_after_activation(self):
+        scan = GatewayScan(GatewayScanConfig(activation_delay=6.0))
+        scan._on_detection = lambda t: None  # detach model coupling
+        scan.activation_time = 10.0
+        assert scan.message_filter(make_message(), now=9.9) is False
+        assert scan.message_filter(make_message(), now=10.0) is True
+        assert scan.blocked_messages == 1
+
+    def test_inactive_without_detection(self):
+        scan = GatewayScan(GatewayScanConfig())
+        assert scan.message_filter(make_message(), now=100.0) is False
+
+    def test_activation_from_detection(self, small_scenario):
+        model = make_model(small_scenario, GatewayScanConfig(activation_delay=2.0))
+        scan = model.mechanisms[0]
+        model.detection.note_infection_count(
+            model.detection.parameters.detectable_infections, 5.0
+        )
+        assert scan.activation_time == 7.0
+        assert scan.installs_gateway_filter()
+
+
+class TestDetectionAlgorithm:
+    def test_blocks_fraction_after_activation(self, small_scenario):
+        model = make_model(
+            small_scenario, DetectionAlgorithmConfig(accuracy=0.7, analysis_period=1.0)
+        )
+        algorithm = model.mechanisms[0]
+        model.detection.note_infection_count(
+            model.detection.parameters.detectable_infections, 0.0
+        )
+        assert algorithm.activation_time == 1.0
+        blocked = sum(
+            algorithm.message_filter(make_message(sender=i % 7), now=2.0)
+            for i in range(4000)
+        )
+        assert blocked / 4000 == pytest.approx(0.7, abs=0.03)
+        assert algorithm.blocked_messages + algorithm.missed_messages == 4000
+
+    def test_inactive_before_analysis_done(self, small_scenario):
+        model = make_model(
+            small_scenario, DetectionAlgorithmConfig(accuracy=1.0, analysis_period=5.0)
+        )
+        algorithm = model.mechanisms[0]
+        model.detection.note_infection_count(
+            model.detection.parameters.detectable_infections, 0.0
+        )
+        assert algorithm.message_filter(make_message(), now=4.0) is False
+        assert algorithm.message_filter(make_message(), now=5.0) is True
+
+
+class TestUserEducation:
+    def test_scales_acceptance(self, small_scenario):
+        model = make_model(small_scenario, UserEducationConfig(acceptance_scale=0.5))
+        assert model.effective_acceptance_factor == pytest.approx(0.468 / 2)
+
+    def test_effective_total(self):
+        education = UserEducation(UserEducationConfig(acceptance_scale=0.5))
+        assert education.effective_total_acceptance(0.468) == pytest.approx(
+            0.21, abs=0.01
+        )
+
+    def test_stacks_multiplicatively(self, small_scenario):
+        model = make_model(
+            small_scenario,
+            UserEducationConfig(acceptance_scale=0.5),
+            UserEducationConfig(acceptance_scale=0.5),
+        )
+        assert model.effective_acceptance_factor == pytest.approx(0.468 / 4)
+
+
+class TestImmunization:
+    def test_patch_rollout_immunizes_population(self, small_scenario):
+        config = ImmunizationConfig(development_time=1.0, deployment_window=1.0)
+        model = make_model(small_scenario, config)
+        mechanism = model.mechanisms[0]
+        # Trigger detection immediately, then run past the rollout window.
+        model.detection.note_infection_count(
+            model.detection.parameters.detectable_infections, 0.0
+        )
+        model.sim.run(until=3.0)
+        assert mechanism.patch_ready_time == 1.0
+        susceptible_phones = sum(1 for p in model.phones if p.susceptible)
+        assert mechanism.phones_immunized == susceptible_phones
+        assert model.susceptible_remaining() == 0
+
+    def test_quarantines_infected(self, small_scenario):
+        config = ImmunizationConfig(development_time=0.5, deployment_window=0.5)
+        model = make_model(small_scenario, config)
+        model.seed_infection()
+        patient_zero = model.phones[model.patient_zero]
+        model.detection.note_infection_count(
+            model.detection.parameters.detectable_infections, 0.0
+        )
+        model.sim.run(until=2.0)
+        assert patient_zero.propagation_stopped
+        assert model.mechanisms[0].phones_quarantined >= 1
+
+
+class TestMonitoring:
+    def make(self, threshold=3, window=1.0, wait=0.5) -> Monitoring:
+        return Monitoring(
+            MonitoringConfig(forced_wait=wait, window=window, threshold=threshold)
+        )
+
+    def test_flags_above_threshold_within_window(self):
+        monitoring = self.make()
+        phone = Phone(0, True, (1,))
+        for i in range(4):
+            monitoring.on_message_sent(phone, make_message(), now=0.1 * i)
+        assert monitoring.is_flagged(0)
+
+    def test_old_sends_expire_from_window(self):
+        monitoring = self.make()
+        phone = Phone(0, True, (1,))
+        for i in range(10):
+            monitoring.on_message_sent(phone, make_message(), now=2.0 * i)
+        assert not monitoring.is_flagged(0)
+
+    def test_forced_wait_applies_only_to_flagged(self):
+        monitoring = self.make(wait=0.5)
+        phone = Phone(0, True, (1,))
+        other = Phone(1, True, (0,))
+        for i in range(4):
+            monitoring.on_message_sent(phone, make_message(), now=0.01 * i)
+        assert monitoring.adjust_send_interval(phone, 0.1, now=1.0) == 0.5
+        assert monitoring.adjust_send_interval(phone, 0.9, now=1.0) == 0.9
+        assert monitoring.adjust_send_interval(other, 0.1, now=1.0) == 0.1
+
+    def test_counts_invalid_dials_as_outgoing(self):
+        monitoring = self.make()
+        phone = Phone(0, True, ())
+        for i in range(4):
+            message = MMSMessage(
+                message_id=i, sender=0, recipients=(), send_time=0.0, invalid_dials=1
+            )
+            monitoring.on_message_sent(phone, message, now=0.1 * i)
+        assert monitoring.is_flagged(0)
+
+
+class TestBlacklist:
+    def make(self, threshold=3) -> Blacklist:
+        blacklist = Blacklist(BlacklistConfig(threshold=threshold))
+        blacklist._on_detection(0.0)  # counting active from t=0 for the test
+        return blacklist
+
+    def test_blocks_at_threshold(self):
+        blacklist = self.make()
+        phone = Phone(0, True, (1,))
+        phone.infect(0.0)
+        for i in range(3):
+            blacklist.on_message_sent(phone, make_message(), now=float(i))
+        assert 0 in blacklist.blacklisted_phones
+        assert phone.outgoing_blocked
+
+    def test_multi_recipient_message_counts_once(self):
+        blacklist = self.make(threshold=3)
+        phone = Phone(0, True, tuple(range(1, 50)))
+        phone.infect(0.0)
+        blacklist.on_message_sent(
+            phone, make_message(recipients=tuple(range(1, 40))), now=0.0
+        )
+        assert blacklist.suspected_count(0) == 1
+        assert not phone.outgoing_blocked
+
+    def test_not_counting_before_detection(self):
+        blacklist = Blacklist(BlacklistConfig(threshold=1))
+        phone = Phone(0, True, (1,))
+        phone.infect(0.0)
+        blacklist.on_message_sent(phone, make_message(), now=0.0)
+        assert not blacklist.counting
+        assert blacklist.suspected_count(0) == 0
+        assert not phone.outgoing_blocked
+
+    def test_invalid_dials_count(self):
+        blacklist = self.make(threshold=2)
+        phone = Phone(0, True, ())
+        phone.infect(0.0)
+        for i in range(2):
+            message = MMSMessage(
+                message_id=i, sender=0, recipients=(), send_time=0.0, invalid_dials=1
+            )
+            blacklist.on_message_sent(phone, message, now=float(i))
+        assert phone.outgoing_blocked

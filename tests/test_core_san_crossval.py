@@ -1,0 +1,124 @@
+"""Cross-validation: the SAN-composed model vs the direct model.
+
+Both implement the same stochastic process (contact-list virus, no budget
+limits, zero read delay), so their final infection counts must agree
+statistically.  This validates the production model against the Möbius-style
+formalism the paper used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    NetworkParameters,
+    ScenarioConfig,
+    Targeting,
+    UserParameters,
+    VirusParameters,
+)
+from repro.core.san_model import (
+    build_phone_submodel,
+    build_san_phone_network,
+    infected_count_reward,
+    run_san_phone_network,
+)
+from repro.core.simulation import run_scenario
+from repro.des.random import StreamFactory
+from repro.topology import contact_network
+
+
+@pytest.fixture(scope="module")
+def crossval_setup():
+    streams = StreamFactory(2024)
+    graph = contact_network(40, 8.0, streams.stream("topology"), model="random")
+    virus = VirusParameters(
+        name="xval",
+        targeting=Targeting.CONTACT_LIST,
+        min_send_interval=0.5,
+        extra_send_delay_mean=0.5,
+    )
+    user = UserParameters(read_delay_mean=0.0)
+    return streams, graph, virus, user
+
+
+def test_submodel_structure(crossval_setup):
+    _, _, virus, user = crossval_setup
+    submodel = build_phone_submodel(
+        3, contacts=(1, 7), susceptible=True, initially_infected=False,
+        virus=virus, user=user,
+    )
+    place_names = {p.name for p in submodel.places}
+    assert {"susceptible_3", "infected_3", "inbox_3", "received_3"} <= place_names
+    assert {"inbox_1", "inbox_7"} <= place_names
+    activity_names = {a.name for a in submodel.activities}
+    assert activity_names == {"send_3", "read_3"}
+
+
+def test_patient_zero_marking(crossval_setup):
+    _, graph, virus, user = crossval_setup
+    model = build_san_phone_network(graph, range(40), 5, virus, user)
+    marking = model.initial_marking()
+    assert marking["infected_5"] == 1
+    assert marking["susceptible_5"] == 0
+    assert marking["infected_6"] == 0
+    assert marking["susceptible_6"] == 1
+
+
+def test_patient_zero_must_be_susceptible(crossval_setup):
+    _, graph, virus, user = crossval_setup
+    with pytest.raises(ValueError):
+        build_san_phone_network(graph, [0, 1], 5, virus, user)
+
+
+def test_infected_reward_counts(crossval_setup):
+    _, graph, virus, user = crossval_setup
+    model = build_san_phone_network(graph, range(40), 5, virus, user)
+    reward = infected_count_reward(40)
+    assert reward.function(model.initial_marking()) == 1.0
+
+
+def test_statistical_agreement(crossval_setup):
+    """Mean final infections agree between SAN and direct implementations."""
+    streams, graph, virus, user = crossval_setup
+    replications = 12
+    horizon = 48.0
+
+    san_finals = []
+    for rep in range(replications):
+        result = run_san_phone_network(
+            graph, range(40), patient_zero=0, virus=virus, user=user,
+            until=horizon, rng=streams.stream(f"san-{rep}"),
+        )
+        san_finals.append(result.rewards.instant_value("infected"))
+
+    network = NetworkParameters(
+        population=40, susceptible_fraction=1.0, mean_contact_list_size=8.0
+    )
+    scenario = ScenarioConfig(
+        name="xval", virus=virus, network=network, user=user, duration=horizon
+    )
+    direct_finals = [
+        run_scenario(scenario, seed=rep, graph=graph, patient_zero=0).total_infected
+        for rep in range(replications)
+    ]
+
+    san_mean = float(np.mean(san_finals))
+    direct_mean = float(np.mean(direct_finals))
+    pooled_std = float(np.std(san_finals + direct_finals, ddof=1))
+    # Means within ~1.5 pooled standard errors of each other.
+    standard_error = pooled_std * (2.0 / replications) ** 0.5
+    assert abs(san_mean - direct_mean) <= max(3.0, 2.0 * standard_error)
+
+
+def test_san_curve_monotone(crossval_setup):
+    streams, graph, virus, user = crossval_setup
+    result = run_san_phone_network(
+        graph, range(40), patient_zero=0, virus=virus, user=user,
+        until=24.0, rng=streams.stream("mono"),
+    )
+    trajectory = result.rewards.trajectory("infected")
+    values = [v for _, v in trajectory]
+    assert values == sorted(values)
+    assert values[0] == 1.0

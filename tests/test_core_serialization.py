@@ -1,0 +1,133 @@
+"""Tests for scenario JSON serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import (
+    BlacklistConfig,
+    DetectionAlgorithmConfig,
+    GatewayScanConfig,
+    ImmunizationConfig,
+    MonitoringConfig,
+    UserEducationConfig,
+    baseline_scenario,
+)
+from repro.core.serialization import (
+    SerializationError,
+    load_scenario,
+    response_from_dict,
+    response_to_dict,
+    save_scenario,
+    scenario_from_dict,
+    scenario_from_json,
+    scenario_to_dict,
+    scenario_to_json,
+)
+
+ALL_RESPONSES = (
+    GatewayScanConfig(activation_delay=12.0),
+    DetectionAlgorithmConfig(accuracy=0.9, analysis_period=3.0),
+    UserEducationConfig(acceptance_scale=0.25),
+    ImmunizationConfig(development_time=48.0, deployment_window=24.0),
+    MonitoringConfig(forced_wait=0.5, window=2.0, threshold=12),
+    BlacklistConfig(threshold=20),
+)
+
+
+def full_scenario():
+    return baseline_scenario(2).with_responses(*ALL_RESPONSES, suffix="all")
+
+
+class TestRoundTrip:
+    def test_every_paper_virus_round_trips(self):
+        for virus in (1, 2, 3, 4):
+            scenario = baseline_scenario(virus)
+            restored = scenario_from_json(scenario_to_json(scenario))
+            assert restored == scenario
+
+    def test_all_response_kinds_round_trip(self):
+        scenario = full_scenario()
+        restored = scenario_from_json(scenario_to_json(scenario))
+        assert restored == scenario
+        assert len(restored.responses) == 6
+
+    def test_file_round_trip(self, tmp_path):
+        scenario = full_scenario()
+        path = save_scenario(scenario, tmp_path / "nested" / "scenario.json")
+        assert path.exists()
+        assert load_scenario(path) == scenario
+
+    def test_json_is_plain_and_sorted(self):
+        document = json.loads(scenario_to_json(baseline_scenario(3)))
+        assert document["format_version"] == 1
+        assert document["virus"]["targeting"] == "random"
+        assert document["virus"]["valid_number_fraction"] == pytest.approx(1 / 3)
+
+    def test_response_dict_round_trip(self):
+        for response in ALL_RESPONSES:
+            assert response_from_dict(response_to_dict(response)) == response
+
+
+class TestValidation:
+    def test_unknown_keys_rejected(self):
+        document = scenario_to_dict(baseline_scenario(1))
+        document["virus"]["warp_speed"] = True
+        with pytest.raises(SerializationError, match="unknown keys"):
+            scenario_from_dict(document)
+
+    def test_unknown_response_kind_rejected(self):
+        document = scenario_to_dict(baseline_scenario(1))
+        document["responses"] = [{"kind": "prayer"}]
+        with pytest.raises(SerializationError, match="unknown response kind"):
+            scenario_from_dict(document)
+
+    def test_bad_enum_rejected(self):
+        document = scenario_to_dict(baseline_scenario(1))
+        document["virus"]["targeting"] = "telepathy"
+        with pytest.raises(SerializationError, match="not one of"):
+            scenario_from_dict(document)
+
+    def test_missing_version_rejected(self):
+        document = scenario_to_dict(baseline_scenario(1))
+        del document["format_version"]
+        with pytest.raises(SerializationError, match="format_version"):
+            scenario_from_dict(document)
+
+    def test_missing_required_keys_rejected(self):
+        with pytest.raises(SerializationError, match="missing keys"):
+            scenario_from_dict({"format_version": 1, "name": "x"})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SerializationError, match="invalid JSON"):
+            scenario_from_json("{nope")
+
+    def test_semantic_validation_still_applies(self):
+        document = scenario_to_dict(baseline_scenario(1))
+        document["virus"]["min_send_interval"] = -5.0
+        with pytest.raises(SerializationError):
+            scenario_from_dict(document)
+
+    def test_defaults_fill_optional_sections(self):
+        document = scenario_to_dict(baseline_scenario(1))
+        del document["user"]
+        del document["detection"]
+        restored = scenario_from_dict(document)
+        assert restored.user.acceptance_factor == pytest.approx(0.468)
+
+    def test_loaded_scenario_runs(self, tmp_path):
+        """A deserialized scenario is actually executable."""
+        import dataclasses
+
+        from repro.core import NetworkParameters
+        from repro.core.simulation import run_scenario
+
+        scenario = dataclasses.replace(
+            baseline_scenario(3, duration=4.0),
+            network=NetworkParameters(population=120, mean_contact_list_size=15.0),
+        )
+        path = save_scenario(scenario, tmp_path / "s.json")
+        result = run_scenario(load_scenario(path), seed=0)
+        assert result.total_infected >= 1

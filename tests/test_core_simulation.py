@@ -1,0 +1,100 @@
+"""Tests for scenario execution and replication aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.simulation import ReplicationSet, replicate_scenario, run_scenario
+from repro.topology import contact_network
+
+
+def test_scenario_result_fields(small_scenario):
+    result = run_scenario(small_scenario, seed=0)
+    assert result.config is small_scenario
+    assert result.seed == 0
+    assert result.replication == 0
+    assert result.final_time == small_scenario.duration
+    assert result.population == 200
+    assert result.susceptible_count == 160
+    assert result.patient_zero is not None
+    assert 0 < result.total_infected <= result.susceptible_count
+    assert 0 < result.penetration <= 1.0
+
+
+def test_result_curve_and_infected_at(small_scenario):
+    result = run_scenario(small_scenario, seed=0)
+    curve = result.curve()
+    assert curve.value_at(0.0) in (0.0, 1.0)
+    assert curve.final_value == result.total_infected
+    assert result.infected_at(small_scenario.duration) == result.total_infected
+    # Monotone in time.
+    grid = np.linspace(0, small_scenario.duration, 50)
+    values = curve.resample(grid)
+    assert np.all(np.diff(values) >= 0)
+
+
+def test_replications_are_independent(small_scenario):
+    result_set = replicate_scenario(small_scenario, replications=3, seed=5)
+    assert result_set.replications == 3
+    finals = result_set.final_infected()
+    assert len(set(finals)) > 1 or finals[0] > 0
+    times = [tuple(r.infection_times) for r in result_set.results]
+    assert len(set(times)) == 3
+
+
+def test_replicate_reproducible(small_scenario):
+    a = replicate_scenario(small_scenario, replications=2, seed=5)
+    b = replicate_scenario(small_scenario, replications=2, seed=5)
+    assert a.final_infected() == b.final_infected()
+
+
+def test_band_and_mean_curve(small_scenario):
+    result_set = replicate_scenario(small_scenario, replications=3, seed=5)
+    band = result_set.band(grid_points=50)
+    assert band.replications == 3
+    assert len(band.grid) == 50
+    assert np.all(band.lower <= band.mean + 1e-9)
+    assert np.all(band.mean <= band.upper + 1e-9)
+    mean_curve = result_set.mean_curve(grid_points=50)
+    assert mean_curve.final_value == pytest.approx(band.mean[-1])
+    assert result_set.mean_infected_at(small_scenario.duration) == pytest.approx(
+        float(np.mean(result_set.final_infected())), abs=1e-6
+    )
+
+
+def test_final_summary_statistics(small_scenario):
+    result_set = replicate_scenario(small_scenario, replications=4, seed=5)
+    summary = result_set.final_summary()
+    assert summary.count == 4
+    assert summary.minimum <= summary.mean <= summary.maximum
+    assert summary.ci_lower <= summary.mean <= summary.ci_upper
+
+
+def test_detection_time_aggregation(small_scenario):
+    result_set = replicate_scenario(small_scenario, replications=2, seed=5)
+    detection = result_set.mean_detection_time()
+    assert detection is not None and detection > 0
+
+
+def test_counter_total(small_scenario):
+    result_set = replicate_scenario(small_scenario, replications=2, seed=5)
+    assert result_set.counter_total("messages_sent") > 0
+    assert result_set.counter_total("nonexistent") == 0
+
+
+def test_pinned_graph_shared_across_replications(small_scenario):
+    graph = contact_network(
+        small_scenario.network.population,
+        small_scenario.network.mean_contact_list_size,
+        np.random.default_rng(0),
+    )
+    result_set = replicate_scenario(
+        small_scenario, replications=2, seed=5, graph=graph
+    )
+    assert result_set.replications == 2
+
+
+def test_invalid_replication_count(small_scenario):
+    with pytest.raises(ValueError):
+        replicate_scenario(small_scenario, replications=0)

@@ -1,0 +1,39 @@
+"""Tests for model-level tracing."""
+
+from __future__ import annotations
+
+from repro.core import PhoneNetworkModel
+from repro.des import Tracer
+from repro.des.random import StreamFactory
+
+
+def test_model_records_infections_and_sends(small_scenario):
+    tracer = Tracer(enabled=True, categories=["infect", "send"])
+    model = PhoneNetworkModel(small_scenario, StreamFactory(0), tracer=tracer)
+    model.seed_infection()
+    model.run(until=6.0)
+
+    infections = tracer.by_category("infect")
+    sends = tracer.by_category("send")
+    assert len(infections) == model.total_infected
+    assert infections[0].payload["count"] == 1
+    assert len(sends) == model.metrics.get("messages_sent")
+    assert all("sent message" in r.message for r in sends)
+    # Records appear in time order.
+    times = [r.time for r in tracer.records]
+    assert times == sorted(times)
+
+
+def test_trace_time_window_limits_volume(small_scenario):
+    tracer = Tracer(enabled=True, categories=["send"], start_time=2.0, end_time=4.0)
+    model = PhoneNetworkModel(small_scenario, StreamFactory(0), tracer=tracer)
+    model.seed_infection()
+    model.run(until=6.0)
+    assert all(2.0 <= r.time <= 4.0 for r in tracer.records)
+
+
+def test_disabled_tracer_is_free(small_scenario):
+    model = PhoneNetworkModel(small_scenario, StreamFactory(0))
+    model.seed_infection()
+    model.run(until=6.0)
+    assert len(model.sim.tracer.records) == 0

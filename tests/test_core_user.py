@@ -1,0 +1,125 @@
+"""Tests for the user consent model (paper §4.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.user import (
+    ACCEPTANCE_NEGLIGIBLE_AFTER,
+    PAPER_ACCEPTANCE_FACTOR,
+    ConsentState,
+    acceptance_probability,
+    solve_acceptance_factor,
+    total_acceptance_probability,
+)
+
+
+class TestAcceptanceProbability:
+    def test_paper_values(self):
+        assert acceptance_probability(0.468, 1) == pytest.approx(0.234)
+        assert acceptance_probability(0.468, 2) == pytest.approx(0.117)
+        assert acceptance_probability(0.468, 3) == pytest.approx(0.0585)
+
+    def test_halves_each_message(self):
+        for n in range(1, 20):
+            assert acceptance_probability(0.468, n + 1) == pytest.approx(
+                acceptance_probability(0.468, n) / 2.0
+            )
+
+    def test_negligible_cutoff(self):
+        assert acceptance_probability(1.0, ACCEPTANCE_NEGLIGIBLE_AFTER + 1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            acceptance_probability(0.468, 0)
+        with pytest.raises(ValueError):
+            acceptance_probability(1.5, 1)
+
+
+class TestTotalAcceptance:
+    def test_paper_headline_number(self):
+        """AF = 0.468 ⇒ P(ever accept) ≈ 0.40 (the 320-phone plateau)."""
+        total = total_acceptance_probability(PAPER_ACCEPTANCE_FACTOR)
+        assert total == pytest.approx(0.40, abs=0.005)
+
+    def test_halved_factor_roughly_halves_total(self):
+        """Education at half the factor ⇒ total ≈ 0.21 (paper's '0.20')."""
+        total = total_acceptance_probability(PAPER_ACCEPTANCE_FACTOR / 2)
+        assert total == pytest.approx(0.21, abs=0.01)
+
+    def test_quartered_factor(self):
+        total = total_acceptance_probability(PAPER_ACCEPTANCE_FACTOR / 4)
+        assert total == pytest.approx(0.11, abs=0.01)
+
+    def test_zero_factor(self):
+        assert total_acceptance_probability(0.0) == 0.0
+
+    def test_monotone_in_factor(self):
+        totals = [total_acceptance_probability(f / 10) for f in range(11)]
+        assert totals == sorted(totals)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            total_acceptance_probability(-0.1)
+
+
+class TestSolver:
+    def test_round_trip(self):
+        for target in (0.05, 0.10, 0.20, 0.40, 0.60):
+            factor = solve_acceptance_factor(target)
+            assert total_acceptance_probability(factor) == pytest.approx(
+                target, abs=1e-9
+            )
+
+    def test_zero(self):
+        assert solve_acceptance_factor(0.0) == 0.0
+
+    def test_unreachable_target(self):
+        with pytest.raises(ValueError):
+            solve_acceptance_factor(0.99)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            solve_acceptance_factor(1.0)
+
+
+class TestConsentState:
+    def test_counts_received(self):
+        state = ConsentState()
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            state.receive_and_decide(0.0, rng)
+        assert state.received_count == 5
+        assert not state.accepted
+
+    def test_always_rejects_with_zero_factor(self):
+        state = ConsentState()
+        rng = np.random.default_rng(0)
+        assert not any(state.receive_and_decide(0.0, rng) for _ in range(50))
+
+    def test_empirical_total_acceptance(self):
+        """Monte Carlo: fraction of users ever accepting ≈ 0.40."""
+        rng = np.random.default_rng(42)
+        accepted = 0
+        users = 4000
+        for _ in range(users):
+            state = ConsentState()
+            for _ in range(40):  # enough messages to resolve
+                if state.receive_and_decide(PAPER_ACCEPTANCE_FACTOR, rng):
+                    accepted += 1
+                    break
+        assert accepted / users == pytest.approx(0.40, abs=0.025)
+
+    def test_next_acceptance_probability(self):
+        state = ConsentState()
+        assert state.next_acceptance_probability(0.468) == pytest.approx(0.234)
+        state.received_count = 1
+        assert state.next_acceptance_probability(0.468) == pytest.approx(0.117)
+
+    def test_no_draws_after_cutoff(self):
+        state = ConsentState()
+        state.received_count = ACCEPTANCE_NEGLIGIBLE_AFTER
+        rng = np.random.default_rng(0)
+        assert state.receive_and_decide(1.0, rng) is False
+        assert state.received_count == ACCEPTANCE_NEGLIGIBLE_AFTER + 1

@@ -1,0 +1,234 @@
+"""Tests for the virus behaviour engine: targeting, pacing, budgets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LimitPeriod,
+    Phone,
+    Targeting,
+    VirusEngine,
+    VirusParameters,
+    virus1,
+    virus2,
+    virus3,
+    virus4,
+)
+
+
+def make_phone(contacts=(1, 2, 3, 4, 5)) -> Phone:
+    phone = Phone(phone_id=0, susceptible=True, contacts=tuple(contacts))
+    phone.infect(0.0)
+    return phone
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestContactTargeting:
+    def test_single_recipient_round_robin(self, rng):
+        engine = VirusEngine(VirusParameters(name="v"), population=10)
+        phone = make_phone()
+        picks = [engine.select_targets(phone, rng)[0][0] for _ in range(7)]
+        assert picks == [1, 2, 3, 4, 5, 1, 2]  # cycles through the list
+
+    def test_multi_recipient_covers_list(self, rng):
+        params = VirusParameters(name="v", recipients_per_message=100)
+        engine = VirusEngine(params, population=10)
+        phone = make_phone()
+        recipients, invalid = engine.select_targets(phone, rng)
+        assert recipients == (1, 2, 3, 4, 5)
+        assert invalid == 0
+
+    def test_multi_recipient_partial_window(self, rng):
+        params = VirusParameters(name="v", recipients_per_message=3)
+        engine = VirusEngine(params, population=10)
+        phone = make_phone()
+        first, _ = engine.select_targets(phone, rng)
+        second, _ = engine.select_targets(phone, rng)
+        assert first == (1, 2, 3)
+        assert second == (4, 5, 1)  # wraps round-robin
+
+    def test_empty_contact_list(self, rng):
+        engine = VirusEngine(VirusParameters(name="v"), population=10)
+        phone = Phone(phone_id=0, susceptible=True, contacts=())
+        phone.infect(0.0)
+        assert engine.select_targets(phone, rng) == ((), 0)
+
+    def test_recipient_budget_caps_selection(self, rng):
+        params = VirusParameters(
+            name="v",
+            recipients_per_message=100,
+            message_limit=3,
+            limit_counts_recipients=True,
+            limit_period=LimitPeriod.FIXED_WINDOW,
+        )
+        engine = VirusEngine(params, population=10)
+        phone = make_phone()
+        recipients, _ = engine.select_targets(phone, rng)
+        assert len(recipients) == 3
+        phone.record_send(0.0, engine.budget_units(len(recipients)))
+        assert engine.budget_exhausted(phone)
+        assert engine.select_targets(phone, rng) == ((), 0)
+
+
+class TestRandomDialing:
+    def test_valid_fraction(self, rng):
+        params = VirusParameters(
+            name="v",
+            targeting=Targeting.RANDOM_DIALING,
+            valid_number_fraction=1.0 / 3.0,
+        )
+        engine = VirusEngine(params, population=100)
+        phone = make_phone()
+        valid = invalid = 0
+        for _ in range(6000):
+            recipients, bad = engine.select_targets(phone, rng)
+            valid += len(recipients)
+            invalid += bad
+        fraction = valid / (valid + invalid)
+        assert fraction == pytest.approx(1.0 / 3.0, abs=0.02)
+
+    def test_never_dials_self(self, rng):
+        params = VirusParameters(
+            name="v", targeting=Targeting.RANDOM_DIALING, valid_number_fraction=1.0
+        )
+        engine = VirusEngine(params, population=5)
+        phone = make_phone()
+        for _ in range(500):
+            recipients, _ = engine.select_targets(phone, rng)
+            assert phone.phone_id not in recipients
+
+    def test_targets_cover_population(self, rng):
+        params = VirusParameters(
+            name="v", targeting=Targeting.RANDOM_DIALING, valid_number_fraction=1.0
+        )
+        engine = VirusEngine(params, population=20)
+        phone = make_phone()
+        seen = set()
+        for _ in range(2000):
+            recipients, _ = engine.select_targets(phone, rng)
+            seen.update(recipients)
+        assert seen == set(range(1, 20))
+
+
+class TestBudgets:
+    def test_no_limit_never_exhausts(self, rng):
+        engine = VirusEngine(VirusParameters(name="v"), population=10)
+        phone = make_phone()
+        phone.sent_in_period = 10**6
+        assert not engine.budget_exhausted(phone)
+        assert engine.next_budget_reset(phone) is None
+
+    def test_window_budget_reset_time(self, rng):
+        params = VirusParameters(
+            name="v",
+            message_limit=2,
+            limit_period=LimitPeriod.FIXED_WINDOW,
+            limit_window=24.0,
+        )
+        engine = VirusEngine(params, population=10)
+        phone = make_phone()
+        phone.record_send(1.0)
+        phone.record_send(2.0)
+        assert engine.budget_exhausted(phone)
+        assert engine.next_budget_reset(phone) == 24.0
+        engine.advance_window(phone, 30.0)
+        assert phone.sent_in_period == 0
+        assert phone.period_start == 24.0
+
+    def test_global_windows_not_advanced_locally(self, rng):
+        params = VirusParameters(
+            name="v",
+            message_limit=2,
+            limit_period=LimitPeriod.FIXED_WINDOW,
+            limit_window=24.0,
+            global_limit_windows=True,
+        )
+        engine = VirusEngine(params, population=10)
+        assert engine.uses_global_windows
+        phone = make_phone()
+        phone.record_send(1.0)
+        phone.record_send(2.0)
+        engine.advance_window(phone, 30.0)  # no-op for global windows
+        assert phone.sent_in_period == 2
+        assert engine.next_budget_reset(phone) is None
+
+    def test_reboot_budget(self, rng):
+        params = VirusParameters(
+            name="v", message_limit=30, limit_period=LimitPeriod.REBOOT
+        )
+        engine = VirusEngine(params, population=10)
+        assert engine.uses_reboot_limit
+        phone = make_phone()
+        phone.sent_in_period = 30
+        assert engine.budget_exhausted(phone)
+        assert engine.next_budget_reset(phone) is None
+        phone.reboot(10.0)
+        assert not engine.budget_exhausted(phone)
+
+
+class TestPacing:
+    def test_intervals_respect_minimum(self, rng):
+        params = VirusParameters(
+            name="v", min_send_interval=0.5, extra_send_delay_mean=0.5
+        )
+        engine = VirusEngine(params, population=10)
+        samples = [engine.sample_send_interval(rng) for _ in range(2000)]
+        assert min(samples) >= 0.5
+        assert np.mean(samples) == pytest.approx(1.0, abs=0.05)
+
+    def test_initial_delay_includes_dormancy(self, rng):
+        params = VirusParameters(
+            name="v", dormancy=1.0, min_send_interval=0.5, extra_send_delay_mean=0.0
+        )
+        engine = VirusEngine(params, population=10)
+        assert engine.initial_send_delay(rng) == pytest.approx(1.5)
+
+    def test_reboot_interval_mean(self, rng):
+        params = VirusParameters(name="v", reboot_interval_mean=24.0)
+        engine = VirusEngine(params, population=10)
+        samples = [engine.sample_reboot_interval(rng) for _ in range(3000)]
+        assert np.mean(samples) == pytest.approx(24.0, rel=0.05)
+
+
+class TestPaperViruses:
+    def test_virus1_matches_paper(self):
+        params = virus1()
+        assert params.targeting is Targeting.CONTACT_LIST
+        assert params.recipients_per_message == 1
+        assert params.min_send_interval == pytest.approx(0.5)
+        assert params.message_limit == 30
+        assert params.limit_period is LimitPeriod.REBOOT
+        assert params.reboot_interval_mean == pytest.approx(24.0)
+
+    def test_virus2_matches_paper(self):
+        params = virus2()
+        assert params.recipients_per_message == 100
+        assert params.min_send_interval == pytest.approx(1.0 / 60.0)
+        assert params.message_limit == 30
+        assert params.limit_period is LimitPeriod.FIXED_WINDOW
+        assert params.limit_window == pytest.approx(24.0)
+        assert params.global_limit_windows
+        assert params.limit_counts_recipients
+
+    def test_virus3_matches_paper(self):
+        params = virus3()
+        assert params.targeting is Targeting.RANDOM_DIALING
+        assert params.valid_number_fraction == pytest.approx(1.0 / 3.0)
+        assert params.min_send_interval == pytest.approx(1.0 / 60.0)
+        assert params.message_limit is None
+
+    def test_virus4_matches_paper(self):
+        params = virus4()
+        assert params.dormancy == pytest.approx(1.0)
+        assert params.min_send_interval == pytest.approx(0.5)
+        assert params.message_limit is None
+
+    def test_population_validation(self):
+        with pytest.raises(ValueError):
+            VirusEngine(virus1(), population=1)

@@ -1,0 +1,227 @@
+"""Tests for the generator-based process layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des import (
+    AllOf,
+    AnyOf,
+    Interrupted,
+    Simulator,
+    Timeout,
+    Waiter,
+    start_process,
+)
+from repro.des.simulator import SimulationError
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    trace = []
+
+    def proc():
+        trace.append(sim.now)
+        yield Timeout(2.0)
+        trace.append(sim.now)
+
+    start_process(sim, proc())
+    sim.run()
+    assert trace == [0.0, 2.0]
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1.0)
+        return "done"
+
+    process = start_process(sim, proc())
+    sim.run()
+    assert process.done
+    assert process.value == "done"
+
+
+def test_sequential_timeouts():
+    sim = Simulator()
+    times = []
+
+    def proc():
+        for delay in (1.0, 2.0, 3.0):
+            yield Timeout(delay)
+            times.append(sim.now)
+
+    start_process(sim, proc())
+    sim.run()
+    assert times == [1.0, 3.0, 6.0]
+
+
+def test_waiter_succeeded_externally():
+    sim = Simulator()
+    waiter = Waiter()
+    got = []
+
+    def consumer():
+        value = yield waiter
+        got.append(value)
+
+    def producer():
+        yield Timeout(5.0)
+        waiter.succeed("payload")
+
+    start_process(sim, consumer())
+    start_process(sim, producer())
+    sim.run()
+    assert got == ["payload"]
+    assert sim.now == 5.0
+
+
+def test_waiter_failure_propagates_into_process():
+    sim = Simulator()
+    waiter = Waiter()
+    caught = []
+
+    def consumer():
+        try:
+            yield waiter
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def producer():
+        yield Timeout(1.0)
+        waiter.fail(RuntimeError("boom"))
+
+    start_process(sim, consumer())
+    start_process(sim, producer())
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_all_of_waits_for_every_child():
+    sim = Simulator()
+    results = []
+
+    def proc():
+        values = yield AllOf([Timeout(1.0, value="a"), Timeout(3.0, value="b")])
+        results.append((sim.now, values))
+
+    start_process(sim, proc())
+    sim.run()
+    assert results == [(3.0, ["a", "b"])]
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+    results = []
+
+    def proc():
+        value = yield AnyOf([Timeout(5.0, value="slow"), Timeout(1.0, value="fast")])
+        results.append((sim.now, value))
+
+    start_process(sim, proc())
+    sim.run()
+    assert results == [(1.0, "fast")]
+
+
+def test_interrupt_raises_inside_process():
+    sim = Simulator()
+    trace = []
+
+    def victim():
+        try:
+            yield Timeout(100.0)
+        except Interrupted as exc:
+            trace.append(("interrupted", sim.now, exc.cause))
+
+    process = start_process(sim, victim())
+
+    def interrupter():
+        yield Timeout(2.0)
+        process.interrupt("reason")
+
+    start_process(sim, interrupter())
+    sim.run()
+    assert trace == [("interrupted", 2.0, "reason")]
+
+
+def test_unhandled_interrupt_fails_process():
+    sim = Simulator()
+
+    def victim():
+        yield Timeout(100.0)
+
+    process = start_process(sim, victim())
+
+    def interrupter():
+        yield Timeout(1.0)
+        process.interrupt()
+
+    start_process(sim, interrupter())
+    sim.run()
+    assert process.done
+    assert isinstance(process.exception, Interrupted)
+
+
+def test_process_exception_captured():
+    sim = Simulator()
+
+    def bad():
+        yield Timeout(1.0)
+        raise ValueError("broken")
+
+    process = start_process(sim, bad())
+    sim.run()
+    assert isinstance(process.exception, ValueError)
+
+
+def test_yielding_non_waitable_fails():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    process = start_process(sim, bad())
+    sim.run()
+    assert isinstance(process.exception, SimulationError)
+
+
+def test_process_is_waitable():
+    sim = Simulator()
+    order = []
+
+    def child():
+        yield Timeout(2.0)
+        order.append("child")
+        return 7
+
+    def parent():
+        value = yield start_process(sim, child())
+        order.append(f"parent:{value}")
+
+    start_process(sim, parent())
+    sim.run()
+    assert order == ["child", "parent:7"]
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(SimulationError):
+        Timeout(-1.0)
+
+
+def test_empty_all_of_succeeds_immediately():
+    sim = Simulator()
+    results = []
+
+    def proc():
+        values = yield AllOf([])
+        results.append(values)
+
+    start_process(sim, proc())
+    sim.run()
+    assert results == [[]]
+
+
+def test_empty_any_of_rejected():
+    with pytest.raises(SimulationError):
+        AnyOf([])

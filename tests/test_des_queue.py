@@ -1,0 +1,106 @@
+"""Tests for the event queue (ordering, lazy deletion, compaction)."""
+
+from __future__ import annotations
+
+from repro.des.events import EventState
+from repro.des.queue import EventQueue
+
+
+def test_push_pop_ordering():
+    queue = EventQueue()
+    queue.push(3.0, lambda: None, label="c")
+    queue.push(1.0, lambda: None, label="a")
+    queue.push(2.0, lambda: None, label="b")
+    labels = []
+    while queue:
+        event = queue.pop()
+        labels.append(event.label)
+    assert labels == ["a", "b", "c"]
+
+
+def test_ties_broken_by_priority_then_sequence():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None, priority=0, label="first")
+    queue.push(1.0, lambda: None, priority=-1, label="early")
+    queue.push(1.0, lambda: None, priority=0, label="second")
+    assert [queue.pop().label for _ in range(3)] == ["early", "first", "second"]
+
+
+def test_len_counts_live_events():
+    queue = EventQueue()
+    handles = [queue.push(float(i), lambda: None) for i in range(5)]
+    assert len(queue) == 5
+    handles[0].cancel()
+    queue.note_cancellation()
+    assert len(queue) == 4
+
+
+def test_pop_skips_cancelled():
+    queue = EventQueue()
+    handle = queue.push(1.0, lambda: None, label="dead")
+    queue.push(2.0, lambda: None, label="live")
+    handle.cancel()
+    queue.note_cancellation()
+    event = queue.pop()
+    assert event.label == "live"
+    assert queue.pop() is None
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    handle = queue.push(1.0, lambda: None)
+    queue.push(5.0, lambda: None)
+    handle.cancel()
+    queue.note_cancellation()
+    assert queue.peek_time() == 5.0
+
+
+def test_pop_empty_returns_none():
+    queue = EventQueue()
+    assert queue.pop() is None
+    assert queue.peek_time() is None
+
+
+def test_clear():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    queue.clear()
+    assert len(queue) == 0
+    assert not queue
+
+
+def test_popped_event_marked_fired():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    event = queue.pop()
+    assert event.state is EventState.FIRED
+
+
+def test_compaction_removes_dead_entries():
+    queue = EventQueue()
+    handles = [queue.push(float(i), lambda: None) for i in range(4096)]
+    for handle in handles[: 3000]:
+        handle.cancel()
+        queue.note_cancellation()
+    # Compaction triggered: raw heap no longer holds all dead entries.
+    assert queue.heap_size < 4096
+    assert len(queue) == 1096
+    # Remaining events still pop in order.
+    first = queue.pop()
+    assert first.time == 3000.0
+
+
+def test_many_interleaved_push_cancel_pop():
+    queue = EventQueue()
+    kept = []
+    for i in range(200):
+        handle = queue.push(float(200 - i), lambda: None, label=str(200 - i))
+        if i % 3 == 0:
+            handle.cancel()
+            queue.note_cancellation()
+        else:
+            kept.append(200 - i)
+    popped = []
+    while queue:
+        popped.append(int(queue.pop().label))
+    assert popped == sorted(kept)

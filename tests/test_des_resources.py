@@ -1,0 +1,173 @@
+"""Tests for Resource and Store queueing primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des import Resource, Simulator, Store, Timeout, start_process
+from repro.des.simulator import SimulationError
+
+
+class TestResource:
+    def test_capacity_limits_concurrency(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=2)
+        active = []
+        peaks = []
+
+        def worker(name):
+            yield resource.acquire()
+            active.append(name)
+            peaks.append(len(active))
+            yield Timeout(1.0)
+            active.remove(name)
+            resource.release()
+
+        for i in range(5):
+            start_process(sim, worker(i))
+        sim.run()
+        assert max(peaks) == 2
+        assert resource.in_use == 0
+
+    def test_fifo_grant_order(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        order = []
+
+        def worker(name, hold):
+            yield resource.acquire()
+            order.append(name)
+            yield Timeout(hold)
+            resource.release()
+
+        for i in range(4):
+            start_process(sim, worker(i, 1.0))
+        sim.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_release_without_acquire_rejected(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            Resource(Simulator(), capacity=0)
+
+    def test_queue_length_statistics(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+
+        def worker():
+            yield resource.acquire()
+            yield Timeout(1.0)
+            resource.release()
+
+        for _ in range(3):
+            start_process(sim, worker())
+        sim.run(until=0.5)
+        assert resource.max_queue_length == 2
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append(item)
+
+        store.put("x")
+        start_process(sim, consumer())
+        sim.run()
+        assert got == ["x"]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        def producer():
+            yield Timeout(3.0)
+            yield store.put("late")
+
+        start_process(sim, consumer())
+        start_process(sim, producer())
+        sim.run()
+        assert got == [(3.0, "late")]
+
+    def test_fifo_item_order(self):
+        sim = Simulator()
+        store = Store(sim)
+        for item in ("a", "b", "c"):
+            store.put(item)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        start_process(sim, consumer())
+        sim.run()
+        assert got == ["a", "b", "c"]
+
+    def test_bounded_store_blocks_put(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        timeline = []
+
+        def producer():
+            yield store.put("one")
+            timeline.append(("put1", sim.now))
+            yield store.put("two")  # blocks until a get frees space
+            timeline.append(("put2", sim.now))
+
+        def consumer():
+            yield Timeout(5.0)
+            item = yield store.get()
+            timeline.append(("got", sim.now, item))
+
+        start_process(sim, producer())
+        start_process(sim, consumer())
+        sim.run()
+        assert ("put1", 0.0) in timeline
+        got_entry = next(t for t in timeline if t[0] == "got")
+        put2_entry = next(t for t in timeline if t[0] == "put2")
+        assert got_entry[1] == 5.0
+        assert put2_entry[1] >= 5.0
+
+    def test_total_put_counts(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert store.total_put == 2
+        assert len(store) == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            Store(Simulator(), capacity=0)
+
+    def test_handoff_to_waiting_getter(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append(item)
+
+        start_process(sim, consumer())
+        sim.run()  # consumer now blocked
+        assert store.getters_waiting == 1
+        store.put("direct")
+        sim.run()
+        assert got == ["direct"]

@@ -1,0 +1,66 @@
+"""Tests for the structured tracer."""
+
+from __future__ import annotations
+
+from repro.des import Simulator, Tracer
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(enabled=False)
+    tracer.record(1.0, "cat", "message")
+    assert len(tracer) == 0
+
+
+def test_basic_recording_and_format():
+    tracer = Tracer(enabled=True)
+    tracer.record(1.5, "send", "phone sent message", phone=3)
+    assert len(tracer) == 1
+    record = tracer.records[0]
+    assert record.time == 1.5
+    assert record.category == "send"
+    assert "phone=3" in record.format()
+    assert "send" in tracer.format()
+
+
+def test_category_filter():
+    tracer = Tracer(enabled=True, categories=["infect"])
+    tracer.record(1.0, "send", "skip me")
+    tracer.record(2.0, "infect", "keep me")
+    assert [r.category for r in tracer] == ["infect"]
+    assert len(tracer.by_category("infect")) == 1
+    assert tracer.by_category("send") == []
+
+
+def test_time_window_filter():
+    tracer = Tracer(enabled=True, start_time=10.0, end_time=20.0)
+    tracer.record(5.0, "x", "early")
+    tracer.record(15.0, "x", "inside")
+    tracer.record(25.0, "x", "late")
+    assert [r.message for r in tracer] == ["inside"]
+
+
+def test_max_records_drops_and_counts():
+    tracer = Tracer(enabled=True, max_records=2)
+    for i in range(5):
+        tracer.record(float(i), "x", f"m{i}")
+    assert len(tracer) == 2
+    assert tracer.dropped == 3
+    assert "3 records dropped" in tracer.format()
+
+
+def test_clear():
+    tracer = Tracer(enabled=True)
+    tracer.record(1.0, "x", "m")
+    tracer.clear()
+    assert len(tracer) == 0
+    assert tracer.dropped == 0
+
+
+def test_simulator_records_labelled_events():
+    tracer = Tracer(enabled=True)
+    sim = Simulator(tracer)
+    sim.schedule(1.0, lambda: None, label="tick")
+    sim.schedule(2.0, lambda: None)  # unlabelled: not traced
+    sim.run()
+    assert [r.message for r in tracer] == ["tick"]
+    assert tracer.records[0].time == 1.0

@@ -1,0 +1,117 @@
+"""Tests for strength sweeps and diminishing-returns analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    GatewayScanConfig,
+    NetworkParameters,
+    ScenarioConfig,
+    UserEducationConfig,
+    UserParameters,
+    VirusParameters,
+)
+from repro.experiments.sensitivity import (
+    STANDARD_SWEEPS,
+    SweepSpec,
+    knee_point,
+    run_strength_sweep,
+)
+
+
+class TestKneePoint:
+    def test_clear_knee_found(self):
+        xs = [0, 1, 2, 3, 4, 5]
+        ys = [0, 80, 95, 98, 99, 100]  # saturating benefit
+        index = knee_point(xs, ys)
+        assert index in (1, 2)
+
+    def test_linear_curve_has_no_knee(self):
+        xs = [0, 1, 2, 3, 4]
+        ys = [0, 25, 50, 75, 100]
+        assert knee_point(xs, ys) is None
+
+    def test_flat_curve_has_no_knee(self):
+        assert knee_point([0, 1, 2], [5, 5, 5]) is None
+
+    def test_too_few_points(self):
+        assert knee_point([0, 1], [0, 1]) is None
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            knee_point([0, 1, 2], [0, 1])
+
+
+def tiny_sweep() -> SweepSpec:
+    network = NetworkParameters(population=150, mean_contact_list_size=15.0)
+    virus = VirusParameters(
+        name="tiny", min_send_interval=0.05, extra_send_delay_mean=0.05
+    )
+    base = ScenarioConfig(
+        name="tiny-base", virus=virus, network=network,
+        user=UserParameters(read_delay_mean=0.2), duration=24.0,
+    )
+    return SweepSpec(
+        sweep_id="tiny_education",
+        strength_label="acceptance scale",
+        larger_is_stronger=False,
+        strengths=(0.1, 0.5, 1.0),
+        build=lambda v: UserEducationConfig(acceptance_scale=v),
+        base_scenario=base,
+    )
+
+
+class TestRunSweep:
+    def test_sweep_runs_and_orders(self):
+        result = run_strength_sweep(tiny_sweep(), replications=2, seed=1)
+        assert len(result.final_infected) == 3
+        # Stronger education (smaller scale) => fewer infections.
+        assert result.final_infected[0] < result.final_infected[2]
+        containment = result.containment()
+        assert all(0.0 <= c <= 1.3 for c in containment)
+        benefit = result.benefit()
+        assert benefit[0] >= benefit[2]
+
+    def test_format_contains_table_and_verdict(self):
+        result = run_strength_sweep(tiny_sweep(), replications=1, seed=1)
+        text = result.format()
+        assert "acceptance scale" in text
+        assert "baseline" in text
+        assert ("knee" in text) or ("flat" in text)
+
+    def test_reproducible(self):
+        a = run_strength_sweep(tiny_sweep(), replications=1, seed=3)
+        b = run_strength_sweep(tiny_sweep(), replications=1, seed=3)
+        assert a.final_infected == b.final_infected
+
+
+class TestStandardSweeps:
+    def test_all_mechanisms_covered(self):
+        assert set(STANDARD_SWEEPS) == {
+            "scan_delay",
+            "detection_accuracy",
+            "education_scale",
+            "patch_deployment",
+            "monitoring_wait",
+            "blacklist_threshold",
+        }
+
+    def test_specs_wellformed(self):
+        for sweep_id, spec in STANDARD_SWEEPS.items():
+            assert spec.sweep_id == sweep_id
+            assert len(spec.strengths) >= 3
+            config = spec.build(spec.strengths[0])
+            assert config is not None
+
+    def test_sweep_requires_three_strengths(self):
+        spec = tiny_sweep()
+        with pytest.raises(ValueError):
+            SweepSpec(
+                sweep_id="x",
+                strength_label="y",
+                larger_is_stronger=True,
+                strengths=(1.0, 2.0),
+                build=spec.build,
+                base_scenario=spec.base_scenario,
+            )

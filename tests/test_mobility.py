@@ -1,0 +1,211 @@
+"""Tests for the mobility substrate (waypoint model + encounters)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mobility import (
+    Leg,
+    ProximityEncounterProcess,
+    RandomMixingEncounters,
+    WaypointMobility,
+    simulate_proximity_outbreak,
+)
+
+
+def make_mobility(n=20, arena=100.0, seed=0) -> WaypointMobility:
+    return WaypointMobility(
+        num_phones=n,
+        arena_size=arena,
+        speed_range=(10.0, 30.0),
+        pause_range=(0.0, 0.5),
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestLeg:
+    def test_position_interpolates(self):
+        leg = Leg(start_time=0.0, origin=(0.0, 0.0), target=(10.0, 0.0),
+                  pause=1.0, speed=5.0)
+        assert leg.departure_time == 1.0
+        assert leg.arrival_time == pytest.approx(3.0)
+        assert leg.position(0.5) == (0.0, 0.0)          # pausing
+        assert leg.position(2.0) == (5.0, 0.0)          # halfway
+        assert leg.position(10.0) == (10.0, 0.0)        # arrived (clamped)
+
+    def test_diagonal_distance(self):
+        leg = Leg(0.0, (0.0, 0.0), (3.0, 4.0), pause=0.0, speed=1.0)
+        assert leg.travel_distance == pytest.approx(5.0)
+        assert leg.arrival_time == pytest.approx(5.0)
+
+
+class TestWaypointMobility:
+    def test_positions_stay_in_arena(self):
+        mobility = make_mobility()
+        for time in (0.0, 1.0, 5.0, 20.0, 100.0):
+            points = mobility.positions(time)
+            assert np.all(points >= 0.0)
+            assert np.all(points <= 100.0)
+
+    def test_positions_continuous_in_time(self):
+        mobility = make_mobility(n=5)
+        previous = mobility.positions(0.0)
+        for step in range(1, 50):
+            current = mobility.positions(step * 0.1)
+            jump = np.hypot(*(current - previous).T)
+            # Max speed 30 units/h x 0.1 h = 3 units per step.
+            assert np.all(jump <= 3.0 + 1e-9)
+            previous = current
+
+    def test_time_monotonicity_enforced(self):
+        mobility = make_mobility(n=2)
+        mobility.position(0, 50.0)
+        with pytest.raises(ValueError, match="monotone"):
+            mobility.position(0, 0.0)
+
+    def test_neighbors_within_radius(self):
+        mobility = make_mobility(n=30, arena=10.0)  # dense arena
+        neighbors = mobility.neighbors_within(0, 1.0, radius=5.0)
+        own = np.asarray(mobility.position(0, 1.0))
+        for other in neighbors:
+            pos = np.asarray(mobility.position(other, 1.0))
+            assert np.hypot(*(pos - own)) <= 5.0
+        assert 0 not in neighbors
+
+    def test_expected_contact_fraction(self):
+        mobility = make_mobility(arena=100.0)
+        fraction = mobility.expected_contact_fraction(radius=10.0)
+        assert fraction == pytest.approx(np.pi * 100.0 / 10_000.0)
+        assert mobility.expected_contact_fraction(radius=1000.0) == 1.0
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            WaypointMobility(0, 10.0, (1.0, 2.0), (0.0, 1.0), rng)
+        with pytest.raises(ValueError):
+            WaypointMobility(5, -1.0, (1.0, 2.0), (0.0, 1.0), rng)
+        with pytest.raises(ValueError):
+            WaypointMobility(5, 10.0, (0.0, 2.0), (0.0, 1.0), rng)
+        with pytest.raises(ValueError):
+            WaypointMobility(5, 10.0, (2.0, 1.0), (0.0, 1.0), rng)
+        mobility = make_mobility()
+        with pytest.raises(ValueError):
+            mobility.position(99, 0.0)
+        with pytest.raises(ValueError):
+            mobility.neighbors_within(0, 0.0, radius=0.0)
+
+
+class TestEncounters:
+    def test_random_mixing_never_self(self):
+        encounters = RandomMixingEncounters(10, np.random.default_rng(0))
+        for _ in range(500):
+            partner = encounters.partner(3, 0.0)
+            assert partner is not None
+            assert partner != 3
+            assert 0 <= partner < 10
+
+    def test_random_mixing_covers_population(self):
+        encounters = RandomMixingEncounters(8, np.random.default_rng(1))
+        seen = {encounters.partner(0, 0.0) for _ in range(500)}
+        assert seen == set(range(1, 8))
+
+    def test_proximity_partner_in_range(self):
+        mobility = make_mobility(n=40, arena=20.0, seed=2)
+        process = ProximityEncounterProcess(
+            mobility, bluetooth_radius=6.0, rng=np.random.default_rng(3)
+        )
+        found_any = False
+        for step in range(1, 30):
+            partner = process.partner(0, step * 0.5)
+            if partner is not None:
+                found_any = True
+                assert partner != 0
+        assert found_any
+        assert 0.0 <= process.contact_availability() <= 1.0
+
+    def test_sparse_arena_fizzles(self):
+        mobility = make_mobility(n=2, arena=10_000.0, seed=4)
+        process = ProximityEncounterProcess(
+            mobility, bluetooth_radius=1.0, rng=np.random.default_rng(5)
+        )
+        results = [process.partner(0, t * 1.0) for t in range(1, 20)]
+        assert all(r is None for r in results)
+        assert process.fizzled_attempts == 19
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomMixingEncounters(1, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            ProximityEncounterProcess(
+                make_mobility(), 0.0, np.random.default_rng(0)
+            )
+
+
+class TestProximityOutbreak:
+    @staticmethod
+    def always_accept(times_offered: int) -> float:
+        return 1.0 if times_offered == 1 else 0.0
+
+    def test_random_mixing_outbreak_spreads(self):
+        rng = np.random.default_rng(6)
+        encounters = RandomMixingEncounters(50, rng)
+        times = simulate_proximity_outbreak(
+            encounters,
+            susceptible=[True] * 50,
+            patient_zero=0,
+            attempt_rate=2.0,
+            acceptance_probability_fn=self.always_accept,
+            horizon=48.0,
+            rng=rng,
+        )
+        assert times[0] == 0.0
+        assert len(times) > 25
+        assert times == sorted(times)
+
+    def test_locality_slows_spread(self):
+        """A sparse proximity worm spreads slower than random mixing."""
+        rng = np.random.default_rng(7)
+        mixing = RandomMixingEncounters(40, rng)
+        fast = simulate_proximity_outbreak(
+            mixing, [True] * 40, 0, attempt_rate=2.0,
+            acceptance_probability_fn=self.always_accept,
+            horizon=24.0, rng=np.random.default_rng(8),
+        )
+        mobility = make_mobility(n=40, arena=300.0, seed=9)
+        proximity = ProximityEncounterProcess(
+            mobility, bluetooth_radius=10.0, rng=np.random.default_rng(10)
+        )
+        slow = simulate_proximity_outbreak(
+            proximity, [True] * 40, 0, attempt_rate=2.0,
+            acceptance_probability_fn=self.always_accept,
+            horizon=24.0, rng=np.random.default_rng(11),
+        )
+        assert len(slow) < len(fast)
+
+    def test_insusceptible_partners_never_infected(self):
+        rng = np.random.default_rng(12)
+        susceptible = [True] * 10 + [False] * 10
+        encounters = RandomMixingEncounters(20, rng)
+        times = simulate_proximity_outbreak(
+            encounters, susceptible, 0, attempt_rate=3.0,
+            acceptance_probability_fn=self.always_accept,
+            horizon=48.0, rng=rng,
+        )
+        assert len(times) <= 10
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        encounters = RandomMixingEncounters(5, rng)
+        with pytest.raises(ValueError):
+            simulate_proximity_outbreak(
+                encounters, [False] * 5, 0, 1.0, self.always_accept, 1.0, rng
+            )
+        with pytest.raises(ValueError):
+            simulate_proximity_outbreak(
+                encounters, [True] * 5, 9, 1.0, self.always_accept, 1.0, rng
+            )
+        with pytest.raises(ValueError):
+            simulate_proximity_outbreak(
+                encounters, [True] * 5, 0, 0.0, self.always_accept, 1.0, rng
+            )

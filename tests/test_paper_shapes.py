@@ -1,0 +1,163 @@
+"""Paper-level qualitative shape tests, at reduced scale for speed.
+
+These assert the paper's headline claims on a 300-phone network with
+proportionally scaled contact lists — the full-scale versions run in the
+benchmark harness (one bench per figure).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import (
+    BlacklistConfig,
+    DetectionAlgorithmConfig,
+    GatewayScanConfig,
+    ImmunizationConfig,
+    MonitoringConfig,
+    NetworkParameters,
+    UserEducationConfig,
+    baseline_scenario,
+)
+from repro.core.simulation import run_scenario
+
+NETWORK = NetworkParameters(population=300, mean_contact_list_size=24.0)
+SUSCEPTIBLE = NETWORK.susceptible_count  # 240
+EXPECTED_PLATEAU = SUSCEPTIBLE * 0.40  # = 96
+
+
+def scaled_baseline(virus_number: int, duration=None):
+    return baseline_scenario(virus_number, network=NETWORK, duration=duration)
+
+
+@pytest.fixture(scope="module")
+def baselines():
+    """One baseline run per virus (module-scoped: reused across tests)."""
+    return {v: run_scenario(scaled_baseline(v), seed=17) for v in (1, 2, 3, 4)}
+
+
+class TestFigure1Shapes:
+    def test_all_viruses_plateau_near_expected(self, baselines):
+        for virus, result in baselines.items():
+            assert result.total_infected == pytest.approx(
+                EXPECTED_PLATEAU, rel=0.30
+            ), f"virus {virus} plateau {result.total_infected}"
+
+    def test_virus3_fastest(self, baselines):
+        t3 = baselines[3].curve().time_to_reach(EXPECTED_PLATEAU / 2)
+        t1 = baselines[1].curve().time_to_reach(EXPECTED_PLATEAU / 2)
+        assert t3 < t1
+
+    def test_virus3_saturates_within_24h(self, baselines):
+        assert baselines[3].infected_at(24.0) > 0.8 * baselines[3].total_infected
+
+    def test_virus1_spreads_over_days(self, baselines):
+        curve = baselines[1].curve()
+        assert curve.value_at(24.0) < 0.5 * curve.final_value
+        assert curve.value_at(300.0) > 0.8 * curve.final_value
+
+    def test_virus4_slower_start_than_virus1(self, baselines):
+        """Virus 4's dormancy + traffic pacing delays its takeoff."""
+        t1 = baselines[1].curve().time_to_reach(EXPECTED_PLATEAU / 4)
+        t4 = baselines[4].curve().time_to_reach(EXPECTED_PLATEAU / 4)
+        assert t4 > t1 * 0.8  # at least comparable; usually slower
+
+    def test_virus2_steps(self, baselines):
+        """Virus 2 grows in daily bursts: most growth lands just after
+        the 24-hour boundaries."""
+        curve = baselines[2].curve()
+        total = curve.final_value - 1
+        growth_near_boundaries = 0.0
+        for day in range(10):
+            start = day * 24.0
+            growth_near_boundaries += curve.value_at(start + 6.0) - curve.value_at(
+                start
+            )
+        assert growth_near_boundaries / total > 0.6
+
+
+class TestResponseClaims:
+    def test_scan_effective_on_virus1_useless_on_virus3(self, baselines):
+        scan = GatewayScanConfig(activation_delay=6.0)
+        contained = run_scenario(
+            scaled_baseline(1).with_responses(scan), seed=17
+        )
+        assert contained.total_infected < 0.4 * baselines[1].total_infected
+        rapid = run_scenario(scaled_baseline(3).with_responses(scan), seed=17)
+        assert rapid.total_infected > 0.8 * baselines[3].total_infected
+
+    def test_scan_delay_ordering(self, baselines):
+        finals = []
+        for delay in (6.0, 12.0, 24.0):
+            result = run_scenario(
+                scaled_baseline(1).with_responses(GatewayScanConfig(delay)), seed=17
+            )
+            finals.append(result.total_infected)
+        assert finals[0] <= finals[1] <= finals[2] <= baselines[1].total_infected
+
+    def test_detection_algorithm_slows_virus2(self, baselines):
+        result = run_scenario(
+            scaled_baseline(2).with_responses(DetectionAlgorithmConfig(0.95)),
+            seed=17,
+        )
+        level = 0.4 * baselines[2].total_infected
+        base_time = baselines[2].curve().time_to_reach(level)
+        slow_time = result.curve().time_to_reach(level)
+        assert slow_time is None or slow_time > base_time + 24.0
+
+    def test_education_roughly_halves_every_virus(self, baselines):
+        education = UserEducationConfig(acceptance_scale=0.5)
+        for virus in (1, 2, 3, 4):
+            result = run_scenario(
+                scaled_baseline(virus).with_responses(education), seed=17
+            )
+            ratio = result.total_infected / baselines[virus].total_infected
+            assert 0.25 <= ratio <= 0.8, f"virus {virus}: {ratio:.2f}"
+
+    def test_immunization_effective_on_virus4_useless_on_virus3(self, baselines):
+        config = ImmunizationConfig(development_time=24.0, deployment_window=1.0)
+        slow = run_scenario(scaled_baseline(4).with_responses(config), seed=17)
+        assert slow.total_infected < 0.6 * baselines[4].total_infected
+        rapid = run_scenario(scaled_baseline(3).with_responses(config), seed=17)
+        assert rapid.total_infected > 0.8 * baselines[3].total_infected
+
+    def test_immunization_deploy_window_ordering(self):
+        finals = []
+        for window in (1.0, 24.0):
+            result = run_scenario(
+                scaled_baseline(4).with_responses(
+                    ImmunizationConfig(development_time=24.0, deployment_window=window)
+                ),
+                seed=17,
+            )
+            finals.append(result.total_infected)
+        assert finals[0] <= finals[1]
+
+    def test_monitoring_slows_virus3_not_virus1(self, baselines):
+        config = MonitoringConfig(forced_wait=0.25)
+        throttled = run_scenario(scaled_baseline(3).with_responses(config), seed=17)
+        level = 0.5 * baselines[3].total_infected
+        base_time = baselines[3].curve().time_to_reach(level)
+        slow_time = throttled.curve().time_to_reach(level)
+        assert slow_time is None or slow_time > base_time
+        untouched = run_scenario(scaled_baseline(1).with_responses(config), seed=17)
+        assert untouched.total_infected > 0.85 * baselines[1].total_infected
+
+    def test_blacklist_strongest_on_virus3_useless_on_virus2(self, baselines):
+        config = BlacklistConfig(threshold=10)
+        contained = run_scenario(scaled_baseline(3).with_responses(config), seed=17)
+        assert contained.total_infected < 0.5 * baselines[3].total_infected
+        untouched = run_scenario(scaled_baseline(2).with_responses(config), seed=17)
+        assert untouched.total_infected > 0.85 * baselines[2].total_infected
+
+    def test_blacklist_threshold_ordering_on_virus3(self, baselines):
+        finals = []
+        for threshold in (10, 20, 40):
+            result = run_scenario(
+                scaled_baseline(3).with_responses(BlacklistConfig(threshold)),
+                seed=17,
+            )
+            finals.append(result.total_infected)
+        assert finals[0] <= finals[1] <= finals[2] + 5

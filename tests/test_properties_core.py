@@ -1,0 +1,66 @@
+"""Property-based tests for core model invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import StepCurve
+from repro.core.user import (
+    acceptance_probability,
+    solve_acceptance_factor,
+    total_acceptance_probability,
+)
+
+
+@given(factor=st.floats(0.0, 1.0), n=st.integers(1, 31))
+@settings(max_examples=100, deadline=None)
+def test_acceptance_probability_decreasing_in_n(factor, n):
+    current = acceptance_probability(factor, n)
+    following = acceptance_probability(factor, n + 1)
+    assert 0.0 <= following <= current <= 1.0
+
+
+@given(a=st.floats(0.0, 1.0), b=st.floats(0.0, 1.0))
+@settings(max_examples=100, deadline=None)
+def test_total_acceptance_monotone_in_factor(a, b):
+    low, high = sorted((a, b))
+    assert total_acceptance_probability(low) <= total_acceptance_probability(high) + 1e-12
+
+
+@given(target=st.floats(0.001, 0.6))
+@settings(max_examples=50, deadline=None)
+def test_solver_inverts_total_acceptance(target):
+    factor = solve_acceptance_factor(target)
+    assert abs(total_acceptance_probability(factor) - target) < 1e-8
+
+
+@given(
+    event_times=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=100),
+    probe=st.floats(0.0, 120.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_infection_curve_monotone_and_bounded(event_times, probe):
+    curve = StepCurve.from_event_times(sorted(event_times))
+    assert 0.0 <= curve.value_at(probe) <= len(event_times)
+    grid = np.linspace(0.0, 120.0, 60)
+    values = curve.resample(grid)
+    assert np.all(np.diff(values) >= 0)
+    assert curve.final_value == len(event_times)
+
+
+@given(
+    event_times=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=50),
+    level=st.integers(1, 50),
+)
+@settings(max_examples=100, deadline=None)
+def test_time_to_reach_consistent_with_value_at(event_times, level):
+    curve = StepCurve.from_event_times(sorted(event_times))
+    t = curve.time_to_reach(float(level))
+    if t is None:
+        assert curve.final_value < level
+    else:
+        assert curve.value_at(t) >= level
+        # Strictly before t the value is below the level (t is a change point).
+        assert curve.value_at(max(0.0, t - 1e-6)) <= curve.value_at(t)

@@ -1,0 +1,101 @@
+"""Property-based tests for the DES kernel (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import Simulator
+from repro.des.queue import EventQueue
+
+delays = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+
+
+@given(st.lists(delays, min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_events_always_fire_in_nondecreasing_time_order(times):
+    sim = Simulator()
+    fired = []
+    for t in times:
+        sim.schedule(t, lambda t=t: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(times)
+
+
+@given(
+    st.lists(
+        st.tuples(delays, st.booleans()),  # (delay, cancel?)
+        min_size=1,
+        max_size=200,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_cancelled_events_never_fire_and_others_all_do(entries):
+    sim = Simulator()
+    fired = []
+    expected = 0
+    for index, (delay, cancel) in enumerate(entries):
+        handle = sim.schedule(delay, lambda index=index: fired.append(index))
+        if cancel:
+            handle.cancel()
+        else:
+            expected += 1
+    sim.run()
+    assert len(fired) == expected
+    cancelled_indices = {i for i, (_, c) in enumerate(entries) if c}
+    assert cancelled_indices.isdisjoint(fired)
+
+
+@given(st.lists(st.tuples(delays, st.integers(-5, 5)), min_size=2, max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_queue_pop_respects_time_priority_sequence_key(entries):
+    queue = EventQueue()
+    for time, priority in entries:
+        queue.push(time, lambda: None, priority=priority)
+    popped = []
+    while queue:
+        event = queue.pop()
+        popped.append(event.sort_key)
+    assert popped == sorted(popped)
+
+
+@given(st.lists(delays, min_size=1, max_size=100), st.floats(0.0, 1000.0))
+@settings(max_examples=50, deadline=None)
+def test_run_until_never_passes_horizon(times, horizon):
+    sim = Simulator()
+    for t in times:
+        sim.schedule(t, lambda: None)
+    end = sim.run(until=horizon)
+    assert end == horizon
+    assert sim.now <= horizon
+
+
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_interleaved_schedule_cancel_pop_consistency(data):
+    queue = EventQueue()
+    live = {}
+    counter = 0
+    operations = data.draw(st.lists(st.integers(0, 2), min_size=1, max_size=300))
+    for op in operations:
+        if op == 0:  # push
+            t = data.draw(delays)
+            handle = queue.push(t, lambda: None, label=str(counter))
+            live[counter] = (t, handle)
+            counter += 1
+        elif op == 1 and live:  # cancel an arbitrary live event
+            key = data.draw(st.sampled_from(sorted(live)))
+            _, handle = live.pop(key)
+            if handle.cancel():
+                queue.note_cancellation()
+        elif op == 2:  # pop
+            event = queue.pop()
+            if event is not None:
+                live.pop(int(event.label), None)
+    # Every remaining live event pops exactly once, in order.
+    remaining_times = sorted(t for t, _ in live.values())
+    popped_times = []
+    while queue:
+        popped_times.append(queue.pop().time)
+    assert popped_times == remaining_times

@@ -1,0 +1,118 @@
+"""Property-based round-trip tests for scenario serialization."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BlacklistConfig,
+    DetectionAlgorithmConfig,
+    DetectionParameters,
+    GatewayScanConfig,
+    ImmunizationConfig,
+    LimitPeriod,
+    MonitoringConfig,
+    NetworkParameters,
+    ScenarioConfig,
+    Targeting,
+    UserEducationConfig,
+    UserParameters,
+    VirusParameters,
+)
+from repro.core.serialization import scenario_from_json, scenario_to_json
+
+positive_hours = st.floats(0.01, 100.0, allow_nan=False)
+
+
+@st.composite
+def virus_parameters(draw):
+    limited = draw(st.booleans())
+    if limited:
+        limit = draw(st.integers(1, 100))
+        period = draw(st.sampled_from([LimitPeriod.REBOOT, LimitPeriod.FIXED_WINDOW]))
+        counts_recipients = (
+            draw(st.booleans()) if period is LimitPeriod.FIXED_WINDOW else False
+        )
+        global_windows = (
+            draw(st.booleans()) if period is LimitPeriod.FIXED_WINDOW else False
+        )
+    else:
+        limit, period = None, LimitPeriod.NONE
+        counts_recipients = global_windows = False
+    return VirusParameters(
+        name=draw(st.text(min_size=1, max_size=12, alphabet="abcdefgh123")),
+        targeting=draw(st.sampled_from(list(Targeting))),
+        recipients_per_message=draw(st.integers(1, 100)),
+        min_send_interval=draw(positive_hours),
+        extra_send_delay_mean=draw(st.floats(0.0, 10.0)),
+        message_limit=limit,
+        limit_period=period,
+        limit_counts_recipients=counts_recipients,
+        global_limit_windows=global_windows,
+        reboot_interval_mean=draw(positive_hours),
+        limit_window=draw(positive_hours),
+        dormancy=draw(st.floats(0.0, 10.0)),
+        valid_number_fraction=draw(st.floats(0.01, 1.0)),
+        bluetooth_rate=draw(st.floats(0.0, 10.0)),
+    )
+
+
+@st.composite
+def response_configs(draw):
+    kind = draw(st.integers(0, 5))
+    if kind == 0:
+        return GatewayScanConfig(activation_delay=draw(st.floats(0.0, 100.0)))
+    if kind == 1:
+        return DetectionAlgorithmConfig(
+            accuracy=draw(st.floats(0.0, 1.0)),
+            analysis_period=draw(st.floats(0.0, 50.0)),
+        )
+    if kind == 2:
+        return UserEducationConfig(acceptance_scale=draw(st.floats(0.0, 1.0)))
+    if kind == 3:
+        return ImmunizationConfig(
+            development_time=draw(st.floats(0.0, 100.0)),
+            deployment_window=draw(positive_hours),
+        )
+    if kind == 4:
+        return MonitoringConfig(
+            forced_wait=draw(positive_hours),
+            window=draw(positive_hours),
+            threshold=draw(st.integers(1, 100)),
+        )
+    return BlacklistConfig(threshold=draw(st.integers(1, 100)))
+
+
+@st.composite
+def scenarios(draw):
+    population = draw(st.integers(10, 2000))
+    return ScenarioConfig(
+        name=draw(st.text(min_size=1, max_size=20, alphabet="abc-_0")),
+        virus=draw(virus_parameters()),
+        network=NetworkParameters(
+            population=population,
+            susceptible_fraction=draw(st.floats(0.1, 1.0)),
+            mean_contact_list_size=draw(
+                st.floats(1.0, max(1.5, population / 3.0))
+            ),
+            powerlaw_exponent=draw(st.floats(1.2, 3.0)),
+            gateway_delay_mean=draw(st.floats(0.0, 1.0)),
+        ),
+        user=UserParameters(
+            acceptance_factor=draw(st.floats(0.0, 1.0)),
+            read_delay_mean=draw(st.floats(0.0, 10.0)),
+        ),
+        detection=DetectionParameters(
+            detectable_infections=draw(st.integers(1, 100))
+        ),
+        responses=tuple(draw(st.lists(response_configs(), max_size=4))),
+        duration=draw(positive_hours),
+    )
+
+
+@given(scenario=scenarios())
+@settings(max_examples=100, deadline=None)
+def test_json_round_trip_is_identity(scenario):
+    restored = scenario_from_json(scenario_to_json(scenario))
+    assert restored == scenario

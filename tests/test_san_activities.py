@@ -1,0 +1,204 @@
+"""Tests for SAN activities: enabling, firing, cases, validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.san import (
+    Arc,
+    Case,
+    InputGate,
+    InstantaneousActivity,
+    Marking,
+    OutputGate,
+    TimedActivity,
+)
+from repro.des.random import Deterministic, Exponential
+
+
+def make_marking(**tokens):
+    return Marking(dict(tokens))
+
+
+class TestEnabling:
+    def test_input_arc_requires_tokens(self):
+        activity = TimedActivity("t", 1.0, input_arcs=["a"], output_arcs=["b"])
+        assert not activity.enabled(make_marking(a=0, b=0))
+        assert activity.enabled(make_marking(a=1, b=0))
+
+    def test_multiplicity(self):
+        activity = TimedActivity("t", 1.0, input_arcs=[("a", 3)])
+        assert not activity.enabled(make_marking(a=2))
+        assert activity.enabled(make_marking(a=3))
+
+    def test_input_gate_predicate(self):
+        gate = InputGate("g", ("a",), predicate=lambda m: m["a"] >= 5)
+        activity = TimedActivity("t", 1.0, input_gates=[gate])
+        assert not activity.enabled(make_marking(a=4))
+        assert activity.enabled(make_marking(a=5))
+
+    def test_arc_and_gate_both_required(self):
+        gate = InputGate("g", ("b",), predicate=lambda m: m["b"] == 0)
+        activity = TimedActivity("t", 1.0, input_arcs=["a"], input_gates=[gate])
+        assert not activity.enabled(make_marking(a=1, b=1))
+        assert not activity.enabled(make_marking(a=0, b=0))
+        assert activity.enabled(make_marking(a=1, b=0))
+
+
+class TestFiring:
+    def test_arcs_move_tokens(self):
+        activity = TimedActivity("t", 1.0, input_arcs=[("a", 2)], output_arcs=["b"])
+        marking = make_marking(a=3, b=0)
+        activity.fire(marking, np.random.default_rng(0))
+        assert marking["a"] == 1
+        assert marking["b"] == 1
+
+    def test_gate_functions_applied_in_order(self):
+        order = []
+        input_gate = InputGate(
+            "ig", ("a",), function=lambda m: order.append("input")
+        )
+        output_gate = OutputGate(
+            "og", ("a",), function=lambda m: order.append("output")
+        )
+        activity = TimedActivity(
+            "t", 1.0, input_gates=[input_gate], output_gates=[output_gate]
+        )
+        activity.fire(make_marking(a=0), np.random.default_rng(0))
+        assert order == ["input", "output"]
+
+    def test_case_selection_respects_probabilities(self):
+        activity = TimedActivity(
+            "t",
+            1.0,
+            input_arcs=["a"],
+            cases=[
+                Case(0.25, output_arcs=["left"]),
+                Case(0.75, output_arcs=["right"]),
+            ],
+        )
+        rng = np.random.default_rng(1)
+        lefts = 0
+        trials = 4000
+        for _ in range(trials):
+            marking = make_marking(a=1, left=0, right=0)
+            activity.fire(marking, rng)
+            lefts += marking["left"]
+        assert abs(lefts / trials - 0.25) < 0.03
+
+    def test_fire_returns_case_index(self):
+        activity = TimedActivity(
+            "t", 1.0, cases=[Case(1.0, output_arcs=["a"]), Case(0.0)]
+        )
+        index = activity.fire(make_marking(a=0), np.random.default_rng(0))
+        assert index == 0
+
+    def test_marking_dependent_case_probability(self):
+        activity = InstantaneousActivity(
+            "read",
+            input_arcs=["inbox"],
+            cases=[
+                Case(
+                    probability=lambda m: 1.0 if m["received"] == 0 else 0.0,
+                    output_arcs=["accepted", "received"],
+                ),
+                Case(
+                    probability=lambda m: 0.0 if m["received"] == 0 else 1.0,
+                    output_arcs=["received"],
+                ),
+            ],
+        )
+        rng = np.random.default_rng(0)
+        marking = make_marking(inbox=2, received=0, accepted=0)
+        activity.fire(marking, rng)
+        assert marking["accepted"] == 1  # first read always accepts here
+        activity.fire(marking, rng)
+        assert marking["accepted"] == 1  # second read never accepts
+        assert marking["received"] == 2
+
+    def test_zero_total_case_probability_raises(self):
+        activity = InstantaneousActivity(
+            "bad", cases=[Case(probability=lambda m: 0.0)]
+        )
+        with pytest.raises(ValueError):
+            activity.fire(make_marking(), np.random.default_rng(0))
+
+
+class TestValidation:
+    def test_case_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            TimedActivity("t", 1.0, cases=[Case(0.5), Case(0.4)])
+
+    def test_cases_and_direct_outputs_exclusive(self):
+        with pytest.raises(ValueError):
+            TimedActivity("t", 1.0, output_arcs=["a"], cases=[Case(1.0)])
+
+    def test_arc_multiplicity_positive(self):
+        with pytest.raises(ValueError):
+            Arc("a", 0)
+
+    def test_case_probability_bounds(self):
+        with pytest.raises(ValueError):
+            Case(1.5)
+
+    def test_bad_arc_spec(self):
+        with pytest.raises(TypeError):
+            TimedActivity("t", 1.0, input_arcs=[42])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            TimedActivity("", 1.0)
+
+    def test_negative_sampled_delay_rejected(self):
+        class NegativeDist(Deterministic):
+            def sample(self, rng):
+                return -1.0
+
+        activity = TimedActivity("t", NegativeDist(1.0))
+        with pytest.raises(ValueError):
+            activity.sample_delay(make_marking(), np.random.default_rng(0))
+
+
+class TestDelays:
+    def test_fixed_distribution(self):
+        activity = TimedActivity("t", Exponential(2.0))
+        rng = np.random.default_rng(0)
+        samples = [activity.sample_delay(make_marking(), rng) for _ in range(2000)]
+        assert abs(np.mean(samples) - 2.0) < 0.15
+
+    def test_marking_dependent_delay(self):
+        activity = TimedActivity(
+            "t",
+            lambda m: Deterministic(float(m["load"])),
+            input_gates=[InputGate("g", ("load",))],
+        )
+        rng = np.random.default_rng(0)
+        assert activity.sample_delay(make_marking(load=7), rng) == 7.0
+
+    def test_numeric_delay_coerced(self):
+        activity = TimedActivity("t", 2.5)
+        assert activity.sample_delay(make_marking(), np.random.default_rng(0)) == 2.5
+
+
+class TestStructureQueries:
+    def test_read_and_touched_places(self):
+        gate_in = InputGate("gi", ("p", "q"))
+        gate_out = OutputGate("go", ("r",))
+        activity = TimedActivity(
+            "t",
+            1.0,
+            input_arcs=["a"],
+            output_arcs=["b"],
+            input_gates=[gate_in],
+            output_gates=[gate_out],
+        )
+        assert set(activity.read_places()) == {"a", "p", "q"}
+        assert set(activity.touched_places()) == {"a", "p", "q", "b", "r"}
+
+    def test_case_places_in_touched(self):
+        activity = TimedActivity(
+            "t", 1.0, input_arcs=["a"], cases=[Case(1.0, output_arcs=["x"])]
+        )
+        assert "x" in activity.touched_places()
+        assert "x" not in activity.read_places()

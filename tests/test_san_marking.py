@@ -1,0 +1,67 @@
+"""Tests for SAN markings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.san import Marking
+
+
+def test_initial_tokens():
+    marking = Marking({"a": 2, "b": 0})
+    assert marking["a"] == 2
+    assert marking.get("b") == 0
+    assert len(marking) == 2
+    assert "a" in marking
+    assert "missing" not in marking
+
+
+def test_negative_initial_rejected():
+    with pytest.raises(ValueError):
+        Marking({"a": -1})
+
+
+def test_set_and_add():
+    marking = Marking({"a": 1})
+    marking["a"] = 5
+    assert marking["a"] == 5
+    marking.add("a", 2)
+    assert marking["a"] == 7
+    marking.remove("a", 3)
+    assert marking["a"] == 4
+
+
+def test_unknown_place_rejected():
+    marking = Marking({"a": 0})
+    with pytest.raises(KeyError):
+        marking["b"]
+    with pytest.raises(KeyError):
+        marking["b"] = 1
+
+
+def test_negative_tokens_rejected():
+    marking = Marking({"a": 1})
+    with pytest.raises(ValueError):
+        marking.remove("a", 2)
+
+
+def test_dirty_tracking():
+    marking = Marking({"a": 1, "b": 2})
+    assert marking.take_dirty() == set()
+    marking["a"] = 3
+    marking["b"] = 2  # unchanged value: not dirty
+    assert marking.take_dirty() == {"a"}
+    assert marking.take_dirty() == set()
+
+
+def test_as_dict_is_snapshot():
+    marking = Marking({"a": 1})
+    snapshot = marking.as_dict()
+    marking["a"] = 9
+    assert snapshot == {"a": 1}
+
+
+def test_items_iteration():
+    marking = Marking({"a": 1, "b": 2})
+    assert dict(marking.items()) == {"a": 1, "b": 2}
+    assert set(iter(marking)) == {"a", "b"}

@@ -1,0 +1,187 @@
+"""Tests for SAN model structure and Rep/Join composition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.des.random import Deterministic
+from repro.san import (
+    Case,
+    InputGate,
+    OutputGate,
+    Place,
+    SANModel,
+    SANStructureError,
+    TimedActivity,
+    join,
+    replicate,
+)
+
+
+def simple_counter_model(shared_name: str = "total") -> SANModel:
+    """One local place, a timed activity moving tokens into a shared total."""
+    model = SANModel("counter")
+    model.place("budget", 3)
+    model.place(shared_name, 0)
+    model.add_activity(
+        TimedActivity(
+            "tick",
+            Deterministic(1.0),
+            input_arcs=["budget"],
+            output_arcs=[shared_name],
+        )
+    )
+    return model
+
+
+class TestSANModel:
+    def test_duplicate_place_rejected(self):
+        model = SANModel()
+        model.place("a")
+        with pytest.raises(SANStructureError):
+            model.place("a")
+
+    def test_duplicate_activity_rejected(self):
+        model = SANModel()
+        model.place("a")
+        model.add_activity(TimedActivity("t", 1.0, input_arcs=["a"]))
+        with pytest.raises(SANStructureError):
+            model.add_activity(TimedActivity("t", 1.0, input_arcs=["a"]))
+
+    def test_undeclared_place_rejected(self):
+        model = SANModel()
+        with pytest.raises(SANStructureError):
+            model.add_activity(TimedActivity("t", 1.0, input_arcs=["ghost"]))
+
+    def test_initial_marking(self):
+        model = SANModel()
+        model.place("a", 2)
+        model.place("b")
+        marking = model.initial_marking()
+        assert marking["a"] == 2
+        assert marking["b"] == 0
+
+    def test_lookups(self):
+        model = SANModel()
+        model.place("a", 1)
+        model.add_activity(TimedActivity("t", 1.0, input_arcs=["a"]))
+        assert model.get_place("a").initial_tokens == 1
+        assert model.get_activity("t").name == "t"
+        with pytest.raises(SANStructureError):
+            model.get_place("zz")
+        with pytest.raises(SANStructureError):
+            model.get_activity("zz")
+
+    def test_renamed_prefixes_non_shared(self):
+        model = simple_counter_model()
+        renamed = model.renamed("r0", shared=["total"])
+        place_names = {p.name for p in renamed.places}
+        assert place_names == {"r0.budget", "total"}
+        assert renamed.activities[0].name == "r0.tick"
+
+    def test_renamed_unknown_shared_rejected(self):
+        model = simple_counter_model()
+        with pytest.raises(SANStructureError):
+            model.renamed("r0", shared=["ghost"])
+
+
+class TestComposition:
+    def test_join_fuses_shared_places(self):
+        composed = join(
+            [("x", simple_counter_model()), ("y", simple_counter_model())],
+            shared=["total"],
+        )
+        names = {p.name for p in composed.places}
+        assert names == {"x.budget", "y.budget", "total"}
+        assert len(composed.activities) == 2
+
+    def test_join_conflicting_shared_initials_rejected(self):
+        a = SANModel("a")
+        a.place("shared", 1)
+        b = SANModel("b")
+        b.place("shared", 2)
+        with pytest.raises(SANStructureError):
+            join([("x", a), ("y", b)], shared=["shared"])
+
+    def test_join_missing_shared_place_rejected(self):
+        with pytest.raises(SANStructureError):
+            join([("x", simple_counter_model())], shared=["ghost"])
+
+    def test_join_duplicate_instances_rejected(self):
+        model = simple_counter_model()
+        with pytest.raises(SANStructureError):
+            join([("x", model), ("x", model)], shared=["total"])
+
+    def test_replicate_counts(self):
+        composed = replicate(simple_counter_model(), 5, shared=["total"])
+        budgets = [p for p in composed.places if p.name.endswith("budget")]
+        assert len(budgets) == 5
+        assert len(composed.activities) == 5
+
+    def test_replicate_invalid_count(self):
+        with pytest.raises(SANStructureError):
+            replicate(simple_counter_model(), 0, shared=["total"])
+
+    def test_composed_model_executes_with_gate_translation(self):
+        """Gates written against local names must see the composed marking."""
+        from repro.san import SANSimulator
+
+        model = SANModel("gated")
+        model.place("budget", 2)
+        model.place("total", 0)
+        model.add_activity(
+            TimedActivity(
+                "tick",
+                Deterministic(1.0),
+                input_arcs=["budget"],
+                input_gates=[
+                    InputGate(
+                        "limit", ("total",), predicate=lambda m: m["total"] < 10
+                    )
+                ],
+                output_gates=[
+                    OutputGate(
+                        "bump", ("total",), function=lambda m: m.add("total", 1)
+                    )
+                ],
+            )
+        )
+        composed = replicate(model, 3, shared=["total"])
+        result = SANSimulator(composed, np.random.default_rng(0)).run(until=10.0)
+        # 3 replicas × 2 budget tokens each, all moved into the shared total.
+        assert result.final_marking["total"] == 6
+
+    def test_composed_case_probability_translation(self):
+        """Marking-dependent case probabilities survive renaming."""
+        from repro.san import InstantaneousActivity, SANSimulator
+
+        model = SANModel("prob")
+        model.place("fuel", 1)
+        model.place("mode", 1)  # local place read by the case probability
+        model.place("hit", 0)
+        model.place("miss", 0)
+        model.add_activity(
+            InstantaneousActivity(
+                "fire",
+                input_arcs=["fuel"],
+                cases=[
+                    Case(
+                        probability=lambda m: 1.0 if m["mode"] == 1 else 0.0,
+                        output_arcs=["hit"],
+                    ),
+                    Case(
+                        probability=lambda m: 0.0 if m["mode"] == 1 else 1.0,
+                        output_arcs=["miss"],
+                    ),
+                ],
+            )
+        )
+        composed = replicate(model, 4, shared=[])
+        result = SANSimulator(composed, np.random.default_rng(0)).run(until=1.0)
+        hits = sum(
+            result.final_marking[p.name]
+            for p in composed.places
+            if p.name.endswith(".hit")
+        )
+        assert hits == 4

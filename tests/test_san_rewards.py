@@ -1,0 +1,83 @@
+"""Tests for reward accumulation semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.san import ImpulseReward, Marking, RateReward, RewardAccumulator, place_count
+
+
+def test_start_required_before_observe():
+    accumulator = RewardAccumulator([RateReward("x", place_count("a"))])
+    with pytest.raises(RuntimeError):
+        accumulator.observe(1.0, Marking({"a": 0}))
+
+
+def test_instant_and_interval_values():
+    marking = Marking({"a": 1})
+    accumulator = RewardAccumulator([RateReward("a", place_count("a"))])
+    accumulator.start(marking)
+    marking["a"] = 3
+    accumulator.observe(2.0, marking)  # value 1 over [0,2)
+    marking["a"] = 0
+    accumulator.observe(5.0, marking)  # value 3 over [2,5)
+    accumulator.finish(10.0, marking)  # value 0 over [5,10]
+    assert accumulator.instant_value("a") == 0.0
+    assert accumulator.interval_value("a") == pytest.approx(2 * 1 + 3 * 3)
+    assert accumulator.time_averaged_value("a") == pytest.approx(11.0 / 10.0)
+
+
+def test_trajectory_records_changes_only():
+    marking = Marking({"a": 0})
+    accumulator = RewardAccumulator([RateReward("a", place_count("a"))])
+    accumulator.start(marking)
+    accumulator.observe(1.0, marking)  # no change: no new point
+    marking["a"] = 2
+    accumulator.observe(2.0, marking)
+    accumulator.observe(3.0, marking)  # no change
+    assert accumulator.trajectory("a") == [(0.0, 0.0), (2.0, 2.0)]
+
+
+def test_trajectories_can_be_disabled():
+    accumulator = RewardAccumulator(
+        [RateReward("a", place_count("a"))], record_trajectories=False
+    )
+    accumulator.start(Marking({"a": 0}))
+    with pytest.raises(RuntimeError):
+        accumulator.trajectory("a")
+
+
+def test_impulse_accumulation():
+    accumulator = RewardAccumulator(
+        impulse_rewards=[
+            ImpulseReward("sends", ("send", "resend"), value=1.0),
+            ImpulseReward("weighted", ("send",), value=0.5),
+        ]
+    )
+    accumulator.start(Marking({}))
+    accumulator.impulse("send")
+    accumulator.impulse("resend")
+    accumulator.impulse("other")
+    assert accumulator.impulse_total("sends") == 2.0
+    assert accumulator.impulse_total("weighted") == 0.5
+    assert accumulator.interval_value("sends") == 2.0
+
+
+def test_unknown_reward_names():
+    accumulator = RewardAccumulator([RateReward("a", place_count("a"))])
+    accumulator.start(Marking({"a": 0}))
+    with pytest.raises(KeyError):
+        accumulator.instant_value("zz")
+    with pytest.raises(KeyError):
+        accumulator.interval_value("zz")
+    with pytest.raises(KeyError):
+        accumulator.impulse_total("zz")
+    with pytest.raises(KeyError):
+        accumulator.trajectory("zz")
+
+
+def test_reward_name_validation():
+    with pytest.raises(ValueError):
+        RateReward("", place_count("a"))
+    with pytest.raises(ValueError):
+        ImpulseReward("x", ())

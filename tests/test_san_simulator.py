@@ -1,0 +1,252 @@
+"""Tests for the SAN next-event simulator: semantics and analytic checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.des.random import Deterministic, Exponential
+from repro.san import (
+    Case,
+    ImpulseReward,
+    InputGate,
+    InstantaneousActivity,
+    OutputGate,
+    RateReward,
+    SANModel,
+    SANSimulator,
+    TimedActivity,
+    place_count,
+    place_sum,
+    simulate,
+)
+from repro.des.simulator import SimulationError
+
+
+def counter_model(budget: int = 5, period: float = 1.0) -> SANModel:
+    model = SANModel("counter")
+    model.place("budget", budget)
+    model.place("done", 0)
+    model.add_activity(
+        TimedActivity(
+            "tick", Deterministic(period), input_arcs=["budget"], output_arcs=["done"]
+        )
+    )
+    return model
+
+
+def test_deterministic_chain_completes():
+    result = simulate(counter_model(), until=10.0, rng=np.random.default_rng(0))
+    assert result.final_marking["done"] == 5
+    assert result.final_marking["budget"] == 0
+    assert result.firing_count("tick") == 5
+
+
+def test_horizon_cuts_off_firings():
+    result = simulate(counter_model(), until=2.5, rng=np.random.default_rng(0))
+    assert result.final_marking["done"] == 2
+
+
+def test_activity_disabled_midway_is_aborted():
+    """A draining activity loses its sampled time when disabled."""
+    model = SANModel("abort")
+    model.place("fuel", 1)
+    model.place("out_slow", 0)
+    model.place("out_fast", 0)
+    # Both compete for the same fuel token; the fast one always wins and
+    # the slow one must be aborted (never fires).
+    model.add_activity(
+        TimedActivity("slow", Deterministic(10.0), input_arcs=["fuel"],
+                      output_arcs=["out_slow"])
+    )
+    model.add_activity(
+        TimedActivity("fast", Deterministic(1.0), input_arcs=["fuel"],
+                      output_arcs=["out_fast"])
+    )
+    result = simulate(model, until=100.0, rng=np.random.default_rng(0))
+    assert result.final_marking["out_fast"] == 1
+    assert result.final_marking["out_slow"] == 0
+    assert result.firing_count("slow") == 0
+
+
+def test_reenabled_activity_resamples():
+    """After an abort, re-enabling samples a fresh delay (enabling memory reset)."""
+    model = SANModel("resample")
+    model.place("gate_open", 1)
+    model.place("count", 0)
+    model.add_activity(
+        TimedActivity(
+            "work",
+            Deterministic(3.0),
+            input_gates=[InputGate("open", ("gate_open",),
+                                   predicate=lambda m: m["gate_open"] >= 1)],
+            output_arcs=["count"],
+        )
+    )
+    # A toggler that closes the gate at t=2 (before work completes at 3)
+    # and reopens it at t=4; work should complete at 4+3=7, not at 3 or 5.
+    model.place("toggle_budget", 2)
+    toggle_times = iter([2.0, 2.0])
+
+    def toggle(marking):
+        marking["gate_open"] = 0 if marking["gate_open"] else 1
+
+    model.add_activity(
+        TimedActivity(
+            "toggler",
+            Deterministic(2.0),
+            input_arcs=["toggle_budget"],
+            output_gates=[OutputGate("flip", ("gate_open",), function=toggle)],
+        )
+    )
+    simulator = SANSimulator(
+        model, np.random.default_rng(0), rate_rewards=[RateReward("count", place_count("count"))]
+    )
+    result = simulator.run(until=20.0)
+    trajectory = result.rewards.trajectory("count")
+    first_completion = [t for t, v in trajectory if v >= 1][0]
+    assert first_completion == pytest.approx(7.0)
+
+
+def test_instantaneous_fires_immediately():
+    model = SANModel("instant")
+    model.place("a", 1)
+    model.place("b", 0)
+    model.place("c", 0)
+    model.add_activity(
+        TimedActivity("t", Deterministic(2.0), input_arcs=["a"], output_arcs=["b"])
+    )
+    model.add_activity(
+        InstantaneousActivity("i", input_arcs=["b"], output_arcs=["c"])
+    )
+    result = simulate(model, until=10.0, rng=np.random.default_rng(0))
+    assert result.final_marking["c"] == 1
+    assert result.final_time == 10.0
+
+
+def test_instantaneous_priority_order():
+    """Higher priority instantaneous activity wins the shared token."""
+    model = SANModel("prio")
+    model.place("token", 1)
+    model.place("low_out", 0)
+    model.place("high_out", 0)
+    model.add_activity(
+        InstantaneousActivity("low", input_arcs=["token"], output_arcs=["low_out"],
+                              priority=0)
+    )
+    model.add_activity(
+        InstantaneousActivity("high", input_arcs=["token"], output_arcs=["high_out"],
+                              priority=5)
+    )
+    result = simulate(model, until=1.0, rng=np.random.default_rng(0))
+    assert result.final_marking["high_out"] == 1
+    assert result.final_marking["low_out"] == 0
+
+
+def test_instantaneous_chain_at_startup():
+    model = SANModel("chain")
+    model.place("a", 1)
+    model.place("b", 0)
+    model.place("c", 0)
+    model.add_activity(InstantaneousActivity("ab", input_arcs=["a"], output_arcs=["b"]))
+    model.add_activity(InstantaneousActivity("bc", input_arcs=["b"], output_arcs=["c"]))
+    result = simulate(model, until=1.0, rng=np.random.default_rng(0))
+    assert result.final_marking["c"] == 1
+
+
+def test_zeno_loop_detected():
+    model = SANModel("zeno")
+    model.place("a", 1)
+    model.place("b", 0)
+    model.add_activity(InstantaneousActivity("ab", input_arcs=["a"], output_arcs=["b"]))
+    model.add_activity(InstantaneousActivity("ba", input_arcs=["b"], output_arcs=["a"]))
+    with pytest.raises(SimulationError):
+        simulate(model, until=1.0, rng=np.random.default_rng(0))
+
+
+def test_self_reenabling_cycle():
+    """An always-enabled timed activity keeps firing (send loop pattern)."""
+    model = SANModel("loop")
+    model.place("sent", 0)
+    model.add_activity(
+        TimedActivity("send", Deterministic(1.0), output_arcs=["sent"])
+    )
+    result = simulate(model, until=10.0, rng=np.random.default_rng(0))
+    assert result.final_marking["sent"] == 10
+
+
+def test_mm1_like_birth_death_balance():
+    """Birth-death chain: arrival/service rates 1:2 give ~1/3 utilisation.
+
+    An M/M/1 queue with λ=1, μ=2 has P(busy) = ρ = 0.5 at equilibrium; we
+    check the time-averaged queue-nonempty indicator against theory within
+    Monte Carlo tolerance.
+    """
+    model = SANModel("mm1")
+    model.place("queue", 0)
+    model.add_activity(
+        TimedActivity("arrive", Exponential(1.0), output_arcs=["queue"])
+    )
+    model.add_activity(
+        TimedActivity("serve", Exponential(0.5), input_arcs=["queue"])
+    )
+    simulator = SANSimulator(
+        model,
+        np.random.default_rng(42),
+        rate_rewards=[
+            RateReward("busy", lambda m: 1.0 if m["queue"] > 0 else 0.0),
+            RateReward("length", place_count("queue")),
+        ],
+        record_trajectories=False,
+    )
+    result = simulator.run(until=20000.0)
+    busy_fraction = result.rewards.time_averaged_value("busy")
+    mean_length = result.rewards.time_averaged_value("length")
+    assert abs(busy_fraction - 0.5) < 0.05
+    # M/M/1 mean queue length = rho / (1 - rho) = 1.
+    assert abs(mean_length - 1.0) < 0.15
+
+
+def test_impulse_rewards_count_firings():
+    model = counter_model(budget=4)
+    simulator = SANSimulator(
+        model,
+        np.random.default_rng(0),
+        impulse_rewards=[ImpulseReward("ticks", ("tick",), value=2.0)],
+    )
+    result = simulator.run(until=10.0)
+    assert result.rewards.impulse_total("ticks") == 8.0
+
+
+def test_rate_reward_trajectory_and_interval():
+    model = counter_model(budget=3, period=1.0)
+    simulator = SANSimulator(
+        model,
+        np.random.default_rng(0),
+        rate_rewards=[RateReward("done", place_count("done"))],
+    )
+    result = simulator.run(until=10.0)
+    trajectory = result.rewards.trajectory("done")
+    assert trajectory[0] == (0.0, 0.0)
+    assert [v for _, v in trajectory] == [0.0, 1.0, 2.0, 3.0]
+    # Integral: 0 on [0,1), 1 on [1,2), 2 on [2,3), 3 on [3,10] = 0+1+2+21.
+    assert result.rewards.interval_value("done") == pytest.approx(24.0)
+    assert result.rewards.time_averaged_value("done") == pytest.approx(2.4)
+
+
+def test_place_sum_reward():
+    model = SANModel("sum")
+    model.place("a", 2)
+    model.place("b", 3)
+    simulator = SANSimulator(
+        model,
+        np.random.default_rng(0),
+        rate_rewards=[RateReward("total", place_sum(["a", "b"]))],
+    )
+    result = simulator.run(until=1.0)
+    assert result.rewards.instant_value("total") == 5.0
+
+
+def test_negative_until_rejected():
+    with pytest.raises(SimulationError):
+        simulate(counter_model(), until=-1.0, rng=np.random.default_rng(0))
