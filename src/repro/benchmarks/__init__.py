@@ -1,0 +1,34 @@
+"""Persistent performance benchmark harness.
+
+Times representative workloads (single-replication event loops, a full
+figure experiment, a 2000-phone scaling run) and writes ``BENCH_<label>.json``
+so every PR leaves a perf trajectory behind.  ``python -m repro.benchmarks
+smoke`` reruns the quick subset and fails on a >2x regression against the
+committed baseline.
+"""
+
+from .harness import (
+    BENCH_SCHEMA_VERSION,
+    Workload,
+    WorkloadResult,
+    bench_path,
+    compare_to_baseline,
+    load_bench,
+    run_workloads,
+    workload_names,
+    WORKLOADS,
+    write_bench,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "Workload",
+    "WorkloadResult",
+    "WORKLOADS",
+    "bench_path",
+    "compare_to_baseline",
+    "load_bench",
+    "run_workloads",
+    "workload_names",
+    "write_bench",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.benchmarks`` dispatches to the harness CLI."""
+
+import sys
+
+from .harness import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,373 @@
+"""Benchmark workload definitions, runner, and regression comparison.
+
+Workloads fall into two kinds:
+
+* *single-replication* workloads drive :class:`~repro.core.model.PhoneNetworkModel`
+  directly and report raw event-loop throughput (events fired per second);
+* *experiment* workloads run a registered figure through
+  :func:`repro.experiments.run_experiment` and report end-to-end wall
+  clock plus aggregate event throughput (every
+  :class:`~repro.core.simulation.ScenarioResult` carries an
+  ``events_fired`` counter).
+
+``run_workloads`` produces a JSON-serializable document;
+``compare_to_baseline`` flags workloads whose wall clock regressed past a
+factor against a previously committed ``BENCH_<label>.json``.
+"""
+
+from __future__ import annotations
+
+import datetime
+import inspect
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..core.model import PhoneNetworkModel
+from ..core.parameters import NetworkParameters
+from ..core.scenarios import baseline_scenario
+from ..des.random import StreamFactory
+from ..experiments import get_experiment, run_experiment
+
+#: Format version of the BENCH_*.json documents.
+BENCH_SCHEMA_VERSION = 1
+
+#: Master seed for every benchmark workload (the paper's year, matching
+#: the figure benchmarks in benchmarks/conftest.py).
+BENCH_SEED = 2007
+
+
+@dataclass
+class WorkloadResult:
+    """Measured outcome of one workload."""
+
+    name: str
+    wall_seconds: float
+    events: int
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def events_per_second(self) -> float:
+        """Event-loop throughput (0 when the workload reports no events)."""
+        if self.wall_seconds <= 0 or self.events <= 0:
+            return 0.0
+        return self.events / self.wall_seconds
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form."""
+        return {
+            "wall_seconds": round(self.wall_seconds, 4),
+            "events": self.events,
+            "events_per_second": round(self.events_per_second, 1),
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One named benchmark workload."""
+
+    name: str
+    description: str
+    #: Included in the quick ``smoke`` suite (<60 s total).
+    smoke: bool
+    runner: Callable[[int], WorkloadResult]
+
+    def run(self, processes: int = 1) -> WorkloadResult:
+        """Execute the workload and return its measurement."""
+        return self.runner(processes)
+
+
+def _run_experiment_compat(spec, replications, seed, processes):
+    """Forward ``processes`` to run_experiment only if it accepts it."""
+    kwargs = {"replications": replications, "seed": seed}
+    accepted = inspect.signature(run_experiment).parameters
+    if "processes" in accepted:
+        kwargs["processes"] = processes
+    return run_experiment(spec, **kwargs)
+
+
+def _single_replication(
+    name: str,
+    virus: int,
+    population: Optional[int] = None,
+) -> Callable[[int], WorkloadResult]:
+    def runner(processes: int) -> WorkloadResult:
+        network = NetworkParameters(population=population) if population else None
+        config = baseline_scenario(virus, network=network)
+        start = time.perf_counter()
+        model = PhoneNetworkModel(config, StreamFactory(BENCH_SEED).replication(0))
+        model.seed_infection()
+        model.run()
+        wall = time.perf_counter() - start
+        return WorkloadResult(
+            name=name,
+            wall_seconds=wall,
+            events=model.sim.events_fired,
+            detail={
+                "kind": "single_replication",
+                "virus": virus,
+                "population": config.network.population,
+                "duration_hours": config.duration,
+                "final_infected": model.total_infected,
+            },
+        )
+
+    return runner
+
+
+def _experiment(
+    name: str,
+    experiment_id: str,
+    replications: Optional[int] = None,
+    use_processes: bool = False,
+) -> Callable[[int], WorkloadResult]:
+    def runner(processes: int) -> WorkloadResult:
+        spec = get_experiment(experiment_id)
+        reps = replications if replications is not None else spec.default_replications
+        workers = processes if use_processes else 1
+        start = time.perf_counter()
+        result = _run_experiment_compat(spec, reps, BENCH_SEED, workers)
+        wall = time.perf_counter() - start
+        events = sum(
+            rs.counter_total("events_fired") for rs in result.series_results.values()
+        )
+        return WorkloadResult(
+            name=name,
+            wall_seconds=wall,
+            events=events,
+            detail={
+                "kind": "experiment",
+                "experiment_id": experiment_id,
+                "series": len(spec.series),
+                "replications": reps,
+                "processes": workers,
+            },
+        )
+
+    return runner
+
+
+#: The benchmark suite, in execution order.
+WORKLOADS: Dict[str, Workload] = {
+    w.name: w
+    for w in (
+        Workload(
+            name="fig1-v1-single",
+            description="One replication of the Virus 1 baseline (1000 phones, 432 h)",
+            smoke=True,
+            runner=_single_replication("fig1-v1-single", virus=1),
+        ),
+        Workload(
+            name="fig1-v3-single",
+            description="One replication of the Virus 3 baseline (1000 phones, 24 h)",
+            smoke=True,
+            runner=_single_replication("fig1-v3-single", virus=3),
+        ),
+        Workload(
+            name="fig3-experiment",
+            description="Full fig3 experiment (6 series x default replications)",
+            smoke=True,
+            runner=_experiment("fig3-experiment", "fig3"),
+        ),
+        Workload(
+            name="fig3-experiment-p4",
+            description="Full fig3 experiment dispatched across 4 workers",
+            smoke=False,
+            runner=_experiment(
+                "fig3-experiment-p4", "fig3", use_processes=True
+            ),
+        ),
+        Workload(
+            name="scaling-2000",
+            description="One replication of the Virus 1 baseline at 2000 phones",
+            smoke=False,
+            runner=_single_replication("scaling-2000", virus=1, population=2000),
+        ),
+    )
+}
+
+
+def workload_names(smoke_only: bool = False) -> List[str]:
+    """Names of the registered workloads, optionally just the smoke set."""
+    return [n for n, w in WORKLOADS.items() if w.smoke or not smoke_only]
+
+
+def run_workloads(
+    names: Optional[Sequence[str]] = None,
+    label: str = "local",
+    processes: int = 4,
+    echo: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Run the named workloads (all, by default) and build a bench document."""
+    selected = list(names) if names is not None else workload_names()
+    unknown = [n for n in selected if n not in WORKLOADS]
+    if unknown:
+        raise KeyError(f"unknown workloads {unknown}; known: {list(WORKLOADS)}")
+    results: Dict[str, Dict[str, object]] = {}
+    for name in selected:
+        measured = WORKLOADS[name].run(processes=processes)
+        results[name] = measured.to_dict()
+        if echo is not None:
+            echo(
+                f"{name}: {measured.wall_seconds:.2f}s, "
+                f"{measured.events} events, "
+                f"{measured.events_per_second:,.0f} ev/s"
+            )
+    return {
+        "label": label,
+        "schema": BENCH_SCHEMA_VERSION,
+        "created": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "seed": BENCH_SEED,
+        "workloads": results,
+    }
+
+
+def bench_path(label: str, directory: Union[str, Path] = ".") -> Path:
+    """Conventional location of a bench document: ``BENCH_<label>.json``."""
+    return Path(directory) / f"BENCH_{label}.json"
+
+
+def write_bench(document: Dict[str, object], directory: Union[str, Path] = ".") -> Path:
+    """Write a bench document to ``BENCH_<label>.json`` and return the path."""
+    path = bench_path(str(document["label"]), directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench(path: Union[str, Path]) -> Dict[str, object]:
+    """Load a previously written bench document."""
+    return json.loads(Path(path).read_text())
+
+
+def compare_to_baseline(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    factor: float = 2.0,
+) -> List[Dict[str, object]]:
+    """Workloads in ``current`` that regressed past ``factor`` vs ``baseline``.
+
+    Only workloads present in both documents are compared; each returned
+    entry carries the name, both wall clocks, and the slowdown ratio.
+    """
+    if factor <= 0:
+        raise ValueError(f"factor must be positive, got {factor}")
+    regressions: List[Dict[str, object]] = []
+    base_workloads = baseline.get("workloads", {})
+    for name, measured in current.get("workloads", {}).items():
+        reference = base_workloads.get(name)
+        if reference is None:
+            continue
+        base_wall = float(reference["wall_seconds"])
+        cur_wall = float(measured["wall_seconds"])
+        if base_wall <= 0:
+            continue
+        ratio = cur_wall / base_wall
+        if ratio > factor:
+            regressions.append(
+                {
+                    "name": name,
+                    "baseline_wall_seconds": base_wall,
+                    "current_wall_seconds": cur_wall,
+                    "ratio": round(ratio, 3),
+                }
+            )
+    return regressions
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI for the harness: ``run`` (full suite) and ``smoke`` (quick gate)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.benchmarks",
+        description="Performance benchmark harness (writes BENCH_<label>.json)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run workloads and write BENCH_<label>.json")
+    run_parser.add_argument("--label", default="local", help="BENCH_<label>.json label")
+    run_parser.add_argument(
+        "--workloads", nargs="*", default=None,
+        help=f"subset to run (default: all of {list(WORKLOADS)})",
+    )
+    run_parser.add_argument("--smoke-only", action="store_true",
+                            help="run only the smoke subset")
+    run_parser.add_argument("--processes", type=int, default=4,
+                            help="worker count for parallel workloads")
+    run_parser.add_argument("--out-dir", default=".", help="output directory")
+
+    smoke_parser = sub.add_parser(
+        "smoke", help="run the smoke subset and fail on >FACTOR regression"
+    )
+    smoke_parser.add_argument(
+        "--baseline", default="BENCH_pr1.json",
+        help="committed baseline document to compare against",
+    )
+    smoke_parser.add_argument("--factor", type=float, default=2.0,
+                              help="allowed slowdown factor")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "run":
+        names = args.workloads
+        if names is None and args.smoke_only:
+            names = workload_names(smoke_only=True)
+        document = run_workloads(
+            names, label=args.label, processes=args.processes, echo=print
+        )
+        path = write_bench(document, args.out_dir)
+        print(f"wrote {path}")
+        return 0
+
+    if args.command == "smoke":
+        baseline_path = Path(args.baseline)
+        if not baseline_path.exists():
+            print(f"baseline {baseline_path} not found", file=sys.stderr)
+            return 2
+        baseline = load_bench(baseline_path)
+        document = run_workloads(
+            workload_names(smoke_only=True), label="smoke", processes=1, echo=print
+        )
+        regressions = compare_to_baseline(document, baseline, factor=args.factor)
+        if regressions:
+            for entry in regressions:
+                print(
+                    f"REGRESSION {entry['name']}: "
+                    f"{entry['current_wall_seconds']:.2f}s vs baseline "
+                    f"{entry['baseline_wall_seconds']:.2f}s "
+                    f"({entry['ratio']:.2f}x > {args.factor:g}x)",
+                    file=sys.stderr,
+                )
+            return 1
+        print(f"smoke ok: no workload regressed past {args.factor:g}x")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BENCH_SEED",
+    "Workload",
+    "WorkloadResult",
+    "WORKLOADS",
+    "bench_path",
+    "compare_to_baseline",
+    "load_bench",
+    "main",
+    "run_workloads",
+    "workload_names",
+    "write_bench",
+]

@@ -6,8 +6,11 @@ Commands
     Show the registered paper experiments.
 ``repro-sim run --virus 3 --response blacklist --threshold 10``
     Simulate one scenario and print its summary/curve.
-``repro-sim figure fig2 --replications 3 --csv out/fig2.csv``
-    Regenerate one paper figure: report, ASCII chart, shape checks.
+``repro-sim figure fig2 fig3 --processes 4 --csv out/figs.csv``
+    Regenerate paper figures (one flattened batch): report, ASCII chart,
+    shape checks.  ``--processes`` fans replications across a worker
+    pool; results are cached on disk so reruns skip finished work
+    (``--no-cache`` disables).
 ``repro-sim topology --nodes 1000 --mean-degree 80 --out contacts.txt``
     Generate a contact-list network file.
 ``repro-sim sweep scan_delay``
@@ -20,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .analysis.report import ascii_chart, format_table
@@ -33,19 +37,45 @@ from .core.parameters import (
     ResponseConfig,
     UserEducationConfig,
 )
+from .core.cache import ResultCache, default_cache_dir
 from .core.scenarios import baseline_scenario
 from .core.simulation import replicate_scenario
 from .des.random import StreamFactory
 from .experiments import (
+    ReplicationScheduler,
     experiment_ids,
     export_csv,
     format_experiment_report,
     get_experiment,
-    run_experiment,
 )
 from .topology.contact_lists import write_contact_lists
 from .topology.generators import contact_network
 from .topology.metrics import DegreeStats
+
+
+def _add_scheduler_args(parser: argparse.ArgumentParser) -> None:
+    """Shared replication-scheduler flags (run/figure/sweep)."""
+    parser.add_argument(
+        "--processes", type=int, default=1,
+        help="worker processes for replications (1 = serial; results are "
+        "bit-identical either way)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk replication result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+
+
+def _make_scheduler(args: argparse.Namespace) -> ReplicationScheduler:
+    """Build the scheduler the command's flags describe."""
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir if args.cache_dir else default_cache_dir())
+    return ReplicationScheduler(processes=args.processes, cache=cache)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,14 +119,21 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--replications", type=int, default=3)
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--no-chart", action="store_true")
+    _add_scheduler_args(run_parser)
 
-    figure_parser = subparsers.add_parser("figure", help="regenerate a paper figure")
-    figure_parser.add_argument("experiment_id", help="e.g. fig1 .. fig7")
+    figure_parser = subparsers.add_parser(
+        "figure", help="regenerate one or more paper figures"
+    )
+    figure_parser.add_argument(
+        "experiment_ids", nargs="+", metavar="experiment_id",
+        help="e.g. fig1 .. fig7 (several ids run as one scheduled batch)",
+    )
     figure_parser.add_argument("--replications", type=int, default=None)
     figure_parser.add_argument("--seed", type=int, default=0)
     figure_parser.add_argument("--csv", default=None, help="export mean curves to CSV")
     figure_parser.add_argument("--svg", default=None, help="export the chart as SVG")
     figure_parser.add_argument("--no-chart", action="store_true")
+    _add_scheduler_args(figure_parser)
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="response-strength sweep + diminishing-returns knee (§5.3)"
@@ -108,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("--replications", type=int, default=2)
     sweep_parser.add_argument("--seed", type=int, default=0)
+    _add_scheduler_args(sweep_parser)
 
     scenario_parser = subparsers.add_parser(
         "scenario", help="simulate a scenario loaded from a JSON file"
@@ -168,12 +206,15 @@ def _command_run(args: argparse.Namespace) -> int:
     response = _build_response(args)
     if response is not None:
         scenario = scenario.with_responses(response, suffix=args.response)
-    result_set = replicate_scenario(
-        scenario, replications=args.replications, seed=args.seed
-    )
+    with _make_scheduler(args) as scheduler:
+        result_set = scheduler.replicate(
+            scenario, replications=args.replications, seed=args.seed
+        )
+        stats_line = scheduler.stats.format()
     summary = result_set.final_summary()
     print(f"scenario: {scenario.name}")
     print(f"replications: {result_set.replications}  (seed {args.seed})")
+    print(f"scheduler: {stats_line}")
     print(f"final infected: {summary.format()}")
     print(
         f"penetration: {summary.mean / result_set.susceptible_count:.1%} of "
@@ -194,29 +235,50 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _per_figure_path(template: str, experiment_id: str, multiple: bool) -> Path:
+    """Output path for one figure: with several figures, suffix the id."""
+    path = Path(template)
+    if not multiple:
+        return path
+    return path.with_name(f"{path.stem}-{experiment_id}{path.suffix}")
+
+
 def _command_figure(args: argparse.Namespace) -> int:
     try:
-        spec = get_experiment(args.experiment_id)
+        specs = [get_experiment(eid) for eid in args.experiment_ids]
     except KeyError as exc:
         print(exc, file=sys.stderr)
         return 2
-    result = run_experiment(spec, replications=args.replications, seed=args.seed)
-    print(format_experiment_report(result, chart=not args.no_chart))
-    if args.csv:
-        path = export_csv(result, args.csv)
-        print(f"\nmean curves written to {path}")
-    if args.svg:
-        from .analysis.svg import save_curves_svg
-
-        curves = dict(list(result.mean_curves().items())[:8])
-        path = save_curves_svg(
-            curves,
-            args.svg,
-            title=f"{spec.paper_ref}: {spec.title}",
-            end_time=spec.horizon,
+    with _make_scheduler(args) as scheduler:
+        results = scheduler.run_batch(
+            specs, replications=args.replications, seed=args.seed
         )
-        print(f"SVG chart written to {path}")
-    return 0 if result.all_checks_pass() else 1
+        stats_line = scheduler.stats.format()
+    multiple = len(specs) > 1
+    all_pass = True
+    for spec, result in zip(specs, results):
+        print(format_experiment_report(result, chart=not args.no_chart))
+        if args.csv:
+            path = export_csv(
+                result, _per_figure_path(args.csv, spec.experiment_id, multiple)
+            )
+            print(f"\nmean curves written to {path}")
+        if args.svg:
+            from .analysis.svg import save_curves_svg
+
+            curves = dict(list(result.mean_curves().items())[:8])
+            path = save_curves_svg(
+                curves,
+                _per_figure_path(args.svg, spec.experiment_id, multiple),
+                title=f"{spec.paper_ref}: {spec.title}",
+                end_time=spec.horizon,
+            )
+            print(f"SVG chart written to {path}")
+        if multiple:
+            print()
+        all_pass = all_pass and result.all_checks_pass()
+    print(f"scheduler: {stats_line}")
+    return 0 if all_pass else 1
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
@@ -228,10 +290,19 @@ def _command_sweep(args: argparse.Namespace) -> int:
         known = ", ".join(STANDARD_SWEEPS)
         print(f"unknown sweep {args.sweep_id!r}; known: {known}", file=sys.stderr)
         return 2
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir if args.cache_dir else default_cache_dir())
     result = run_strength_sweep(
-        spec, replications=args.replications, seed=args.seed
+        spec,
+        replications=args.replications,
+        seed=args.seed,
+        processes=args.processes,
+        cache=cache,
     )
     print(result.format())
+    if cache is not None:
+        print(f"cache: {cache.hits} hits, {cache.misses} misses")
     return 0
 
 

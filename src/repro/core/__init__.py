@@ -53,10 +53,13 @@ from .scenarios import (
     virus4,
     virus_parameters,
 )
+from .cache import CACHE_SCHEMA_VERSION, ResultCache, result_key
 from .parallel import default_process_count, replicate_scenario_parallel
 from .serialization import (
     SerializationError,
     load_scenario,
+    result_from_dict,
+    result_to_dict,
     save_scenario,
     scenario_from_dict,
     scenario_from_json,
@@ -125,6 +128,11 @@ __all__ = [
     "scenario_from_json",
     "save_scenario",
     "load_scenario",
+    "result_to_dict",
+    "result_from_dict",
+    "ResultCache",
+    "result_key",
+    "CACHE_SCHEMA_VERSION",
     "PAPER_ACCEPTANCE_FACTOR",
     "acceptance_probability",
     "total_acceptance_probability",

@@ -1,0 +1,176 @@
+"""Disk-backed replication result cache.
+
+A replication is fully determined by ``(scenario config, master seed,
+replication index)`` — the RNG streams derive from the seed pair and the
+topology from the config — so its :class:`ScenarioResult` can be memoized
+on disk and reused across figure reruns, sweeps, and CLI invocations.
+
+Keys are content hashes of the *canonical JSON* of the scenario (via
+:mod:`repro.core.serialization`) plus the seed, the replication index, and
+a cache schema version.  Bumping :data:`CACHE_SCHEMA_VERSION` invalidates
+every stored entry — do that whenever a simulation-behaviour change makes
+old results stale even for identical configs.
+
+Entries are sharded two-level (``<root>/<k[:2]>/<k>.json``) and written
+atomically (tmp file + ``os.replace``), so a crashed or concurrent writer
+never leaves a truncated entry behind; unreadable entries count as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from .parameters import ScenarioConfig
+from .serialization import (
+    SerializationError,
+    result_from_dict,
+    result_to_dict,
+    scenario_to_dict,
+)
+from .simulation import ScenarioResult
+
+#: Bump to invalidate all cached results after behaviour-changing releases.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``./.repro-cache``."""
+    return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+
+
+def result_key(
+    config: ScenarioConfig,
+    seed: int,
+    replication: int,
+    schema_version: int = CACHE_SCHEMA_VERSION,
+) -> str:
+    """Stable content hash identifying one replication's result.
+
+    Any change to the scenario config (including response parameters),
+    the seed, the replication index, or the schema version yields a
+    different key, so stale hits are impossible by construction.
+    """
+    payload = {
+        "scenario": scenario_to_dict(config),
+        "seed": seed,
+        "replication": replication,
+        "cache_schema": schema_version,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """File-per-entry cache of :class:`ScenarioResult` documents."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def _path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(
+        self, config: ScenarioConfig, seed: int, replication: int
+    ) -> Optional[ScenarioResult]:
+        """Look up one replication; ``None`` (and a miss) when absent."""
+        path = self._path_for(result_key(config, seed, replication))
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+            result = result_from_dict(document["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError, SerializationError):
+            # Corrupt/truncated/foreign entry: treat as a miss and drop it
+            # so the slot heals on the next put.
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, result: ScenarioResult) -> Path:
+        """Store one replication result (atomic write) and return its path."""
+        key = result_key(result.config, result.seed, result.replication)
+        path = self._path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {
+            "cache_schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "result": result_to_dict(result),
+        }
+        handle, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+                json.dump(document, tmp, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return path
+
+    def __len__(self) -> int:
+        """Number of stored entries (walks the tree; diagnostic use)."""
+        if not self.root.exists():
+            return 0
+        return sum(
+            1
+            for p in self.root.glob("*/*.json")
+            if not p.name.startswith(".tmp-")
+        )
+
+    def clear(self) -> int:
+        """Delete every stored entry; returns how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/write counters for reporting."""
+        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResultCache(root={str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses}, writes={self.writes})"
+        )
+
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "default_cache_dir",
+    "result_key",
+]

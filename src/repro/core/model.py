@@ -77,8 +77,9 @@ class PhoneNetworkModel:
             network.population, size=network.susceptible_count, replace=False
         )
         susceptible_ids = set(int(i) for i in chosen)
+        contact_lists = graph.neighbor_lists()
         self.phones: Tuple[Phone, ...] = tuple(
-            Phone(i, i in susceptible_ids, graph.neighbors(i))
+            Phone(i, i in susceptible_ids, contact_lists[i])
             for i in range(network.population)
         )
 

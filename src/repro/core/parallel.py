@@ -1,36 +1,136 @@
-"""Parallel replication execution.
+"""Parallel replication execution primitives.
 
 Replications are embarrassingly parallel — each derives its own RNG
 streams from ``(seed, index)`` — so a process pool gives near-linear
 speedups for the full-scale figure experiments.  The worker function is a
 module-level callable taking only picklable arguments (the scenario
-dataclasses are plain frozen dataclasses, so they pickle cleanly).
+dataclasses are plain frozen dataclasses, so they pickle cleanly), which
+makes every start method — including ``spawn`` — safe.
 
-``processes=1`` (or ``None`` on single-CPU machines) falls back to the
-serial path, keeping results bit-identical with
-:func:`repro.core.simulation.replicate_scenario` in all cases — the
-parallel path reuses :func:`run_scenario` with the same seeding.
+Three layers:
+
+* :func:`mp_context` picks the multiprocessing start method explicitly
+  (``fork`` where available for cheap startup, ``spawn`` otherwise;
+  overridable via ``REPRO_MP_START_METHOD``) instead of relying on the
+  platform default;
+* :class:`WorkerPool` is a persistent, lazily created pool that streams
+  indexed jobs through chunked ``imap_unordered`` — jobs are generated as
+  the pool consumes them, so a large replication matrix is never
+  serialized upfront, and completions arrive out of order for the caller
+  to reassemble;
+* :func:`replicate_scenario_parallel` keeps the original convenience API
+  on top, bit-identical to the serial
+  :func:`repro.core.simulation.replicate_scenario` in all cases.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Optional
+from typing import Iterable, Iterator, Optional, Tuple
 
 from .parameters import ScenarioConfig
 from .simulation import ReplicationSet, ScenarioResult, run_scenario
 
+#: Environment variable forcing a multiprocessing start method.
+START_METHOD_ENV = "REPRO_MP_START_METHOD"
 
-def _run_one(args) -> ScenarioResult:
-    """Pool worker: one replication (module-level for picklability)."""
-    config, seed, replication = args
-    return run_scenario(config, seed=seed, replication=replication)
+#: One indexed job: (index, config, seed, replication).
+IndexedJob = Tuple[int, ScenarioConfig, int, int]
+
+#: Upper bound on imap chunk size; small enough to keep workers balanced.
+_MAX_CHUNK = 8
+
+
+def mp_context():
+    """An explicitly chosen multiprocessing context.
+
+    Prefers ``fork`` (cheap worker startup; the workers never mutate
+    inherited state) and falls back to ``spawn`` elsewhere; both work
+    because the worker is a module-level function with picklable
+    arguments.  Set ``REPRO_MP_START_METHOD`` to override.
+    """
+    method = os.environ.get(START_METHOD_ENV)
+    if method:
+        return multiprocessing.get_context(method)
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
 
 
 def default_process_count() -> int:
     """A conservative default: physical parallelism minus one, at least 1."""
     return max(1, (os.cpu_count() or 2) - 1)
+
+
+def chunk_size_for(job_count: int, processes: int) -> int:
+    """Chunk size balancing dispatch overhead against tail latency."""
+    if job_count <= 0 or processes <= 0:
+        return 1
+    return max(1, min(_MAX_CHUNK, job_count // (processes * 4) or 1))
+
+
+def _run_indexed(job: IndexedJob) -> Tuple[int, ScenarioResult]:
+    """Pool worker: one indexed replication (module-level for picklability)."""
+    index, config, seed, replication = job
+    return index, run_scenario(config, seed=seed, replication=replication)
+
+
+class WorkerPool:
+    """Persistent process pool streaming indexed replication jobs.
+
+    The underlying pool is created lazily on first use and reused across
+    calls (one pool per experiment batch / sweep instead of one per
+    replication set).  Use as a context manager or call :meth:`close`.
+    With ``processes == 1`` no pool is ever created and jobs execute
+    inline, which keeps the serial path allocation-free and identical to
+    :func:`repro.core.simulation.replicate_scenario`.
+    """
+
+    def __init__(self, processes: Optional[int] = None) -> None:
+        count = processes if processes is not None else default_process_count()
+        if count < 1:
+            raise ValueError(f"processes must be >= 1, got {count}")
+        self.processes = count
+        self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Terminate the pool (if one was started)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = mp_context().Pool(self.processes)
+        return self._pool
+
+    def imap_indexed(
+        self,
+        jobs: Iterable[IndexedJob],
+        job_count: Optional[int] = None,
+    ) -> Iterator[Tuple[int, ScenarioResult]]:
+        """Yield ``(index, result)`` as jobs complete (unordered).
+
+        ``jobs`` may be a lazy generator; with more than one process it is
+        consumed incrementally in chunks, so huge job matrices never
+        materialize in memory at once.
+        """
+        if self.processes == 1:
+            for job in jobs:
+                yield _run_indexed(job)
+            return
+        count = job_count if job_count is not None else 0
+        chunk = chunk_size_for(count, self.processes)
+        pool = self._ensure_pool()
+        yield from pool.imap_unordered(_run_indexed, jobs, chunksize=chunk)
 
 
 def replicate_scenario_parallel(
@@ -51,17 +151,22 @@ def replicate_scenario_parallel(
     if worker_count < 1:
         raise ValueError(f"processes must be >= 1, got {worker_count}")
 
-    jobs = [(config, seed, index) for index in range(replications)]
-    if worker_count == 1 or replications == 1:
-        results = [_run_one(job) for job in jobs]
-    else:
-        with multiprocessing.Pool(min(worker_count, replications)) as pool:
-            results = pool.map(_run_one, jobs)
-    # pool.map preserves job order, so replication indices stay sorted.
-    return ReplicationSet(config=config, results=list(results))
+    jobs: Iterator[IndexedJob] = (
+        (index, config, seed, index) for index in range(replications)
+    )
+    results: list = [None] * replications
+    with WorkerPool(min(worker_count, replications)) as pool:
+        for index, result in pool.imap_indexed(jobs, job_count=replications):
+            results[index] = result
+    return ReplicationSet(config=config, results=results)
 
 
 __all__ = [
-    "replicate_scenario_parallel",
+    "IndexedJob",
+    "START_METHOD_ENV",
+    "WorkerPool",
+    "chunk_size_for",
     "default_process_count",
+    "mp_context",
+    "replicate_scenario_parallel",
 ]

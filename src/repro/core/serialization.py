@@ -12,7 +12,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Type, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Type, Union
 
 from .parameters import (
     BlacklistConfig,
@@ -30,6 +30,9 @@ from .parameters import (
     UserParameters,
     VirusParameters,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .simulation import ScenarioResult
 
 #: Format version written into every serialized scenario.
 FORMAT_VERSION = 1
@@ -163,6 +166,77 @@ def scenario_from_dict(data: Dict[str, Any]) -> ScenarioConfig:
     )
 
 
+def result_to_dict(result: "ScenarioResult") -> Dict[str, Any]:
+    """Serialize one :class:`ScenarioResult` to a plain dict.
+
+    The scenario config is embedded via :func:`scenario_to_dict`, so a
+    stored result document is self-describing and survives code reloads.
+    """
+    return {
+        "format_version": FORMAT_VERSION,
+        "scenario": scenario_to_dict(result.config),
+        "seed": result.seed,
+        "replication": result.replication,
+        "final_time": result.final_time,
+        "infection_times": list(result.infection_times),
+        "counters": dict(result.counters),
+        "response_stats": {
+            name: dict(stats) for name, stats in result.response_stats.items()
+        },
+        "detection_time": result.detection_time,
+        "patient_zero": result.patient_zero,
+        "susceptible_count": result.susceptible_count,
+        "population": result.population,
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> "ScenarioResult":
+    """Deserialize one :class:`ScenarioResult` (validating the envelope)."""
+    from .simulation import ScenarioResult
+
+    if not isinstance(data, dict):
+        raise SerializationError("result document must be an object")
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported format_version {version!r} (expected {FORMAT_VERSION})"
+        )
+    required = {
+        "scenario", "seed", "replication", "final_time", "infection_times",
+        "counters", "response_stats", "susceptible_count", "population",
+    }
+    missing = required - set(data)
+    if missing:
+        raise SerializationError(f"result document missing keys {sorted(missing)}")
+    try:
+        return ScenarioResult(
+            config=scenario_from_dict(data["scenario"]),
+            seed=int(data["seed"]),
+            replication=int(data["replication"]),
+            final_time=float(data["final_time"]),
+            infection_times=[float(t) for t in data["infection_times"]],
+            counters={str(k): int(v) for k, v in data["counters"].items()},
+            response_stats={
+                str(name): {str(k): float(v) for k, v in stats.items()}
+                for name, stats in data["response_stats"].items()
+            },
+            detection_time=(
+                float(data["detection_time"])
+                if data.get("detection_time") is not None
+                else None
+            ),
+            patient_zero=(
+                int(data["patient_zero"])
+                if data.get("patient_zero") is not None
+                else None
+            ),
+            susceptible_count=int(data["susceptible_count"]),
+            population=int(data["population"]),
+        )
+    except (TypeError, ValueError, AttributeError) as exc:
+        raise SerializationError(f"malformed result document: {exc}") from exc
+
+
 def scenario_to_json(scenario: ScenarioConfig, indent: int = 2) -> str:
     """Serialize a scenario to a JSON string."""
     return json.dumps(scenario_to_dict(scenario), indent=indent, sort_keys=True)
@@ -201,4 +275,6 @@ __all__ = [
     "load_scenario",
     "response_to_dict",
     "response_from_dict",
+    "result_to_dict",
+    "result_from_dict",
 ]

@@ -38,6 +38,11 @@ class ScenarioResult:
     patient_zero: Optional[int]
     susceptible_count: int
     population: int
+    #: Lazily built infection curve (infection_times never mutates after
+    #: construction, so the curve is computed at most once per result).
+    _curve: Optional[StepCurve] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def total_infected(self) -> int:
@@ -52,8 +57,10 @@ class ScenarioResult:
         return self.total_infected / self.susceptible_count
 
     def curve(self) -> StepCurve:
-        """The infection-count step curve, anchored at (0, 0)."""
-        return StepCurve.from_event_times(self.infection_times)
+        """The infection-count step curve, anchored at (0, 0) (cached)."""
+        if self._curve is None:
+            self._curve = StepCurve.from_event_times(self.infection_times)
+        return self._curve
 
     def infected_at(self, time: float) -> float:
         """Cumulative infections at ``time``."""
@@ -87,6 +94,7 @@ def run_scenario(
             "gateway_messages_processed": model.gateway.messages_processed,
             "gateway_messages_blocked": model.gateway.messages_blocked,
             "gateway_messages_delivered": model.gateway.messages_delivered,
+            "events_fired": model.sim.events_fired,
         },
         response_stats={m.name: m.stats() for m in model.mechanisms},
         detection_time=model.detection.detection_time,
@@ -102,6 +110,11 @@ class ReplicationSet:
 
     config: ScenarioConfig
     results: List[ScenarioResult] = field(default_factory=list)
+    #: Curve-list cache, invalidated when results are appended (compare
+    #: the cached length against ``len(results)``).
+    _curves: Optional[List[StepCurve]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def replications(self) -> int:
@@ -114,8 +127,10 @@ class ReplicationSet:
         return self.config.network.susceptible_count
 
     def curves(self) -> List[StepCurve]:
-        """Per-replication infection curves."""
-        return [r.curve() for r in self.results]
+        """Per-replication infection curves (cached across queries)."""
+        if self._curves is None or len(self._curves) != len(self.results):
+            self._curves = [r.curve() for r in self.results]
+        return self._curves
 
     def final_infected(self) -> List[int]:
         """Per-replication final infection counts."""
@@ -136,8 +151,13 @@ class ReplicationSet:
         return aggregate_curves(self.curves(), grid, confidence)
 
     def mean_infected_at(self, time: float) -> float:
-        """Mean cumulative infections at ``time`` across replications."""
-        return float(np.mean([r.infected_at(time) for r in self.results]))
+        """Mean cumulative infections at ``time`` across replications.
+
+        Uses the cached per-replication curves, so repeated checkpoint
+        queries (the figure reports tabulate several per series) don't
+        re-parse every replication's event list.
+        """
+        return float(np.mean([c.value_at(time) for c in self.curves()]))
 
     def mean_detection_time(self) -> Optional[float]:
         """Mean detection time over replications where detection occurred."""

@@ -8,14 +8,24 @@ A thin wrapper around :mod:`heapq` specialised for the simulation kernel:
 * periodic compaction so that a workload that cancels most of its events
   (e.g. reboot timers superseded by patches) does not grow the heap
   unboundedly.
+
+Heap entries are plain ``(time, priority, seq, event)`` tuples, not the
+events themselves: heapq then orders entries with C-level tuple
+comparison instead of calling a Python-level ``Event.__lt__`` per sift
+step, which is the single hottest comparison site in the kernel.  The
+``seq`` component is unique per push, so the event object itself is never
+compared.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from .events import Event, EventHandle, EventState
+
+#: One heap entry: (time, priority, seq, event).
+_HeapEntry = Tuple[float, int, int, Event]
 
 
 class EventQueue:
@@ -27,7 +37,7 @@ class EventQueue:
     _COMPACT_MIN_SIZE = 1024
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[_HeapEntry] = []
         self._seq = 0
         self._cancelled = 0
 
@@ -51,16 +61,32 @@ class EventQueue:
         label: str = "",
     ) -> EventHandle:
         """Schedule ``callback`` at ``time`` and return a cancellable handle."""
-        event = Event(time, priority, self._seq, callback, label)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        return EventHandle(self.push_event(time, callback, priority, label))
+
+    def push_event(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Like :meth:`push` but returns the raw event (no handle wrapper).
+
+        Callers that wrap events in their own handle type (the simulator's
+        cancellation-tracking handle) use this to avoid allocating an
+        intermediate :class:`EventHandle` per scheduled event.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, priority, seq, callback, label)
+        heapq.heappush(self._heap, (time, priority, seq, event))
+        return event
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if the queue is empty."""
         self._skip_dead()
         if self._heap:
-            return self._heap[0].time
+            return self._heap[0][0]
         return None
 
     def pop(self) -> Optional[Event]:
@@ -68,9 +94,40 @@ class EventQueue:
         self._skip_dead()
         if not self._heap:
             return None
-        event = heapq.heappop(self._heap)
+        event = heapq.heappop(self._heap)[3]
         event.state = EventState.FIRED
         return event
+
+    def pop_due(self, limit: float) -> Tuple[Optional[Event], Optional[float]]:
+        """Pop the next live event due at or before ``limit``.
+
+        The run-loop hot path: one traversal both skips dead entries and
+        decides between "fire", "next event is beyond the horizon", and
+        "queue drained" — where ``peek_time()`` + ``pop()`` would walk the
+        dead prefix twice.
+
+        Returns ``(event, event.time)`` when an event fired-eligible event
+        exists; ``(None, next_time)`` when the next live event lies beyond
+        ``limit`` (it stays queued); ``(None, None)`` when no live events
+        remain.
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        cancelled_state = EventState.CANCELLED
+        while heap:
+            entry = heap[0]
+            event = entry[3]
+            if event.state is cancelled_state:
+                heappop(heap)
+                self._cancelled -= 1
+                continue
+            time = entry[0]
+            if time > limit:
+                return None, time
+            heappop(heap)
+            event.state = EventState.FIRED
+            return event, time
+        return None, None
 
     def clear(self) -> None:
         """Drop all scheduled events."""
@@ -88,7 +145,7 @@ class EventQueue:
 
     def _skip_dead(self) -> None:
         heap = self._heap
-        while heap and heap[0].state is EventState.CANCELLED:
+        while heap and heap[0][3].state is EventState.CANCELLED:
             heapq.heappop(heap)
             self._cancelled -= 1
 
@@ -97,7 +154,7 @@ class EventQueue:
             len(self._heap) >= self._COMPACT_MIN_SIZE
             and self._cancelled > len(self._heap) * self._COMPACT_RATIO
         ):
-            live = [e for e in self._heap if e.state is EventState.PENDING]
+            live = [e for e in self._heap if e[3].state is EventState.PENDING]
             heapq.heapify(live)
             self._heap = live
             self._cancelled = 0

@@ -18,6 +18,7 @@ Semantics:
 
 from __future__ import annotations
 
+import math
 from typing import Callable, List, Optional
 
 from .events import PRIORITY_NORMAL, EventHandle
@@ -80,8 +81,8 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} which is before current time {self._now}"
             )
-        handle = self._queue.push(time, callback, priority, label)
-        return _TrackedHandle(handle, self._queue)
+        event = self._queue.push_event(time, callback, priority, label)
+        return _TrackedHandle(event, self._queue)
 
     def stop(self) -> None:
         """Request the run loop to stop after the current event."""
@@ -121,27 +122,32 @@ class Simulator:
         self._running = True
         self._stop_requested = False
         fired_this_run = 0
+        # Hot loop: pop_due does one heap traversal per event (skip-dead +
+        # horizon check + pop combined), and the queue/tracer lookups are
+        # hoisted out of the loop.
+        queue = self._queue
+        pop_due = queue.pop_due
+        tracer = self.tracer
+        limit = math.inf if until is None else until
         try:
             while True:
                 if self._stop_requested:
                     break
                 if max_events is not None and fired_this_run >= max_events:
                     break
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    if until is not None:
-                        self._now = max(self._now, until)
+                event, next_time = pop_due(limit)
+                if event is None:
+                    if next_time is None:
+                        if until is not None:
+                            self._now = max(self._now, until)
+                    else:
+                        self._now = until
                     break
-                if until is not None and next_time > until:
-                    self._now = until
-                    break
-                event = self._queue.pop()
-                assert event is not None  # peek said non-empty
-                self._now = event.time
+                self._now = next_time
                 self._events_fired += 1
                 fired_this_run += 1
-                if self.tracer.enabled and event.label:
-                    self.tracer.record(self._now, "event", event.label)
+                if tracer.enabled and event.label:
+                    tracer.record(next_time, "event", event.label)
                 event.callback()
                 if stop_when is not None and stop_when():
                     break
@@ -177,8 +183,8 @@ class _TrackedHandle(EventHandle):
 
     __slots__ = ("_queue",)
 
-    def __init__(self, inner: EventHandle, queue: EventQueue) -> None:
-        super().__init__(inner._event)
+    def __init__(self, event, queue: EventQueue) -> None:
+        super().__init__(event)
         self._queue = queue
 
     def cancel(self) -> bool:

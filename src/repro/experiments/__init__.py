@@ -6,7 +6,19 @@ a runner that executes the series and renders paper-style reports.
 """
 
 from .registry import EXPERIMENT_FACTORIES, experiment_ids, get_experiment
-from .runner import export_csv, format_experiment_report, run_experiment
+from .runner import (
+    export_csv,
+    format_experiment_report,
+    run_experiment,
+    run_experiment_batch,
+)
+from .scheduler import (
+    ReplicationJob,
+    ReplicationScheduler,
+    SchedulerStats,
+    flatten_experiment,
+    reassemble,
+)
 from .spec import (
     CheckResult,
     ExperimentResult,
@@ -25,6 +37,12 @@ __all__ = [
     "experiment_ids",
     "get_experiment",
     "run_experiment",
+    "run_experiment_batch",
     "format_experiment_report",
     "export_csv",
+    "ReplicationJob",
+    "ReplicationScheduler",
+    "SchedulerStats",
+    "flatten_experiment",
+    "reassemble",
 ]

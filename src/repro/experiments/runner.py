@@ -11,13 +11,12 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Dict, List, Optional, Union
-
-import numpy as np
+from typing import List, Optional, Sequence, Union
 
 from ..analysis.report import ascii_chart, format_table
 from ..analysis.timeseries import time_grid
-from ..core.simulation import ReplicationSet, replicate_scenario
+from ..core.cache import ResultCache
+from .scheduler import ReplicationScheduler
 from .spec import ExperimentResult, ExperimentSpec
 
 
@@ -25,22 +24,33 @@ def run_experiment(
     spec: ExperimentSpec,
     replications: Optional[int] = None,
     seed: int = 0,
+    processes: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> ExperimentResult:
     """Run every series of ``spec`` with ``replications`` replications.
 
     All series share the master seed; each series' replications derive
     their streams independently, so series are statistically independent
-    but the whole experiment is reproducible from one seed.
+    but the whole experiment is reproducible from one seed.  All
+    (series x replication) jobs go through one
+    :class:`~repro.experiments.scheduler.ReplicationScheduler`:
+    ``processes=1`` is the inline serial path (bit-identical regardless of
+    worker count), and ``cache`` skips already-computed replications.
     """
-    reps = replications if replications is not None else spec.default_replications
-    series_results: Dict[str, ReplicationSet] = {}
-    for series in spec.series:
-        series_results[series.label] = replicate_scenario(
-            series.scenario, replications=reps, seed=seed
-        )
-    return ExperimentResult(
-        spec=spec, series_results=series_results, seed=seed, replications=reps
-    )
+    with ReplicationScheduler(processes=processes, cache=cache) as scheduler:
+        return scheduler.run_experiment(spec, replications=replications, seed=seed)
+
+
+def run_experiment_batch(
+    specs: Sequence[ExperimentSpec],
+    replications: Optional[int] = None,
+    seed: int = 0,
+    processes: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> List[ExperimentResult]:
+    """Run several specs as one flattened job list on one scheduler."""
+    with ReplicationScheduler(processes=processes, cache=cache) as scheduler:
+        return scheduler.run_batch(specs, replications=replications, seed=seed)
 
 
 def format_experiment_report(
@@ -123,4 +133,9 @@ def export_csv(
     return path
 
 
-__all__ = ["run_experiment", "format_experiment_report", "export_csv"]
+__all__ = [
+    "run_experiment",
+    "run_experiment_batch",
+    "format_experiment_report",
+    "export_csv",
+]

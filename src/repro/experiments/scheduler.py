@@ -1,0 +1,258 @@
+"""Experiment-level replication scheduler.
+
+The unit of work for every figure, sweep, and CLI batch is one
+*replication job* — ``(scenario config, master seed, replication index)``.
+This module flattens whole experiments (and multi-experiment batches)
+into one job list, satisfies jobs from the disk-backed
+:class:`~repro.core.cache.ResultCache` where possible, dispatches the
+rest across a persistent :class:`~repro.core.parallel.WorkerPool` with
+chunked streaming, and reassembles completions deterministically: results
+land by job index, so the output is *bit-identical* to the serial path
+regardless of completion order, worker count, or cache state — each job
+derives its RNG streams from ``(seed, replication)`` alone.
+
+Typical use::
+
+    with ReplicationScheduler(processes=4, cache=ResultCache()) as sched:
+        result = sched.run_experiment(get_experiment("fig3"), seed=2007)
+        print(sched.stats)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.cache import ResultCache
+from ..core.parallel import IndexedJob, WorkerPool
+from ..core.parameters import ScenarioConfig
+from ..core.simulation import ReplicationSet, ScenarioResult
+from .spec import ExperimentResult, ExperimentSpec
+
+
+@dataclass(frozen=True)
+class ReplicationJob:
+    """One schedulable replication."""
+
+    config: ScenarioConfig
+    seed: int
+    replication: int
+
+
+@dataclass
+class SchedulerStats:
+    """Aggregate accounting across every batch a scheduler ran."""
+
+    scheduled: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+
+    def add(self, scheduled: int, executed: int, cache_hits: int) -> None:
+        """Accumulate one batch's counts."""
+        self.scheduled += scheduled
+        self.executed += executed
+        self.cache_hits += cache_hits
+
+    def format(self) -> str:
+        """One-line summary for CLI reporting."""
+        return (
+            f"{self.scheduled} jobs: {self.executed} simulated, "
+            f"{self.cache_hits} from cache"
+        )
+
+
+def flatten_experiment(
+    spec: ExperimentSpec,
+    replications: Optional[int] = None,
+    seed: int = 0,
+) -> List[ReplicationJob]:
+    """All (series x replication) jobs of one spec, in declaration order."""
+    reps = replications if replications is not None else spec.default_replications
+    if reps < 1:
+        raise ValueError(f"replications must be >= 1, got {reps}")
+    return [
+        ReplicationJob(config=series.scenario, seed=seed, replication=index)
+        for series in spec.series
+        for index in range(reps)
+    ]
+
+
+def reassemble(
+    job_count: int,
+    completions: Iterable[Tuple[int, ScenarioResult]],
+) -> List[ScenarioResult]:
+    """Order out-of-order ``(index, result)`` completions by job index.
+
+    Every index in ``range(job_count)`` must appear exactly once;
+    duplicates and gaps are scheduling bugs and raise.
+    """
+    results: List[Optional[ScenarioResult]] = [None] * job_count
+    seen = 0
+    for index, result in completions:
+        if not 0 <= index < job_count:
+            raise ValueError(f"completion index {index} out of range [0, {job_count})")
+        if results[index] is not None:
+            raise ValueError(f"duplicate completion for job {index}")
+        results[index] = result
+        seen += 1
+    if seen != job_count:
+        missing = [i for i, r in enumerate(results) if r is None]
+        raise ValueError(f"missing completions for jobs {missing[:10]}")
+    return results  # type: ignore[return-value]
+
+
+class ReplicationScheduler:
+    """Runs replication jobs through a cache and a persistent worker pool.
+
+    ``processes=1`` executes jobs inline in submission order — exactly the
+    serial :func:`~repro.core.simulation.replicate_scenario` path.  The
+    pool (created lazily on the first parallel batch) persists across
+    calls, so a figure batch or a sweep pays worker startup once.
+    """
+
+    def __init__(
+        self,
+        processes: int = 1,
+        cache: Optional[ResultCache] = None,
+        pool: Optional[WorkerPool] = None,
+    ) -> None:
+        if processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        self.processes = processes
+        self.cache = cache
+        self._pool = pool if pool is not None else WorkerPool(processes)
+        self._owns_pool = pool is None
+        self.stats = SchedulerStats()
+
+    def __enter__(self) -> "ReplicationScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the worker pool (if this scheduler created it)."""
+        if self._owns_pool:
+            self._pool.close()
+
+    # -- job execution ------------------------------------------------------
+
+    def run_jobs(self, jobs: Sequence[ReplicationJob]) -> List[ScenarioResult]:
+        """Execute ``jobs``, returning results in job order.
+
+        Cached results are returned without simulation; the remainder is
+        dispatched to the pool (or run inline at ``processes=1``) and
+        every fresh result is written back to the cache.
+        """
+        results: List[Optional[ScenarioResult]] = [None] * len(jobs)
+        pending: List[Tuple[int, ReplicationJob]] = []
+        if self.cache is not None:
+            for index, job in enumerate(jobs):
+                hit = self.cache.get(job.config, job.seed, job.replication)
+                if hit is not None:
+                    results[index] = hit
+                else:
+                    pending.append((index, job))
+        else:
+            pending = list(enumerate(jobs))
+
+        cache_hits = len(jobs) - len(pending)
+        if pending:
+            indexed: Iterator[IndexedJob] = (
+                (index, job.config, job.seed, job.replication)
+                for index, job in pending
+            )
+            for index, result in self._pool.imap_indexed(
+                indexed, job_count=len(pending)
+            ):
+                results[index] = result
+                if self.cache is not None:
+                    self.cache.put(result)
+        self.stats.add(
+            scheduled=len(jobs), executed=len(pending), cache_hits=cache_hits
+        )
+        return reassemble(len(jobs), enumerate(results))  # validates coverage
+
+    def replicate(
+        self,
+        config: ScenarioConfig,
+        replications: int,
+        seed: int = 0,
+    ) -> ReplicationSet:
+        """Replicate one scenario through the scheduler."""
+        jobs = [
+            ReplicationJob(config=config, seed=seed, replication=index)
+            for index in range(replications)
+        ]
+        return ReplicationSet(config=config, results=self.run_jobs(jobs))
+
+    # -- experiment orchestration -------------------------------------------
+
+    def run_experiment(
+        self,
+        spec: ExperimentSpec,
+        replications: Optional[int] = None,
+        seed: int = 0,
+    ) -> ExperimentResult:
+        """Run one spec as a flattened job list."""
+        return self.run_batch([spec], replications=replications, seed=seed)[0]
+
+    def run_batch(
+        self,
+        specs: Sequence[ExperimentSpec],
+        replications: Optional[int] = None,
+        seed: int = 0,
+    ) -> List[ExperimentResult]:
+        """Run several specs as *one* job list (one pool, one dispatch).
+
+        Flattening the whole batch maximizes pool utilization: a short
+        figure's workers immediately pick up the next figure's jobs
+        instead of idling at a per-experiment barrier.
+        """
+        jobs: List[ReplicationJob] = []
+        layout: List[
+            Tuple[ExperimentSpec, int, List[Tuple[str, ScenarioConfig, int, int]]]
+        ] = []
+        for spec in specs:
+            reps = (
+                replications
+                if replications is not None
+                else spec.default_replications
+            )
+            slices: List[Tuple[str, ScenarioConfig, int, int]] = []
+            for series in spec.series:
+                start = len(jobs)
+                jobs.extend(
+                    ReplicationJob(config=series.scenario, seed=seed, replication=i)
+                    for i in range(reps)
+                )
+                slices.append((series.label, series.scenario, start, len(jobs)))
+            layout.append((spec, reps, slices))
+
+        results = self.run_jobs(jobs)
+
+        experiment_results: List[ExperimentResult] = []
+        for spec, reps, slices in layout:
+            series_results: Dict[str, ReplicationSet] = {}
+            for label, scenario, start, stop in slices:
+                series_results[label] = ReplicationSet(
+                    config=scenario, results=results[start:stop]
+                )
+            experiment_results.append(
+                ExperimentResult(
+                    spec=spec,
+                    series_results=series_results,
+                    seed=seed,
+                    replications=reps,
+                )
+            )
+        return experiment_results
+
+
+__all__ = [
+    "ReplicationJob",
+    "ReplicationScheduler",
+    "SchedulerStats",
+    "flatten_experiment",
+    "reassemble",
+]

@@ -33,8 +33,10 @@ from ..core.parameters import (
     ScenarioConfig,
     UserEducationConfig,
 )
+from ..core.cache import ResultCache
 from ..core.scenarios import baseline_scenario
-from ..core.simulation import replicate_scenario
+from ..core.simulation import ReplicationSet
+from .scheduler import ReplicationJob, ReplicationScheduler
 
 #: Builds a response config from one scalar strength value.
 StrengthToConfig = Callable[[float], ResponseConfig]
@@ -149,25 +151,42 @@ def run_strength_sweep(
     spec: SweepSpec,
     replications: int = 2,
     seed: int = 0,
+    processes: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> SweepResult:
-    """Simulate the sweep grid plus the baseline."""
-    baseline = replicate_scenario(
-        spec.base_scenario, replications=replications, seed=seed
-    )
-    finals: List[float] = []
+    """Simulate the sweep grid plus the baseline.
+
+    The baseline and every strength point flatten into *one* job list on
+    one :class:`~repro.experiments.scheduler.ReplicationScheduler`, so the
+    whole grid shares a worker pool and the result cache skips any
+    strength points already computed by an earlier run.
+    """
+    scenarios = [spec.base_scenario]
     for strength in spec.strengths:
-        scenario = spec.base_scenario.with_responses(
-            spec.build(strength), suffix=f"{spec.sweep_id}={strength:g}"
+        scenarios.append(
+            spec.base_scenario.with_responses(
+                spec.build(strength), suffix=f"{spec.sweep_id}={strength:g}"
+            )
         )
-        result_set = replicate_scenario(
-            scenario, replications=replications, seed=seed
+    jobs = [
+        ReplicationJob(config=scenario, seed=seed, replication=index)
+        for scenario in scenarios
+        for index in range(replications)
+    ]
+    with ReplicationScheduler(processes=processes, cache=cache) as scheduler:
+        results = scheduler.run_jobs(jobs)
+    result_sets = [
+        ReplicationSet(
+            config=scenario,
+            results=results[k * replications : (k + 1) * replications],
         )
-        finals.append(result_set.final_summary().mean)
+        for k, scenario in enumerate(scenarios)
+    ]
     return SweepResult(
         spec=spec,
         strengths=list(spec.strengths),
-        final_infected=finals,
-        baseline_infected=baseline.final_summary().mean,
+        final_infected=[rs.final_summary().mean for rs in result_sets[1:]],
+        baseline_infected=result_sets[0].final_summary().mean,
         replications=replications,
     )
 

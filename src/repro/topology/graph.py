@@ -10,7 +10,7 @@ overhead.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 
 class ContactGraph:
@@ -26,6 +26,7 @@ class ContactGraph:
         self._n = num_nodes
         self._adjacency: List[Set[int]] = [set() for _ in range(num_nodes)]
         self._num_edges = 0
+        self._neighbor_lists: Optional[Tuple[Tuple[int, ...], ...]] = None
 
     # -- construction -----------------------------------------------------
 
@@ -48,6 +49,7 @@ class ContactGraph:
         self._adjacency[u].add(v)
         self._adjacency[v].add(u)
         self._num_edges += 1
+        self._neighbor_lists = None
         return True
 
     def remove_edge(self, u: int, v: int) -> bool:
@@ -59,6 +61,7 @@ class ContactGraph:
         self._adjacency[u].discard(v)
         self._adjacency[v].discard(u)
         self._num_edges -= 1
+        self._neighbor_lists = None
         return True
 
     # -- inspection -------------------------------------------------------
@@ -87,7 +90,24 @@ class ContactGraph:
     def neighbors(self, node: int) -> Tuple[int, ...]:
         """Contact list of ``node`` as a sorted tuple (deterministic order)."""
         self._check_node(node)
+        lists = self._neighbor_lists
+        if lists is not None:
+            return lists[node]
         return tuple(sorted(self._adjacency[node]))
+
+    def neighbor_lists(self) -> Tuple[Tuple[int, ...], ...]:
+        """Every node's sorted contact tuple, materialized once.
+
+        The materialization is cached until the edge set changes, so a
+        replication set pinned to one graph builds the population's
+        contact lists a single time instead of sorting every adjacency
+        set per model construction.
+        """
+        if self._neighbor_lists is None:
+            self._neighbor_lists = tuple(
+                tuple(sorted(adj)) for adj in self._adjacency
+            )
+        return self._neighbor_lists
 
     def degrees(self) -> List[int]:
         """Degree of every node, indexed by node id."""

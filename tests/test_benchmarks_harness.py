@@ -1,0 +1,135 @@
+"""Tests for the benchmark harness (registry, comparison, smoke gate).
+
+The regression-comparison logic is tested purely; actually *running*
+workloads is slow, so those tests carry the ``bench`` marker and stay out
+of tier-1 (`pytest -q` deselects them via the configured addopts).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.benchmarks import (
+    WORKLOADS,
+    WorkloadResult,
+    bench_path,
+    compare_to_baseline,
+    load_bench,
+    run_workloads,
+    workload_names,
+    write_bench,
+)
+from repro.benchmarks.harness import main as bench_main
+
+
+def _document(label, walls):
+    return {
+        "label": label,
+        "schema": 1,
+        "workloads": {
+            name: {"wall_seconds": wall, "events": 100, "events_per_second": 1.0}
+            for name, wall in walls.items()
+        },
+    }
+
+
+class TestRegistry:
+    def test_expected_workloads_registered(self):
+        names = workload_names()
+        assert "fig1-v1-single" in names
+        assert "fig1-v3-single" in names
+        assert "fig3-experiment" in names
+        assert "scaling-2000" in names
+
+    def test_smoke_subset_nonempty_and_proper(self):
+        smoke = workload_names(smoke_only=True)
+        assert smoke
+        assert set(smoke) < set(workload_names())
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError, match="unknown workloads"):
+            run_workloads(["no-such-workload"], label="x")
+
+
+class TestWorkloadResult:
+    def test_events_per_second(self):
+        result = WorkloadResult(name="w", wall_seconds=2.0, events=100)
+        assert result.events_per_second == 50.0
+
+    def test_zero_guard(self):
+        assert WorkloadResult(name="w", wall_seconds=0.0, events=5).events_per_second == 0.0
+        assert WorkloadResult(name="w", wall_seconds=1.0, events=0).events_per_second == 0.0
+
+    def test_to_dict_shape(self):
+        document = WorkloadResult(name="w", wall_seconds=1.5, events=3).to_dict()
+        assert set(document) == {"wall_seconds", "events", "events_per_second", "detail"}
+
+
+class TestComparison:
+    def test_no_regression(self):
+        current = _document("now", {"a": 1.0, "b": 2.0})
+        baseline = _document("base", {"a": 1.0, "b": 2.0})
+        assert compare_to_baseline(current, baseline, factor=2.0) == []
+
+    def test_regression_flagged(self):
+        current = _document("now", {"a": 5.0})
+        baseline = _document("base", {"a": 1.0})
+        regressions = compare_to_baseline(current, baseline, factor=2.0)
+        assert len(regressions) == 1
+        assert regressions[0]["name"] == "a"
+        assert regressions[0]["ratio"] == 5.0
+
+    def test_factor_boundary_not_flagged(self):
+        current = _document("now", {"a": 2.0})
+        baseline = _document("base", {"a": 1.0})
+        assert compare_to_baseline(current, baseline, factor=2.0) == []
+
+    def test_unshared_workloads_ignored(self):
+        current = _document("now", {"new-workload": 100.0})
+        baseline = _document("base", {"old-workload": 0.01})
+        assert compare_to_baseline(current, baseline, factor=2.0) == []
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(ValueError):
+            compare_to_baseline(_document("a", {}), _document("b", {}), factor=0)
+
+
+class TestDocumentIO:
+    def test_write_and_load_round_trip(self, tmp_path):
+        document = _document("unit", {"a": 1.0})
+        path = write_bench(document, tmp_path)
+        assert path == bench_path("unit", tmp_path)
+        assert load_bench(path) == document
+
+    def test_smoke_cli_missing_baseline(self, tmp_path, capsys):
+        code = bench_main(["smoke", "--baseline", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+
+@pytest.mark.bench
+class TestBenchExecution:
+    """Actually runs simulations — excluded from tier-1 by the bench marker."""
+
+    def test_smoke_suite_runs_and_gates(self, tmp_path, capsys):
+        document = run_workloads(
+            workload_names(smoke_only=True), label="unit-smoke", processes=1
+        )
+        path = write_bench(document, tmp_path)
+        # Comparing a run against itself can never regress.
+        assert bench_main(["smoke", "--baseline", str(path)]) == 0
+        assert "smoke ok" in capsys.readouterr().out
+
+    def test_regression_exit_code(self, tmp_path, capsys):
+        document = run_workloads(["fig1-v1-single"], label="fast", processes=1)
+        # Fabricate an impossibly fast baseline to force the gate to trip.
+        forged = json.loads(json.dumps(document))
+        for entry in forged["workloads"].values():
+            entry["wall_seconds"] = 1e-6
+        forged["label"] = "forged"
+        path = write_bench(forged, tmp_path)
+        code = bench_main(["smoke", "--baseline", str(path)])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().err

@@ -1,0 +1,72 @@
+"""Tests for the scheduler/caching flags on the CLI commands."""
+
+from __future__ import annotations
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_scheduler_flags_present(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["run", "--virus", "1", "--processes", "4", "--no-cache",
+             "--cache-dir", "/tmp/x"]
+        )
+        assert args.processes == 4
+        assert args.no_cache is True
+        assert args.cache_dir == "/tmp/x"
+
+    def test_figure_accepts_multiple_ids(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure", "fig1", "fig2", "--no-cache"])
+        assert args.experiment_ids == ["fig1", "fig2"]
+
+    def test_sweep_has_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["sweep", "scan_delay", "--processes", "2"])
+        assert args.processes == 2
+        assert args.no_cache is False
+
+
+class TestRunCommand:
+    BASE = [
+        "run", "--virus", "3", "--population", "120", "--duration", "4",
+        "--replications", "2", "--no-chart",
+    ]
+
+    def test_no_cache_runs_serially(self, capsys):
+        assert main(self.BASE + ["--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler: 2 jobs: 2 simulated, 0 from cache" in out
+
+    def test_second_invocation_hits_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(self.BASE + ["--cache-dir", cache_dir]) == 0
+        first = capsys.readouterr().out
+        assert "2 simulated, 0 from cache" in first
+        assert main(self.BASE + ["--cache-dir", cache_dir]) == 0
+        second = capsys.readouterr().out
+        assert "0 simulated, 2 from cache" in second
+        # Identical results either way: the summary lines match exactly.
+        pick = lambda text: [
+            line for line in text.splitlines()
+            if line.startswith(("final infected", "penetration"))
+        ]
+        assert pick(first) == pick(second)
+
+    def test_parallel_matches_serial_output(self, tmp_path, capsys):
+        assert main(self.BASE + ["--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert main(self.BASE + ["--no-cache", "--processes", "2"]) == 0
+        parallel = capsys.readouterr().out
+        pick = lambda text: [
+            line for line in text.splitlines()
+            if line.startswith(("final infected", "penetration"))
+        ]
+        assert pick(serial) == pick(parallel)
+
+    def test_cache_dir_created(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert main(self.BASE + ["--cache-dir", str(cache_dir)]) == 0
+        assert cache_dir.exists()
+        assert list(cache_dir.glob("*/*.json"))

@@ -1,0 +1,241 @@
+"""Tests for the experiment-level replication scheduler.
+
+Covers the PR's core guarantees: scheduler output is bit-identical to the
+serial path (curves, counters, response stats), the cache short-circuits
+repeat work and invalidates on config changes, and reassembly restores
+job order under arbitrary out-of-order completion.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    NetworkParameters,
+    ResultCache,
+    ScenarioConfig,
+    UserEducationConfig,
+    UserParameters,
+    VirusParameters,
+    replicate_scenario,
+)
+from repro.experiments import (
+    ExperimentSpec,
+    ReplicationJob,
+    ReplicationScheduler,
+    SeriesSpec,
+    flatten_experiment,
+    reassemble,
+    run_experiment,
+    run_experiment_batch,
+)
+
+
+@pytest.fixture
+def mini_scenario() -> ScenarioConfig:
+    """A very small scenario (~100 ms) for scheduler matrix tests."""
+    return ScenarioConfig(
+        name="mini",
+        virus=VirusParameters(
+            name="mini-virus", min_send_interval=0.05, extra_send_delay_mean=0.05
+        ),
+        network=NetworkParameters(population=80, mean_contact_list_size=10.0),
+        user=UserParameters(read_delay_mean=0.1),
+        duration=6.0,
+    )
+
+
+@pytest.fixture
+def mini_spec(mini_scenario) -> ExperimentSpec:
+    """A two-series experiment over the mini scenario."""
+    educated = mini_scenario.with_responses(
+        UserEducationConfig(acceptance_scale=0.5), suffix="edu"
+    )
+    return ExperimentSpec(
+        experiment_id="mini",
+        title="Mini",
+        paper_ref="(test)",
+        description="scheduler test experiment",
+        series=(
+            SeriesSpec("baseline", mini_scenario),
+            SeriesSpec("educated", educated),
+        ),
+        checkpoints=(3.0,),
+    )
+
+
+def _assert_sets_identical(actual, expected):
+    """Bit-identical comparison of two ReplicationSets."""
+    assert [r.replication for r in actual.results] == [
+        r.replication for r in expected.results
+    ]
+    assert [r.infection_times for r in actual.results] == [
+        r.infection_times for r in expected.results
+    ]
+    assert [r.counters for r in actual.results] == [
+        r.counters for r in expected.results
+    ]
+    assert [r.response_stats for r in actual.results] == [
+        r.response_stats for r in expected.results
+    ]
+    assert [r.final_time for r in actual.results] == [
+        r.final_time for r in expected.results
+    ]
+    assert [r.patient_zero for r in actual.results] == [
+        r.patient_zero for r in expected.results
+    ]
+    for a_curve, e_curve in zip(actual.curves(), expected.curves()):
+        assert a_curve.times.tolist() == e_curve.times.tolist()
+        assert a_curve.values.tolist() == e_curve.values.tolist()
+
+
+class TestBitIdentity:
+    def test_serial_scheduler_matches_reference(self, mini_spec):
+        expected = {
+            series.label: replicate_scenario(series.scenario, replications=2, seed=11)
+            for series in mini_spec.series
+        }
+        result = run_experiment(mini_spec, replications=2, seed=11)
+        for label, expected_set in expected.items():
+            _assert_sets_identical(result.series_results[label], expected_set)
+
+    def test_parallel_scheduler_matches_reference(self, mini_spec):
+        expected = {
+            series.label: replicate_scenario(series.scenario, replications=2, seed=11)
+            for series in mini_spec.series
+        }
+        result = run_experiment(mini_spec, replications=2, seed=11, processes=2)
+        for label, expected_set in expected.items():
+            _assert_sets_identical(result.series_results[label], expected_set)
+
+    def test_cached_rerun_matches_reference(self, mini_spec, tmp_path):
+        expected = run_experiment(mini_spec, replications=2, seed=11)
+        cache = ResultCache(tmp_path / "cache")
+        run_experiment(mini_spec, replications=2, seed=11, cache=cache)
+        cached = run_experiment(
+            mini_spec, replications=2, seed=11, cache=ResultCache(tmp_path / "cache")
+        )
+        for label in expected.series_results:
+            _assert_sets_identical(
+                cached.series_results[label], expected.series_results[label]
+            )
+
+
+class TestCacheIntegration:
+    def test_second_run_does_zero_simulation(self, mini_spec, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        with ReplicationScheduler(processes=1, cache=cache) as scheduler:
+            scheduler.run_experiment(mini_spec, replications=2, seed=3)
+            assert scheduler.stats.executed == 4
+            assert scheduler.stats.cache_hits == 0
+        with ReplicationScheduler(
+            processes=1, cache=ResultCache(tmp_path / "cache")
+        ) as scheduler:
+            scheduler.run_experiment(mini_spec, replications=2, seed=3)
+            assert scheduler.stats.executed == 0
+            assert scheduler.stats.cache_hits == 4
+
+    def test_config_change_invalidates(self, mini_scenario, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        with ReplicationScheduler(processes=1, cache=cache) as scheduler:
+            scheduler.replicate(mini_scenario, replications=1, seed=3)
+        changed = dataclasses.replace(mini_scenario, duration=7.0)
+        with ReplicationScheduler(
+            processes=1, cache=ResultCache(tmp_path / "cache")
+        ) as scheduler:
+            scheduler.replicate(changed, replications=1, seed=3)
+            assert scheduler.stats.executed == 1
+            assert scheduler.stats.cache_hits == 0
+
+    def test_seed_change_invalidates(self, mini_scenario, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        with ReplicationScheduler(processes=1, cache=cache) as scheduler:
+            scheduler.replicate(mini_scenario, replications=1, seed=3)
+            scheduler.replicate(mini_scenario, replications=1, seed=4)
+            assert scheduler.stats.executed == 2
+
+    def test_extra_replications_partial_hit(self, mini_scenario, tmp_path):
+        with ReplicationScheduler(
+            processes=1, cache=ResultCache(tmp_path / "cache")
+        ) as scheduler:
+            scheduler.replicate(mini_scenario, replications=2, seed=3)
+        with ReplicationScheduler(
+            processes=1, cache=ResultCache(tmp_path / "cache")
+        ) as scheduler:
+            scheduler.replicate(mini_scenario, replications=4, seed=3)
+            assert scheduler.stats.cache_hits == 2
+            assert scheduler.stats.executed == 2
+
+
+class TestBatch:
+    def test_batch_matches_individual_runs(self, mini_spec, mini_scenario):
+        other = ExperimentSpec(
+            experiment_id="mini2",
+            title="Mini 2",
+            paper_ref="(test)",
+            description="second batch spec",
+            series=(SeriesSpec("solo", mini_scenario),),
+        )
+        individual = [
+            run_experiment(mini_spec, replications=1, seed=5),
+            run_experiment(other, replications=1, seed=5),
+        ]
+        batched = run_experiment_batch([mini_spec, other], replications=1, seed=5)
+        assert len(batched) == 2
+        for one, many in zip(individual, batched):
+            assert one.spec.experiment_id == many.spec.experiment_id
+            for label in one.series_results:
+                _assert_sets_identical(
+                    many.series_results[label], one.series_results[label]
+                )
+
+    def test_flatten_order(self, mini_spec):
+        jobs = flatten_experiment(mini_spec, replications=3, seed=9)
+        assert len(jobs) == 6
+        assert [j.replication for j in jobs] == [0, 1, 2, 0, 1, 2]
+        assert jobs[0].config == mini_spec.series[0].scenario
+        assert jobs[3].config == mini_spec.series[1].scenario
+        assert all(j.seed == 9 for j in jobs)
+
+    def test_flatten_validates_replications(self, mini_spec):
+        with pytest.raises(ValueError):
+            flatten_experiment(mini_spec, replications=0)
+
+
+class TestReassembly:
+    @settings(max_examples=50, deadline=None)
+    @given(st.permutations(list(range(12))))
+    def test_out_of_order_completion_preserves_order(self, order):
+        completions = [(index, f"result-{index}") for index in order]
+        assert reassemble(12, completions) == [f"result-{i}" for i in range(12)]
+
+    def test_missing_completion_raises(self):
+        with pytest.raises(ValueError, match="missing"):
+            reassemble(3, [(0, "a"), (2, "c")])
+
+    def test_duplicate_completion_raises(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            reassemble(2, [(0, "a"), (0, "b")])
+
+    def test_out_of_range_index_raises(self):
+        with pytest.raises(ValueError, match="out of range"):
+            reassemble(2, [(5, "a")])
+
+
+class TestValidation:
+    def test_processes_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ReplicationScheduler(processes=0)
+
+    def test_run_jobs_empty(self):
+        with ReplicationScheduler() as scheduler:
+            assert scheduler.run_jobs([]) == []
+
+    def test_replication_job_is_frozen(self, mini_scenario):
+        job = ReplicationJob(config=mini_scenario, seed=0, replication=0)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            job.seed = 1
