@@ -163,6 +163,33 @@ def integrate_mean_field(
     )
 
 
+def mean_field_for_scenario(config) -> MeanFieldParameters:
+    """Derive :class:`MeanFieldParameters` from a :class:`ScenarioConfig`.
+
+    The delivery rate is the reciprocal of the virus's mean send interval
+    (minimum wait plus exponential slack), scaled by the valid-number
+    fraction for random dialing — the rate at which one infected phone
+    produces *deliverable* infected messages.  Message budgets, dormancy,
+    read delay, and response mechanisms have no mean-field counterpart
+    here; :func:`repro.core.san_model.assert_san_compatible` rejects
+    configs that carry them before a differential campaign starts.
+    """
+    virus = config.virus
+    mean_interval = virus.send_interval_distribution().mean
+    if mean_interval <= 0:
+        raise ValueError(
+            f"virus {virus.name!r} has a zero mean send interval; the "
+            "mean-field delivery rate would be infinite"
+        )
+    delivery_rate = virus.valid_number_fraction / mean_interval
+    return MeanFieldParameters(
+        population=config.network.population,
+        susceptible=config.network.susceptible_count,
+        delivery_rate=delivery_rate,
+        acceptance_factor=config.user.acceptance_factor,
+    )
+
+
 def expected_mean_field_plateau(parameters: MeanFieldParameters) -> float:
     """The analytic fixed point: initial infected + susceptible × P(ever accept)."""
     from ..core.user import total_acceptance_probability
@@ -176,5 +203,6 @@ __all__ = [
     "MeanFieldParameters",
     "MeanFieldResult",
     "integrate_mean_field",
+    "mean_field_for_scenario",
     "expected_mean_field_plateau",
 ]

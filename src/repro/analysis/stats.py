@@ -101,4 +101,61 @@ def welch_t_test(a: Sequence[float], b: Sequence[float]) -> Tuple[float, float]:
     return float(result.statistic), float(result.pvalue)
 
 
-__all__ = ["SampleSummary", "summarize", "relative_change", "ratio", "welch_t_test"]
+def mean_difference_ci(
+    a: Sequence[float],
+    b: Sequence[float],
+    confidence: float = 0.95,
+) -> Tuple[float, float, float]:
+    """Welch CI for ``mean(a) - mean(b)``: ``(difference, lower, upper)``.
+
+    Uses the Welch–Satterthwaite degrees of freedom, so unequal variances
+    and sample sizes are handled.  The differential validation gates accept
+    two engines as equivalent when this interval sits inside the declared
+    margin.
+    """
+    if len(a) < 2 or len(b) < 2:
+        raise ValueError("mean_difference_ci needs at least 2 observations per sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    xa = np.asarray(a, dtype=float)
+    xb = np.asarray(b, dtype=float)
+    diff = float(xa.mean() - xb.mean())
+    var_a = float(xa.var(ddof=1)) / len(xa)
+    var_b = float(xb.var(ddof=1)) / len(xb)
+    se = math.sqrt(var_a + var_b)
+    if se == 0.0:
+        return diff, diff, diff
+    df = (var_a + var_b) ** 2 / (
+        var_a**2 / (len(xa) - 1) + var_b**2 / (len(xb) - 1)
+    )
+    t_value = float(scipy_stats.t.ppf(0.5 + confidence / 2.0, df=df))
+    return diff, diff - t_value * se, diff + t_value * se
+
+
+def mann_whitney_u(a: Sequence[float], b: Sequence[float]) -> Tuple[float, float]:
+    """Two-sided Mann–Whitney U test; returns ``(statistic, p_value)``.
+
+    Rank-based, so — unlike Kolmogorov–Smirnov — it stays calibrated on the
+    heavily tied small-integer samples that final infection counts produce.
+    Degenerate identical-constant samples return ``p = 1.0`` (no evidence
+    of a difference) instead of scipy's error.
+    """
+    if len(a) < 2 or len(b) < 2:
+        raise ValueError("mann_whitney_u needs at least 2 observations per sample")
+    xa = np.asarray(a, dtype=float)
+    xb = np.asarray(b, dtype=float)
+    if np.ptp(np.concatenate([xa, xb])) == 0.0:
+        return float(len(xa) * len(xb) / 2.0), 1.0
+    result = scipy_stats.mannwhitneyu(xa, xb, alternative="two-sided")
+    return float(result.statistic), float(result.pvalue)
+
+
+__all__ = [
+    "SampleSummary",
+    "summarize",
+    "relative_change",
+    "ratio",
+    "welch_t_test",
+    "mean_difference_ci",
+    "mann_whitney_u",
+]

@@ -155,6 +155,16 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_parser.add_argument("--seed", type=int, default=0)
     scenario_parser.add_argument("--no-chart", action="store_true")
 
+    validate_parser = subparsers.add_parser(
+        "validate",
+        help="differential validation: golden-trace replay and cross-engine "
+        "campaigns (forwards to 'python -m repro.validation')",
+    )
+    validate_parser.add_argument(
+        "validation_args", nargs=argparse.REMAINDER,
+        help="arguments for repro.validation (run | record | check ...)",
+    )
+
     topology_parser = subparsers.add_parser(
         "topology", help="generate a contact-list network file"
     )
@@ -370,6 +380,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_sweep(args)
     if args.command == "scenario":
         return _command_scenario(args)
+    if args.command == "validate":
+        from .validation.cli import main as validation_main
+
+        return validation_main(args.validation_args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

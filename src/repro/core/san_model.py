@@ -40,8 +40,51 @@ from ..san.model import SANModel
 from ..san.rewards import RateReward
 from ..san.simulator import SANSimulationResult, SANSimulator
 from ..topology.graph import ContactGraph
-from .parameters import UserParameters, VirusParameters
+from .parameters import LimitPeriod, ScenarioConfig, Targeting, UserParameters, VirusParameters
 from .user import ACCEPTANCE_NEGLIGIBLE_AFTER
+
+
+class SANCompatibilityError(ValueError):
+    """Raised when a scenario uses features the SAN formulation lacks."""
+
+
+def san_incompatibilities(config: ScenarioConfig) -> List[str]:
+    """Why ``config`` cannot be expressed as this SAN composition.
+
+    The per-phone submodel covers exactly the paper's core propagation
+    process: contact-list sends paced by the virus send interval, and
+    consent decay at read time.  Everything else — budgets, dormancy,
+    random dialing, read delay, Bluetooth, response mechanisms — has no
+    counterpart here, and a differential campaign must strip it first
+    (see :func:`repro.validation.scenarios.matched_scenario`).
+    """
+    problems: List[str] = []
+    virus = config.virus
+    if virus.targeting is not Targeting.CONTACT_LIST:
+        problems.append("targeting must be CONTACT_LIST (SAN sends pick a contact)")
+    if virus.message_limit is not None or virus.limit_period is not LimitPeriod.NONE:
+        problems.append("message budgets are not modelled in the SAN")
+    if virus.recipients_per_message != 1:
+        problems.append("SAN sends address one recipient per message")
+    if virus.dormancy != 0.0:
+        problems.append("dormancy is not modelled in the SAN")
+    if virus.bluetooth_rate != 0.0:
+        problems.append("the Bluetooth channel is not modelled in the SAN")
+    if config.user.read_delay_mean != 0.0:
+        problems.append("SAN reads are instantaneous (read_delay_mean must be 0)")
+    if config.responses:
+        problems.append("response mechanisms are not modelled in the SAN")
+    return problems
+
+
+def assert_san_compatible(config: ScenarioConfig) -> None:
+    """Raise :class:`SANCompatibilityError` unless ``config`` is expressible."""
+    problems = san_incompatibilities(config)
+    if problems:
+        raise SANCompatibilityError(
+            f"scenario {config.name!r} is not SAN-expressible: "
+            + "; ".join(problems)
+        )
 
 
 def build_phone_submodel(
@@ -192,6 +235,7 @@ def run_san_phone_network(
     user: UserParameters,
     until: float,
     rng: np.random.Generator,
+    record_trajectories: bool = True,
 ) -> SANSimulationResult:
     """Build and simulate the SAN phone network to ``until`` hours."""
     model = build_san_phone_network(graph, susceptible_ids, patient_zero, virus, user)
@@ -199,13 +243,53 @@ def run_san_phone_network(
         model,
         rng,
         rate_rewards=[infected_count_reward(graph.num_nodes)],
+        record_trajectories=record_trajectories,
     )
     return simulator.run(until)
 
 
+def san_final_infected_samples(
+    graph: ContactGraph,
+    susceptible_ids: Sequence[int],
+    patient_zero: int,
+    virus: VirusParameters,
+    user: UserParameters,
+    until: float,
+    replications: int,
+    streams,
+    stream_prefix: str = "san",
+) -> List[float]:
+    """Final infected counts from ``replications`` independent SAN runs.
+
+    Each replication draws its own generator from the stream factory
+    (``<prefix>-<index>``); trajectories are not recorded, so large
+    differential campaigns only pay for the endpoint they compare.
+    """
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications}")
+    finals: List[float] = []
+    for index in range(replications):
+        result = run_san_phone_network(
+            graph,
+            susceptible_ids,
+            patient_zero,
+            virus,
+            user,
+            until=until,
+            rng=streams.stream(f"{stream_prefix}-{index}"),
+            record_trajectories=False,
+        )
+        finals.append(result.final_reward("infected"))
+    return finals
+
+
 __all__ = [
+    "SANCompatibilityError",
+    "assert_san_compatible",
     "build_phone_submodel",
     "build_san_phone_network",
     "infected_count_reward",
     "run_san_phone_network",
+    "san_final_infected_samples",
+    "san_incompatibilities",
 ]

@@ -18,6 +18,7 @@ import numpy as np
 from ..analysis.stats import SampleSummary, summarize
 from ..analysis.timeseries import CurveBand, StepCurve, aggregate_curves, time_grid
 from ..des.random import StreamFactory
+from ..des.trace import Tracer
 from ..topology.graph import ContactGraph
 from .model import PhoneNetworkModel
 from .parameters import ScenarioConfig
@@ -66,6 +67,29 @@ class ScenarioResult:
         """Cumulative infections at ``time``."""
         return self.curve().value_at(time)
 
+    def infected_checkpoints(self, times: Sequence[float]) -> List[float]:
+        """Cumulative infections sampled at several checkpoint times.
+
+        The compact signature golden traces store: a handful of curve
+        samples detects any shift of the infection trajectory without
+        persisting every event time.
+        """
+        curve = self.curve()
+        return [float(curve.value_at(t)) for t in times]
+
+    def time_to_reach(self, level: float) -> Optional[float]:
+        """First time cumulative infections reach ``level`` (None if never).
+
+        Mirrors :meth:`repro.analysis.meanfield.MeanFieldResult.time_to_reach`
+        so simulated and mean-field growth can be compared directly.
+        """
+        if level <= 0:
+            return 0.0
+        index = int(np.ceil(level)) - 1
+        if index >= len(self.infection_times):
+            return None
+        return float(self.infection_times[index])
+
 
 def run_scenario(
     config: ScenarioConfig,
@@ -73,14 +97,17 @@ def run_scenario(
     replication: int = 0,
     graph: Optional[ContactGraph] = None,
     patient_zero: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
 ) -> ScenarioResult:
     """Simulate one replication of ``config``.
 
     ``graph`` overrides topology sampling (useful for controlled studies
-    and cross-validation); ``patient_zero`` pins the initial infection.
+    and cross-validation); ``patient_zero`` pins the initial infection;
+    ``tracer`` attaches a :class:`~repro.des.trace.Tracer` to the kernel
+    (golden-trace recording fingerprints runs through it).
     """
     streams = StreamFactory(seed).replication(replication)
-    model = PhoneNetworkModel(config, streams, graph=graph)
+    model = PhoneNetworkModel(config, streams, graph=graph, tracer=tracer)
     model.seed_infection(patient_zero)
     final_time = model.run()
     return ScenarioResult(

@@ -8,6 +8,7 @@ which keeps traces of million-event runs manageable.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Set
 
@@ -93,6 +94,27 @@ class Tracer:
         if self._dropped:
             lines.append(f"... {self._dropped} records dropped (max_records reached)")
         return "\n".join(lines)
+
+    def digest(self, time_decimals: int = 6) -> str:
+        """SHA-256 fingerprint of the recorded trace.
+
+        Two runs that fired the same events with the same payloads in the
+        same order produce the same digest, so golden-trace replay can
+        assert kernel-level equivalence without storing full traces.  Times
+        are rounded to ``time_decimals`` places (default: microhour
+        resolution) so last-ulp libm differences between platforms don't
+        masquerade as semantic drift.
+        """
+        hasher = hashlib.sha256()
+        for record in self._records:
+            payload = ",".join(
+                f"{k}={record.payload[k]!r}" for k in sorted(record.payload)
+            )
+            hasher.update(
+                f"{record.time:.{time_decimals}f}|{record.category}|"
+                f"{record.message}|{payload}\n".encode("utf-8")
+            )
+        return hasher.hexdigest()
 
 
 #: A module-level tracer that ignores everything; used as a default so model

@@ -52,6 +52,15 @@ class SANSimulationResult:
         """How many times the named activity completed."""
         return self.activity_counts.get(activity_name, 0)
 
+    def final_reward(self, name: str) -> float:
+        """Final value of a rate reward.
+
+        Unlike :meth:`RewardAccumulator.trajectory`, this needs no recorded
+        trajectory, so differential campaigns can run many replications
+        with ``record_trajectories=False`` and still read the endpoint.
+        """
+        return self.rewards.instant_value(name)
+
 
 class SANSimulator:
     """Runs a SAN model to an end time."""

@@ -1,0 +1,81 @@
+"""Differential validation subsystem.
+
+Ties the three descriptions of the paper's stochastic process together
+and keeps them honest:
+
+* :mod:`repro.validation.golden` — compact golden traces of deterministic
+  seeded runs, replayed to detect semantic drift in the DES kernel and
+  model hot paths;
+* :mod:`repro.validation.differential` — cross-engine campaigns (core
+  engine vs SAN engine vs mean-field analysis) with statistical
+  acceptance gates;
+* :mod:`repro.validation.gates` — the gate primitives, built on
+  :mod:`repro.analysis.stats`;
+* :mod:`repro.validation.scenarios` — the matched differential scenarios
+  and the golden fixture registry;
+* :mod:`repro.validation.cli` — ``python -m repro.validation
+  run|record|check``.
+
+See TESTING.md for the golden-fixture refresh workflow and how to read a
+differential-gate failure.
+"""
+
+from .differential import (
+    CampaignResult,
+    ScenarioVerdict,
+    Tolerances,
+    run_campaign,
+    run_differential_scenario,
+)
+from .gates import (
+    GateResult,
+    all_pass,
+    failures,
+    mean_equivalence_gate,
+    prediction_gate,
+    rank_gate,
+    ratio_gate,
+    welch_gate,
+)
+from .golden import (
+    Drift,
+    check_golden,
+    infection_digest,
+    load_golden,
+    record_golden,
+    save_golden,
+)
+from .scenarios import (
+    VALIDATION_SEED,
+    DifferentialScenario,
+    baseline_differential_scenarios,
+    golden_scenarios,
+    matched_scenario,
+)
+
+__all__ = [
+    "CampaignResult",
+    "DifferentialScenario",
+    "Drift",
+    "GateResult",
+    "ScenarioVerdict",
+    "Tolerances",
+    "VALIDATION_SEED",
+    "all_pass",
+    "baseline_differential_scenarios",
+    "check_golden",
+    "failures",
+    "golden_scenarios",
+    "infection_digest",
+    "load_golden",
+    "matched_scenario",
+    "mean_equivalence_gate",
+    "prediction_gate",
+    "rank_gate",
+    "ratio_gate",
+    "record_golden",
+    "run_campaign",
+    "run_differential_scenario",
+    "save_golden",
+    "welch_gate",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.validation`` dispatches to the validation CLI."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,337 @@
+"""Cross-engine differential campaigns.
+
+For each matched scenario, three independent descriptions of the same
+stochastic process are compared:
+
+* the **production engine** (:mod:`repro.core`) — event-scheduled model,
+  replicated with per-replication RNG streams;
+* the **SAN engine** (:mod:`repro.san` via :mod:`repro.core.san_model`) —
+  the Möbius-style composed-submodel formalism the paper used;
+* the **mean-field analysis** (:mod:`repro.analysis.meanfield`) — the
+  deterministic ODE companion whose fixed point is the paper's analytic
+  plateau ``patient zero + susceptible x P(ever accept) ~ 0.40 x S``.
+
+Both stochastic engines run on the *same pinned contact graph* with the
+same patient zero, so the statistical gates compare the processes rather
+than topology luck.  The mean-field trajectory is well mixed and ignores
+pacing jitter, so it is held to looser, explicitly declared tolerances:
+the plateau must match within a relative band, and growth (time to half
+plateau) within a declared ratio band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.meanfield import (
+    expected_mean_field_plateau,
+    integrate_mean_field,
+    mean_field_for_scenario,
+)
+from ..analysis.report import format_table
+from ..analysis.stats import SampleSummary, summarize
+from ..core.san_model import assert_san_compatible, san_final_infected_samples
+from ..core.simulation import run_scenario
+from ..des.random import StreamFactory
+from ..topology.generators import contact_network
+from .gates import (
+    GateResult,
+    failures,
+    mean_equivalence_gate,
+    prediction_gate,
+    rank_gate,
+    ratio_gate,
+    welch_gate,
+)
+from .scenarios import (
+    VALIDATION_SEED,
+    DifferentialScenario,
+    baseline_differential_scenarios,
+)
+
+
+@dataclass(frozen=True)
+class Tolerances:
+    """Declared statistical acceptance tolerances for one campaign.
+
+    These are printed with every report so a pass is always interpretable:
+    "agreement" means *within these bounds*, nothing stronger.
+    """
+
+    #: Core-vs-SAN mean difference allowance floor (infections).
+    mean_absolute_floor: float = 3.0
+    #: ... or this many standard errors of the difference, if larger.
+    mean_se_multiplier: float = 2.5
+    #: Alpha for the Welch two-sample location test.
+    welch_alpha: float = 0.01
+    #: Alpha for the Mann-Whitney rank test.
+    rank_alpha: float = 0.01
+    #: Relative band for engine means around the mean-field plateau.
+    plateau_rel_tolerance: float = 0.25
+    #: Band for (simulated time to half plateau) / (mean-field time).
+    #: Mean-field runs ahead (well mixed, no pacing jitter), so the band
+    #: is asymmetric around 1.
+    growth_ratio_low: float = 0.5
+    growth_ratio_high: float = 10.0
+
+
+@dataclass
+class ScenarioVerdict:
+    """Everything one differential scenario produced."""
+
+    scenario: DifferentialScenario
+    core_finals: List[float]
+    san_finals: List[float]
+    plateau_prediction: float
+    meanfield_half_time: Optional[float]
+    core_half_time: Optional[float]
+    gates: List[GateResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when every gate passed."""
+        return all(g.passed for g in self.gates)
+
+    @property
+    def core_summary(self) -> SampleSummary:
+        """Summary of the production engine's final infection counts."""
+        return summarize(self.core_finals)
+
+    @property
+    def san_summary(self) -> SampleSummary:
+        """Summary of the SAN engine's final infection counts."""
+        return summarize(self.san_finals)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form."""
+        return {
+            "scenario": self.scenario.name,
+            "virus": self.scenario.virus_number,
+            "passed": self.passed,
+            "core_finals": [float(v) for v in self.core_finals],
+            "san_finals": [float(v) for v in self.san_finals],
+            "core_mean": self.core_summary.mean,
+            "san_mean": self.san_summary.mean,
+            "plateau_prediction": self.plateau_prediction,
+            "meanfield_half_time": self.meanfield_half_time,
+            "core_half_time": self.core_half_time,
+            "gates": [
+                {
+                    "name": g.name,
+                    "passed": g.passed,
+                    "statistic": g.statistic,
+                    "threshold": g.threshold,
+                    "detail": g.detail,
+                }
+                for g in self.gates
+            ],
+        }
+
+
+def run_differential_scenario(
+    scenario: DifferentialScenario,
+    seed: int = VALIDATION_SEED,
+    replications: Optional[int] = None,
+    tolerances: Tolerances = Tolerances(),
+) -> ScenarioVerdict:
+    """Run one scenario through all three engines and gate the agreement."""
+    config = scenario.config
+    assert_san_compatible(config)
+    reps = replications if replications is not None else scenario.replications
+    if reps < 2:
+        raise ValueError(f"differential gates need >= 2 replications, got {reps}")
+
+    streams = StreamFactory(seed)
+    network = config.network
+    graph = contact_network(
+        network.population,
+        network.mean_contact_list_size,
+        streams.stream(f"topology-{scenario.name}"),
+        model=network.topology_model,
+        exponent=network.powerlaw_exponent,
+    )
+    patient_zero = 0  # every phone is susceptible in matched scenarios
+
+    core_results = [
+        run_scenario(
+            config, seed=seed, replication=rep, graph=graph, patient_zero=patient_zero
+        )
+        for rep in range(reps)
+    ]
+    core_finals = [float(r.total_infected) for r in core_results]
+
+    san_finals = san_final_infected_samples(
+        graph,
+        range(network.population),
+        patient_zero,
+        config.virus,
+        config.user,
+        until=config.duration,
+        replications=reps,
+        streams=streams,
+        stream_prefix=f"san-{scenario.name}",
+    )
+
+    parameters = mean_field_for_scenario(config)
+    plateau = expected_mean_field_plateau(parameters)
+    trajectory = integrate_mean_field(
+        parameters, horizon=config.duration, dt=config.duration / 2000.0
+    )
+    half_level = 0.5 * plateau
+    meanfield_half_time = trajectory.time_to_reach(half_level)
+    core_half_times = [
+        t for t in (r.time_to_reach(half_level) for r in core_results) if t is not None
+    ]
+    # The growth gate needs the level reached in a majority of replications;
+    # otherwise the scenario never grew and the plateau gates fail anyway.
+    core_half_time = (
+        float(np.mean(core_half_times))
+        if len(core_half_times) * 2 >= len(core_results)
+        else None
+    )
+
+    gates = [
+        mean_equivalence_gate(
+            core_finals,
+            san_finals,
+            absolute_margin=tolerances.mean_absolute_floor,
+            se_multiplier=tolerances.mean_se_multiplier,
+            name="core-vs-san mean",
+        ),
+        welch_gate(
+            core_finals, san_finals, alpha=tolerances.welch_alpha,
+            name="core-vs-san welch",
+        ),
+        rank_gate(
+            core_finals, san_finals, alpha=tolerances.rank_alpha,
+            name="core-vs-san rank",
+        ),
+        prediction_gate(
+            core_finals, plateau, rel_tolerance=tolerances.plateau_rel_tolerance,
+            name="core-vs-meanfield plateau",
+        ),
+        prediction_gate(
+            san_finals, plateau, rel_tolerance=tolerances.plateau_rel_tolerance,
+            name="san-vs-meanfield plateau",
+        ),
+        ratio_gate(
+            core_half_time,
+            meanfield_half_time,
+            low=tolerances.growth_ratio_low,
+            high=tolerances.growth_ratio_high,
+            name="core-vs-meanfield growth",
+        ),
+    ]
+    return ScenarioVerdict(
+        scenario=scenario,
+        core_finals=core_finals,
+        san_finals=san_finals,
+        plateau_prediction=plateau,
+        meanfield_half_time=meanfield_half_time,
+        core_half_time=core_half_time,
+        gates=gates,
+    )
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of a whole differential campaign."""
+
+    verdicts: List[ScenarioVerdict]
+    seed: int
+    tolerances: Tolerances
+
+    @property
+    def passed(self) -> bool:
+        """True when every scenario passed every gate."""
+        return all(v.passed for v in self.verdicts)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form."""
+        return {
+            "seed": self.seed,
+            "passed": self.passed,
+            "tolerances": vars(self.tolerances),
+            "scenarios": [v.to_dict() for v in self.verdicts],
+        }
+
+    def format_report(self) -> str:
+        """Render the per-scenario table, failed gates, and tolerances."""
+        rows = []
+        for verdict in self.verdicts:
+            core = verdict.core_summary
+            san = verdict.san_summary
+            rows.append(
+                [
+                    verdict.scenario.name,
+                    f"{core.mean:.1f} ± {core.ci_half_width:.1f}",
+                    f"{san.mean:.1f} ± {san.ci_half_width:.1f}",
+                    f"{verdict.plateau_prediction:.1f}",
+                    f"{sum(g.passed for g in verdict.gates)}/{len(verdict.gates)}",
+                    "PASS" if verdict.passed else "FAIL",
+                ]
+            )
+        lines = [
+            format_table(
+                ["scenario", "core final", "SAN final", "mean-field", "gates", "status"],
+                rows,
+                title="Cross-engine differential campaign "
+                f"(seed {self.seed}, 95% CIs)",
+            )
+        ]
+        failed = [
+            (v.scenario.name, g) for v in self.verdicts for g in failures(v.gates)
+        ]
+        if failed:
+            lines.append("")
+            lines.append("failed gates:")
+            for scenario_name, gate in failed:
+                lines.append(f"  {scenario_name}: {gate.format()}")
+        tol = self.tolerances
+        lines.append("")
+        lines.append(
+            "declared tolerances: "
+            f"|Δmean| ≤ max({tol.mean_absolute_floor:g}, "
+            f"{tol.mean_se_multiplier:g}×SE); Welch/rank alpha "
+            f"{tol.welch_alpha:g}/{tol.rank_alpha:g}; plateau ±"
+            f"{tol.plateau_rel_tolerance:.0%} (+CI); growth ratio in "
+            f"[{tol.growth_ratio_low:g}, {tol.growth_ratio_high:g}]"
+        )
+        return "\n".join(lines)
+
+
+def run_campaign(
+    scenarios: Optional[Sequence[DifferentialScenario]] = None,
+    seed: int = VALIDATION_SEED,
+    replications: Optional[int] = None,
+    tolerances: Tolerances = Tolerances(),
+    echo: Optional[Callable[[str], None]] = None,
+) -> CampaignResult:
+    """Run a differential campaign over ``scenarios`` (default: all four)."""
+    selected = (
+        list(scenarios) if scenarios is not None else baseline_differential_scenarios()
+    )
+    if not selected:
+        raise ValueError("campaign needs at least one scenario")
+    verdicts = []
+    for scenario in selected:
+        if echo is not None:
+            echo(f"validating {scenario.name} ...")
+        verdicts.append(
+            run_differential_scenario(
+                scenario, seed=seed, replications=replications, tolerances=tolerances
+            )
+        )
+    return CampaignResult(verdicts=verdicts, seed=seed, tolerances=tolerances)
+
+
+__all__ = [
+    "CampaignResult",
+    "ScenarioVerdict",
+    "Tolerances",
+    "run_campaign",
+    "run_differential_scenario",
+]

@@ -1,0 +1,216 @@
+"""Statistical acceptance gates for differential campaigns.
+
+A *gate* turns a cross-engine comparison into an explicit pass/fail with
+the evidence attached: the statistic, the declared tolerance, and a
+one-line explanation.  All gates are built on :mod:`repro.analysis.stats`
+and follow the validation literature's convention (Berretti & Ciccarone;
+Nikolopoulos & Polenakis) of *accepting* agreement rather than merely
+failing to reject it: equivalence gates bound the mean difference by a
+declared margin, and hypothesis-test gates use a small alpha so that only
+strong evidence of disagreement fails a campaign.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.stats import (
+    mann_whitney_u,
+    mean_difference_ci,
+    summarize,
+    welch_t_test,
+)
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """Outcome of one acceptance gate."""
+
+    name: str
+    passed: bool
+    #: The measured quantity the gate judged (mean difference, p-value, ...).
+    statistic: float
+    #: The declared bound the statistic was judged against.
+    threshold: float
+    detail: str
+
+    def format(self) -> str:
+        """Render as one report line."""
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.name}: {self.detail}"
+
+
+def mean_equivalence_gate(
+    a: Sequence[float],
+    b: Sequence[float],
+    absolute_margin: float,
+    se_multiplier: float = 2.5,
+    name: str = "mean-equivalence",
+) -> GateResult:
+    """Means agree within ``max(absolute_margin, k x SE of the difference)``.
+
+    The standard-error term keeps the gate calibrated as replication
+    counts change: more replications shrink the allowance toward the
+    absolute floor, which covers genuine small modelling differences
+    (e.g. the SAN's instantaneous reads).
+    """
+    if absolute_margin < 0:
+        raise ValueError(f"absolute_margin must be >= 0, got {absolute_margin}")
+    diff, lower, upper = mean_difference_ci(a, b)
+    xa = np.asarray(a, dtype=float)
+    xb = np.asarray(b, dtype=float)
+    raw_se = math.sqrt(xa.var(ddof=1) / len(xa) + xb.var(ddof=1) / len(xb))
+    margin = max(absolute_margin, se_multiplier * raw_se)
+    return GateResult(
+        name=name,
+        passed=abs(diff) <= margin,
+        statistic=diff,
+        threshold=margin,
+        detail=(
+            f"|Δmean|={abs(diff):.2f} vs allowance {margin:.2f} "
+            f"(floor {absolute_margin:g}, {se_multiplier:g}xSE={se_multiplier * raw_se:.2f}, "
+            f"95% CI of Δ [{lower:.2f}, {upper:.2f}])"
+        ),
+    )
+
+
+def welch_gate(
+    a: Sequence[float],
+    b: Sequence[float],
+    alpha: float = 0.01,
+    name: str = "welch-t",
+) -> GateResult:
+    """No significant mean difference at level ``alpha`` (Welch's t).
+
+    Identical-constant samples trivially pass (scipy returns NaN there).
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    combined = list(a) + list(b)
+    if max(combined) == min(combined):
+        return GateResult(
+            name=name, passed=True, statistic=1.0, threshold=alpha,
+            detail="both samples are the same constant",
+        )
+    statistic, p_value = welch_t_test(a, b)
+    if math.isnan(p_value):  # zero variance in both samples, unequal means
+        p_value = 0.0
+    return GateResult(
+        name=name,
+        passed=p_value >= alpha,
+        statistic=p_value,
+        threshold=alpha,
+        detail=f"p={p_value:.3f} vs alpha={alpha:g} (t={statistic:.2f})",
+    )
+
+
+def rank_gate(
+    a: Sequence[float],
+    b: Sequence[float],
+    alpha: float = 0.01,
+    name: str = "mann-whitney",
+) -> GateResult:
+    """Distributions agree in location at level ``alpha`` (Mann-Whitney U).
+
+    Rank-based, so the heavily tied small-integer samples final infection
+    counts produce do not miscalibrate it the way Kolmogorov-Smirnov ties
+    would.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    statistic, p_value = mann_whitney_u(a, b)
+    return GateResult(
+        name=name,
+        passed=p_value >= alpha,
+        statistic=p_value,
+        threshold=alpha,
+        detail=f"p={p_value:.3f} vs alpha={alpha:g} (U={statistic:.1f})",
+    )
+
+
+def prediction_gate(
+    samples: Sequence[float],
+    predicted: float,
+    rel_tolerance: float,
+    name: str = "prediction",
+) -> GateResult:
+    """Sample mean matches an analytic prediction within a relative band.
+
+    The allowance is ``rel_tolerance x predicted`` plus the sample's CI
+    half-width, so Monte Carlo noise cannot fail a correct model.
+    """
+    if rel_tolerance <= 0:
+        raise ValueError(f"rel_tolerance must be > 0, got {rel_tolerance}")
+    summary = summarize([float(v) for v in samples])
+    margin = rel_tolerance * abs(predicted) + summary.ci_half_width
+    deviation = abs(summary.mean - predicted)
+    return GateResult(
+        name=name,
+        passed=deviation <= margin,
+        statistic=summary.mean,
+        threshold=margin,
+        detail=(
+            f"mean={summary.mean:.2f} vs predicted {predicted:.2f} "
+            f"(|Δ|={deviation:.2f}, allowance ±{margin:.2f})"
+        ),
+    )
+
+
+def ratio_gate(
+    value: Optional[float],
+    reference: Optional[float],
+    low: float,
+    high: float,
+    name: str = "ratio",
+) -> GateResult:
+    """``value / reference`` lies in ``[low, high]``.
+
+    Used for growth-time agreement, where the mean-field trajectory is
+    expected to run *ahead* of the simulation (it omits pacing jitter and
+    topology), so the band is deliberately asymmetric.  ``None`` on either
+    side (level never reached) fails the gate explicitly.
+    """
+    if not 0 < low <= high:
+        raise ValueError(f"need 0 < low <= high, got [{low}, {high}]")
+    if value is None or reference is None or reference <= 0:
+        return GateResult(
+            name=name,
+            passed=False,
+            statistic=float("nan"),
+            threshold=high,
+            detail=f"level not reached (value={value}, reference={reference})",
+        )
+    observed = value / reference
+    return GateResult(
+        name=name,
+        passed=low <= observed <= high,
+        statistic=observed,
+        threshold=high,
+        detail=f"ratio={observed:.2f} vs declared band [{low:g}, {high:g}]",
+    )
+
+
+def all_pass(gates: Sequence[GateResult]) -> bool:
+    """True when every gate passed."""
+    return all(g.passed for g in gates)
+
+
+def failures(gates: Sequence[GateResult]) -> List[GateResult]:
+    """The gates that failed, in order."""
+    return [g for g in gates if not g.passed]
+
+
+__all__ = [
+    "GateResult",
+    "all_pass",
+    "failures",
+    "mean_equivalence_gate",
+    "prediction_gate",
+    "rank_gate",
+    "ratio_gate",
+    "welch_gate",
+]

@@ -1,0 +1,258 @@
+"""Golden-trace recording and replay.
+
+A golden trace is a *compact deterministic signature* of one seeded
+scenario run: event count, infection-curve checkpoints, final metrics,
+and a digest of the full infection-time sequence.  Recording the
+signature once and replaying it later detects any semantic drift in the
+DES kernel or the model hot paths — exactly the guard the heap/caching
+optimizations of past perf work (and every future perf PR) need.
+
+Determinism contract
+--------------------
+Replication behaviour derives entirely from ``(scenario config, master
+seed, replication index)``; all floats are canonically rounded to
+:data:`TIME_DECIMALS` places (microhour resolution — far coarser than
+any real drift, far finer than last-ulp libm jitter) and documents are
+serialized as sorted-key JSON.  Re-recording with the same seed therefore
+produces **byte-identical** fixture files, which is itself asserted by
+``python -m repro.validation record`` runs in the test suite.
+
+Checking must never be satisfied from the result cache — a stale cache
+would echo the recorded behaviour back and hide drift — so every checker
+entry point refuses a cache-backed scheduler.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..core.parameters import ScenarioConfig
+from ..core.serialization import scenario_from_dict, scenario_to_dict
+from ..core.simulation import ScenarioResult, replicate_scenario
+from ..experiments.scheduler import ReplicationScheduler
+
+#: Format version of golden fixture documents.
+GOLDEN_SCHEMA_VERSION = 1
+
+#: Canonical float rounding (decimal places) for times and curve samples.
+TIME_DECIMALS = 6
+
+#: Number of evenly spaced infection-curve checkpoints per replication.
+CHECKPOINT_COUNT = 8
+
+#: Conventional fixture location, relative to the repository root.
+DEFAULT_GOLDEN_DIR = Path("tests") / "golden"
+
+
+def checkpoint_times(duration: float, count: int = CHECKPOINT_COUNT) -> List[float]:
+    """Evenly spaced checkpoint times over ``(0, duration]``."""
+    if duration <= 0:
+        raise ValueError(f"duration must be > 0, got {duration}")
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return [round(duration * (i + 1) / count, TIME_DECIMALS) for i in range(count)]
+
+
+def infection_digest(infection_times: Sequence[float]) -> str:
+    """SHA-256 of the canonically rounded infection-time sequence.
+
+    Catches *any* reordering or shift of the infection trajectory without
+    storing every event time in the fixture.
+    """
+    payload = ",".join(f"{t:.{TIME_DECIMALS}f}" for t in infection_times)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _canonical_float(value: Optional[float]) -> Optional[float]:
+    if value is None:
+        return None
+    return round(float(value), TIME_DECIMALS)
+
+
+def replication_signature(
+    result: ScenarioResult, times: Sequence[float]
+) -> Dict[str, Any]:
+    """The compact signature of one replication."""
+    return {
+        "replication": result.replication,
+        "final_time": _canonical_float(result.final_time),
+        "total_infected": result.total_infected,
+        "patient_zero": result.patient_zero,
+        "detection_time": _canonical_float(result.detection_time),
+        "counters": {str(k): int(v) for k, v in sorted(result.counters.items())},
+        "checkpoints": [
+            _canonical_float(v) for v in result.infected_checkpoints(times)
+        ],
+        "infection_digest": infection_digest(result.infection_times),
+    }
+
+
+def _run_replications(
+    config: ScenarioConfig,
+    seed: int,
+    replications: int,
+    scheduler: Optional[ReplicationScheduler],
+) -> List[ScenarioResult]:
+    if scheduler is None:
+        return replicate_scenario(config, replications=replications, seed=seed).results
+    if scheduler.cache is not None:
+        raise ValueError(
+            "golden recording/checking must not use a result cache: cached "
+            "results would echo old behaviour back and mask semantic drift"
+        )
+    return scheduler.replicate(config, replications=replications, seed=seed).results
+
+
+def record_golden(
+    config: ScenarioConfig,
+    name: str,
+    seed: int,
+    replications: int = 2,
+    scheduler: Optional[ReplicationScheduler] = None,
+) -> Dict[str, Any]:
+    """Run ``config`` and build its golden fixture document."""
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications}")
+    times = checkpoint_times(config.duration)
+    results = _run_replications(config, seed, replications, scheduler)
+    return {
+        "golden_schema": GOLDEN_SCHEMA_VERSION,
+        "name": name,
+        "seed": seed,
+        "replications": replications,
+        "checkpoint_times": list(times),
+        "scenario": scenario_to_dict(config),
+        "results": [replication_signature(r, times) for r in results],
+    }
+
+
+def canonical_json(document: Dict[str, Any]) -> str:
+    """Deterministic serialization: sorted keys, fixed separators."""
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def save_golden(document: Dict[str, Any], directory: Union[str, Path]) -> Path:
+    """Write one fixture as ``<dir>/<name>.json`` (canonical bytes)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{document['name']}.json"
+    path.write_text(canonical_json(document), encoding="utf-8")
+    return path
+
+
+def load_golden(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load one fixture document, validating its schema version."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = document.get("golden_schema")
+    if version != GOLDEN_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported golden_schema {version!r} "
+            f"(expected {GOLDEN_SCHEMA_VERSION}); re-record the fixture"
+        )
+    return document
+
+
+def golden_paths(directory: Union[str, Path]) -> List[Path]:
+    """All fixture files under ``directory``, sorted by name."""
+    return sorted(Path(directory).glob("*.json"))
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One divergence between a recorded signature and a fresh replay."""
+
+    scenario: str
+    replication: int
+    field: str
+    recorded: Any
+    observed: Any
+
+    def format(self) -> str:
+        """Render as one report line."""
+        return (
+            f"{self.scenario} rep {self.replication}: {self.field} drifted — "
+            f"recorded {self.recorded!r}, observed {self.observed!r}"
+        )
+
+
+def _compare_signatures(
+    name: str,
+    recorded: Dict[str, Any],
+    observed: Dict[str, Any],
+) -> List[Drift]:
+    drifts: List[Drift] = []
+    replication = int(recorded["replication"])
+    for field in (
+        "final_time",
+        "total_infected",
+        "patient_zero",
+        "detection_time",
+        "counters",
+        "checkpoints",
+        "infection_digest",
+    ):
+        if recorded.get(field) != observed.get(field):
+            drifts.append(
+                Drift(
+                    scenario=name,
+                    replication=replication,
+                    field=field,
+                    recorded=recorded.get(field),
+                    observed=observed.get(field),
+                )
+            )
+    return drifts
+
+
+def check_golden(
+    document: Dict[str, Any],
+    scheduler: Optional[ReplicationScheduler] = None,
+) -> List[Drift]:
+    """Replay one fixture and return every drift (empty = no drift)."""
+    config = scenario_from_dict(document["scenario"])
+    times = [float(t) for t in document["checkpoint_times"]]
+    results = _run_replications(
+        config, int(document["seed"]), int(document["replications"]), scheduler
+    )
+    drifts: List[Drift] = []
+    by_replication = {int(r["replication"]): r for r in document["results"]}
+    for result in results:
+        recorded = by_replication.get(result.replication)
+        observed = replication_signature(result, times)
+        if recorded is None:
+            drifts.append(
+                Drift(
+                    scenario=str(document["name"]),
+                    replication=result.replication,
+                    field="results",
+                    recorded=None,
+                    observed=observed,
+                )
+            )
+            continue
+        drifts.extend(
+            _compare_signatures(str(document["name"]), recorded, observed)
+        )
+    return drifts
+
+
+__all__ = [
+    "CHECKPOINT_COUNT",
+    "DEFAULT_GOLDEN_DIR",
+    "Drift",
+    "GOLDEN_SCHEMA_VERSION",
+    "TIME_DECIMALS",
+    "canonical_json",
+    "check_golden",
+    "checkpoint_times",
+    "golden_paths",
+    "infection_digest",
+    "load_golden",
+    "record_golden",
+    "replication_signature",
+    "save_golden",
+]

@@ -1,0 +1,70 @@
+"""The paper's consent series: P(accept nth) = AF/2^n with AF = 0.468.
+
+Section 4.4 of the paper calibrates AF so that roughly 40% of susceptible
+users eventually accept an infected attachment; that 0.40 plateau is the
+anchor every engine in the differential campaign is compared against.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.meanfield import (
+    MeanFieldParameters,
+    expected_mean_field_plateau,
+)
+from repro.core.user import (
+    ACCEPTANCE_NEGLIGIBLE_AFTER,
+    PAPER_ACCEPTANCE_FACTOR,
+    acceptance_probability,
+    total_acceptance_probability,
+)
+
+
+def test_paper_acceptance_factor_value():
+    assert PAPER_ACCEPTANCE_FACTOR == 0.468
+
+
+def test_series_terms_halve():
+    for n in range(1, 11):
+        expected = PAPER_ACCEPTANCE_FACTOR / 2**n
+        assert acceptance_probability(PAPER_ACCEPTANCE_FACTOR, n) == pytest.approx(
+            expected
+        )
+    assert acceptance_probability(PAPER_ACCEPTANCE_FACTOR, 1) == pytest.approx(0.234)
+
+
+def test_ever_accept_is_about_forty_percent():
+    ever = total_acceptance_probability(PAPER_ACCEPTANCE_FACTOR)
+    # The infinite product 1 - prod(1 - AF/2^n) converges to ~0.3985.
+    assert ever == pytest.approx(0.40, abs=0.005)
+    # and matches an explicit long-product evaluation
+    survive = 1.0
+    for n in range(1, ACCEPTANCE_NEGLIGIBLE_AFTER + 1):
+        survive *= 1.0 - PAPER_ACCEPTANCE_FACTOR / 2**n
+    assert ever == pytest.approx(1.0 - survive, abs=1e-9)
+
+
+def test_truncation_point_is_negligible():
+    # Terms beyond the truncation point change the product by < 1e-9.
+    tail = PAPER_ACCEPTANCE_FACTOR / 2 ** (ACCEPTANCE_NEGLIGIBLE_AFTER + 1)
+    assert tail < 1e-9
+
+
+def test_plateau_on_the_paper_network():
+    # Paper network: 1000 phones, 800 susceptible, one initial infection.
+    params = MeanFieldParameters(
+        population=1000,
+        susceptible=800,
+        delivery_rate=2.0,
+        acceptance_factor=PAPER_ACCEPTANCE_FACTOR,
+    )
+    plateau = expected_mean_field_plateau(params)
+    ever = total_acceptance_probability(PAPER_ACCEPTANCE_FACTOR)
+    # patient zero + 799 remaining susceptibles x P(ever accept)
+    assert plateau == pytest.approx(1.0 + 799.0 * ever)
+    # ... which is the paper's ~0.40 x 800 infection ceiling (~320 phones)
+    assert plateau == pytest.approx(0.40 * 800.0, rel=0.02)
+    assert math.isclose(plateau, 319.4, abs_tol=1.5)

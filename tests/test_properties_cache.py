@@ -1,0 +1,147 @@
+"""Property tests: cache keys are stable across serialization and dict order.
+
+The result cache (and therefore every cached experiment) relies on
+``result_key`` being a pure function of the scenario *content*.  Two ways
+that could silently break are (a) a lossy ``scenario_to_dict`` /
+``scenario_from_dict`` round trip and (b) sensitivity to dict insertion
+order somewhere in the canonicalization.  Hypothesis drives both with
+arbitrary valid configurations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cache import result_key
+from repro.core.parameters import (
+    BlacklistConfig,
+    GatewayScanConfig,
+    LimitPeriod,
+    MonitoringConfig,
+    NetworkParameters,
+    ScenarioConfig,
+    Targeting,
+    UserParameters,
+    VirusParameters,
+)
+from repro.core.serialization import scenario_from_dict, scenario_to_dict
+
+BOUNDED_FLOATS = st.floats(
+    min_value=0.0, max_value=48.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def virus_strategy(draw) -> VirusParameters:
+    message_limit = draw(st.one_of(st.none(), st.integers(1, 60)))
+    if message_limit is None:
+        limit_period = LimitPeriod.NONE
+        counts_recipients = False
+        global_windows = False
+    else:
+        limit_period = draw(
+            st.sampled_from([LimitPeriod.REBOOT, LimitPeriod.FIXED_WINDOW])
+        )
+        counts_recipients = draw(st.booleans())
+        global_windows = limit_period is LimitPeriod.FIXED_WINDOW and draw(
+            st.booleans()
+        )
+    return VirusParameters(
+        name=draw(st.sampled_from(["alpha", "beta", "gamma"])),
+        targeting=draw(st.sampled_from(list(Targeting))),
+        recipients_per_message=draw(st.integers(1, 100)),
+        min_send_interval=draw(BOUNDED_FLOATS),
+        extra_send_delay_mean=draw(BOUNDED_FLOATS),
+        message_limit=message_limit,
+        limit_counts_recipients=counts_recipients,
+        limit_period=limit_period,
+        reboot_interval_mean=draw(st.floats(0.5, 72.0)),
+        limit_window=draw(st.floats(0.5, 72.0)),
+        global_limit_windows=global_windows,
+        dormancy=draw(BOUNDED_FLOATS),
+        valid_number_fraction=draw(st.floats(0.01, 1.0)),
+        bluetooth_rate=draw(st.floats(0.0, 5.0)),
+    )
+
+
+@st.composite
+def network_strategy(draw) -> NetworkParameters:
+    population = draw(st.integers(5, 300))
+    return NetworkParameters(
+        population=population,
+        susceptible_fraction=draw(st.floats(0.1, 1.0)),
+        topology_model=draw(st.sampled_from(["powerlaw", "random"])),
+        mean_contact_list_size=draw(st.floats(1.0, float(population - 1))),
+        powerlaw_exponent=draw(st.floats(1.2, 3.0)),
+        gateway_delay_mean=draw(BOUNDED_FLOATS),
+    )
+
+
+@st.composite
+def scenario_strategy(draw) -> ScenarioConfig:
+    responses = draw(
+        st.lists(
+            st.sampled_from(
+                [
+                    GatewayScanConfig(activation_delay=12.0),
+                    MonitoringConfig(),
+                    BlacklistConfig(threshold=10),
+                ]
+            ),
+            unique_by=type,
+            max_size=3,
+        )
+    )
+    return ScenarioConfig(
+        name=draw(st.sampled_from(["scenario-a", "scenario-b"])),
+        virus=draw(virus_strategy()),
+        network=draw(network_strategy()),
+        user=UserParameters(
+            acceptance_factor=draw(st.floats(0.0, 1.0)),
+            read_delay_mean=draw(BOUNDED_FLOATS),
+        ),
+        responses=tuple(responses),
+        duration=draw(st.floats(1.0, 432.0)),
+    )
+
+
+def _reorder(value, reverse: bool):
+    """Recursively rebuild dicts with reversed insertion order."""
+    if isinstance(value, dict):
+        items = sorted(value.items(), reverse=reverse)
+        return {k: _reorder(v, reverse) for k, v in items}
+    if isinstance(value, list):
+        return [_reorder(v, reverse) for v in value]
+    return value
+
+
+@settings(max_examples=40, deadline=None)
+@given(config=scenario_strategy(), seed=st.integers(0, 2**31), rep=st.integers(0, 99))
+def test_key_survives_serialization_round_trip(config, seed, rep):
+    restored = scenario_from_dict(scenario_to_dict(config))
+    assert restored == config
+    assert result_key(restored, seed, rep) == result_key(config, seed, rep)
+
+
+@settings(max_examples=40, deadline=None)
+@given(config=scenario_strategy(), seed=st.integers(0, 2**31))
+def test_key_independent_of_dict_ordering(config, seed):
+    payload = scenario_to_dict(config)
+    forward = scenario_from_dict(_reorder(payload, reverse=False))
+    backward = scenario_from_dict(_reorder(payload, reverse=True))
+    assert result_key(forward, seed, 0) == result_key(backward, seed, 0)
+    assert result_key(forward, seed, 0) == result_key(config, seed, 0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(config=scenario_strategy(), seed=st.integers(0, 2**31))
+def test_key_discriminates_seed_replication_and_content(config, seed):
+    base = result_key(config, seed, 0)
+    assert result_key(config, seed + 1, 0) != base
+    assert result_key(config, seed, 1) != base
+    assert result_key(config.with_duration(config.duration + 1.0), seed, 0) != base
+    assert result_key(config, seed, 0, schema_version=10**6) != base

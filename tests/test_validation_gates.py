@@ -1,0 +1,136 @@
+"""Unit tests for the statistical acceptance gates and their stats helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import mann_whitney_u, mean_difference_ci, welch_t_test
+from repro.validation.gates import (
+    GateResult,
+    all_pass,
+    failures,
+    mean_equivalence_gate,
+    prediction_gate,
+    rank_gate,
+    ratio_gate,
+    welch_gate,
+)
+
+
+class TestStatsHelpers:
+    def test_mean_difference_ci_centred_on_difference(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(10.0, 1.0, size=200)
+        b = rng.normal(7.0, 1.0, size=200)
+        diff, lower, upper = mean_difference_ci(a, b)
+        assert lower < diff < upper
+        assert diff == pytest.approx(3.0, abs=0.4)
+        assert upper - lower < 1.0
+
+    def test_mean_difference_ci_contains_truth_for_equal_means(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(5.0, 2.0, size=60)
+        b = rng.normal(5.0, 0.5, size=25)  # unequal variance and size
+        _, lower, upper = mean_difference_ci(a, b)
+        assert lower < 0.0 < upper
+
+    def test_mean_difference_ci_degenerate_identical(self):
+        diff, lower, upper = mean_difference_ci([4.0, 4.0, 4.0], [4.0, 4.0])
+        assert diff == lower == upper == 0.0
+
+    def test_mean_difference_ci_needs_two_observations(self):
+        with pytest.raises(ValueError):
+            mean_difference_ci([1.0], [2.0, 3.0])
+
+    def test_mann_whitney_detects_shift(self):
+        a = [float(v) for v in range(20)]
+        b = [float(v) + 30.0 for v in range(20)]
+        _, p = mann_whitney_u(a, b)
+        assert p < 0.001
+
+    def test_mann_whitney_handles_ties_and_constants(self):
+        _, p = mann_whitney_u([3.0, 3.0, 3.0], [3.0, 3.0, 3.0])
+        assert p == 1.0
+        # heavy ties, same location: should not reject
+        _, p = mann_whitney_u([3.0, 3.0, 4.0, 4.0], [3.0, 4.0, 4.0, 3.0])
+        assert p > 0.1
+
+
+class TestGates:
+    def test_mean_equivalence_passes_within_floor(self):
+        gate = mean_equivalence_gate([10.0, 11.0], [12.0, 12.5], absolute_margin=3.0)
+        assert gate.passed
+        assert "allowance" in gate.detail
+
+    def test_mean_equivalence_fails_far_apart(self):
+        a = [10.0, 10.1, 9.9, 10.0]
+        b = [30.0, 30.2, 29.8, 30.0]
+        gate = mean_equivalence_gate(a, b, absolute_margin=3.0)
+        assert not gate.passed
+        assert gate.statistic == pytest.approx(-20.0, abs=0.2)
+
+    def test_mean_equivalence_se_term_widens_allowance(self):
+        # Noisy samples: the SE term dominates the small floor.
+        rng = np.random.default_rng(3)
+        a = list(rng.normal(50.0, 15.0, size=5))
+        b = list(rng.normal(52.0, 15.0, size=5))
+        gate = mean_equivalence_gate(a, b, absolute_margin=0.1, se_multiplier=3.0)
+        assert gate.threshold > 0.1
+
+    def test_welch_gate_agrees_and_disagrees(self):
+        rng = np.random.default_rng(4)
+        same = list(rng.normal(10, 2, size=30))
+        also_same = list(rng.normal(10, 2, size=30))
+        far = list(rng.normal(20, 2, size=30))
+        assert welch_gate(same, also_same).passed
+        assert not welch_gate(same, far).passed
+
+    @pytest.mark.filterwarnings("ignore:Precision loss:RuntimeWarning")
+    def test_welch_gate_constant_samples(self):
+        assert welch_gate([5.0, 5.0, 5.0], [5.0, 5.0]).passed
+        # zero variance, different means: must fail, not error
+        assert not welch_gate([5.0, 5.0, 5.0], [9.0, 9.0, 9.0]).passed
+
+    def test_rank_gate(self):
+        assert rank_gate([1.0, 2.0, 3.0, 4.0], [1.5, 2.5, 3.5, 3.0]).passed
+        a = [float(v) for v in range(15)]
+        b = [float(v) + 40.0 for v in range(15)]
+        assert not rank_gate(a, b).passed
+
+    def test_prediction_gate_allows_ci_noise(self):
+        # mean 12 vs predicted 10 with 10% tolerance: 1.0 margin alone would
+        # fail, but the wide CI of a noisy sample must widen the allowance.
+        samples = [6.0, 18.0, 9.0, 15.0]
+        gate = prediction_gate(samples, predicted=10.0, rel_tolerance=0.1)
+        assert gate.passed
+
+    def test_prediction_gate_fails_clear_mismatch(self):
+        samples = [30.0, 30.5, 29.5, 30.2]
+        gate = prediction_gate(samples, predicted=10.0, rel_tolerance=0.2)
+        assert not gate.passed
+
+    def test_ratio_gate_band(self):
+        assert ratio_gate(2.0, 1.0, low=0.5, high=4.0).passed
+        assert not ratio_gate(9.0, 1.0, low=0.5, high=4.0).passed
+        assert not ratio_gate(None, 1.0, low=0.5, high=4.0).passed
+        assert not ratio_gate(1.0, None, low=0.5, high=4.0).passed
+
+    def test_gate_validation_errors(self):
+        with pytest.raises(ValueError):
+            mean_equivalence_gate([1.0, 2.0], [1.0, 2.0], absolute_margin=-1.0)
+        with pytest.raises(ValueError):
+            welch_gate([1.0, 2.0], [1.0, 2.0], alpha=1.5)
+        with pytest.raises(ValueError):
+            prediction_gate([1.0, 2.0], predicted=1.0, rel_tolerance=0.0)
+        with pytest.raises(ValueError):
+            ratio_gate(1.0, 1.0, low=2.0, high=1.0)
+
+    def test_all_pass_and_failures(self):
+        good = GateResult("g", True, 0.0, 1.0, "ok")
+        bad = GateResult("b", False, 9.0, 1.0, "no")
+        assert all_pass([good])
+        assert not all_pass([good, bad])
+        assert failures([good, bad]) == [bad]
+        assert "[FAIL] b" in bad.format()
+        assert "[PASS] g" in good.format()

@@ -1,0 +1,212 @@
+"""Golden-trace recording, replay, and drift detection."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import (
+    NetworkParameters,
+    ScenarioConfig,
+    Targeting,
+    UserParameters,
+    VirusParameters,
+)
+from repro.experiments.scheduler import ReplicationScheduler
+from repro.validation import cli as validation_cli
+from repro.validation.golden import (
+    DEFAULT_GOLDEN_DIR,
+    GOLDEN_SCHEMA_VERSION,
+    canonical_json,
+    check_golden,
+    checkpoint_times,
+    golden_paths,
+    infection_digest,
+    load_golden,
+    record_golden,
+    save_golden,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture
+def tiny_config() -> ScenarioConfig:
+    """A sub-second scenario for record/check round trips."""
+    return ScenarioConfig(
+        name="tiny-golden",
+        virus=VirusParameters(
+            name="tiny-virus",
+            targeting=Targeting.CONTACT_LIST,
+            recipients_per_message=1,
+            min_send_interval=0.1,
+            extra_send_delay_mean=0.1,
+        ),
+        network=NetworkParameters(population=60, mean_contact_list_size=10.0),
+        user=UserParameters(read_delay_mean=0.1),
+        duration=12.0,
+    )
+
+
+class TestPrimitives:
+    def test_checkpoint_times_cover_horizon(self):
+        times = checkpoint_times(48.0, count=8)
+        assert len(times) == 8
+        assert times[0] == 6.0
+        assert times[-1] == 48.0
+        with pytest.raises(ValueError):
+            checkpoint_times(0.0)
+        with pytest.raises(ValueError):
+            checkpoint_times(10.0, count=0)
+
+    def test_infection_digest_sensitivity(self):
+        base = infection_digest([0.0, 1.25, 3.5])
+        assert base == infection_digest([0.0, 1.25, 3.5])
+        assert base != infection_digest([0.0, 3.5, 1.25])  # reorder
+        assert base != infection_digest([0.0, 1.25])  # truncate
+        # sub-rounding jitter is canonicalized away
+        assert base == infection_digest([0.0, 1.25, 3.5 + 1e-9])
+
+
+class TestRecordAndCheck:
+    def test_round_trip_no_drift(self, tiny_config, tmp_path):
+        document = record_golden(tiny_config, "tiny", seed=11, replications=2)
+        path = save_golden(document, tmp_path)
+        loaded = load_golden(path)
+        assert loaded["golden_schema"] == GOLDEN_SCHEMA_VERSION
+        assert check_golden(loaded) == []
+
+    def test_rerecord_is_byte_identical(self, tiny_config, tmp_path):
+        first = save_golden(
+            record_golden(tiny_config, "tiny", seed=11, replications=2),
+            tmp_path / "a",
+        )
+        second = save_golden(
+            record_golden(tiny_config, "tiny", seed=11, replications=2),
+            tmp_path / "b",
+        )
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_different_seed_differs(self, tiny_config):
+        one = record_golden(tiny_config, "tiny", seed=11, replications=1)
+        two = record_golden(tiny_config, "tiny", seed=12, replications=1)
+        assert one["results"] != two["results"]
+
+    def test_tamper_detection(self, tiny_config, tmp_path):
+        document = record_golden(tiny_config, "tiny", seed=11, replications=1)
+        document["results"][0]["total_infected"] += 1
+        drifts = check_golden(document)
+        assert len(drifts) == 1
+        assert drifts[0].field == "total_infected"
+        assert "drifted" in drifts[0].format()
+
+    def test_digest_tamper_detection(self, tiny_config):
+        document = record_golden(tiny_config, "tiny", seed=11, replications=1)
+        document["results"][0]["infection_digest"] = "0" * 64
+        fields = {d.field for d in check_golden(document)}
+        assert fields == {"infection_digest"}
+
+    def test_cache_backed_scheduler_refused(self, tiny_config, tmp_path):
+        from repro.core.cache import ResultCache
+
+        scheduler = ReplicationScheduler(
+            processes=1, cache=ResultCache(tmp_path / "cache")
+        )
+        with pytest.raises(ValueError, match="cache"):
+            record_golden(tiny_config, "tiny", seed=11, scheduler=scheduler)
+
+    def test_schema_version_enforced(self, tiny_config, tmp_path):
+        document = record_golden(tiny_config, "tiny", seed=11, replications=1)
+        document["golden_schema"] = 999
+        path = tmp_path / "tiny.json"
+        path.write_text(canonical_json(document), encoding="utf-8")
+        with pytest.raises(ValueError, match="golden_schema"):
+            load_golden(path)
+
+
+class TestCommittedFixtures:
+    """The fixtures under tests/golden/ are live: they must replay cleanly."""
+
+    GOLDEN_DIR = REPO_ROOT / DEFAULT_GOLDEN_DIR
+
+    def test_fixtures_exist_and_are_canonical(self):
+        paths = golden_paths(self.GOLDEN_DIR)
+        assert len(paths) >= 5, "expected the committed golden fixture set"
+        for path in paths:
+            raw = path.read_text(encoding="utf-8")
+            document = json.loads(raw)
+            assert raw == canonical_json(document), (
+                f"{path.name} is not canonical JSON; regenerate it with "
+                "`python -m repro.validation record` (see TESTING.md)"
+            )
+
+    def test_fastest_fixture_replays_clean(self):
+        # virus3 has the shortest horizon; tier-1 replays just this one.
+        document = load_golden(self.GOLDEN_DIR / "virus3.json")
+        assert check_golden(document) == []
+
+    @pytest.mark.validation
+    def test_all_fixtures_replay_clean(self):
+        rc = validation_cli.main(
+            ["check", "--dir", str(self.GOLDEN_DIR), "--processes", "2"]
+        )
+        assert rc == 0
+
+
+class TestCli:
+    def test_record_check_and_tamper(self, tmp_path, capsys):
+        golden_dir = tmp_path / "golden"
+        rc = validation_cli.main(
+            [
+                "record",
+                "--dir",
+                str(golden_dir),
+                "--scenarios",
+                "virus3",
+                "--replications",
+                "1",
+            ]
+        )
+        assert rc == 0
+        paths = golden_paths(golden_dir)
+        assert [p.name for p in paths] == ["virus3.json"]
+
+        assert validation_cli.main(["check", "--dir", str(golden_dir)]) == 0
+
+        document = load_golden(paths[0])
+        document["results"][0]["total_infected"] += 1
+        paths[0].write_text(canonical_json(document), encoding="utf-8")
+        rc = validation_cli.main(["check", "--dir", str(golden_dir)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "drifted" in captured.out
+
+    def test_check_empty_dir_is_an_error(self, tmp_path):
+        assert validation_cli.main(["check", "--dir", str(tmp_path)]) == 2
+
+    def test_record_rejects_unknown_scenario(self, tmp_path, capsys):
+        rc = validation_cli.main(
+            ["record", "--dir", str(tmp_path), "--scenarios", "nope"]
+        )
+        assert rc == 2
+        assert "unknown golden scenarios" in capsys.readouterr().err
+
+    def test_top_level_cli_forwards_validate(self, tmp_path):
+        from repro.cli import main as repro_main
+
+        rc = repro_main(
+            [
+                "validate",
+                "record",
+                "--dir",
+                str(tmp_path / "g"),
+                "--scenarios",
+                "virus3",
+                "--replications",
+                "1",
+            ]
+        )
+        assert rc == 0
+        assert (tmp_path / "g" / "virus3.json").exists()
