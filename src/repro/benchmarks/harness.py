@@ -33,9 +33,17 @@ from ..core.parameters import NetworkParameters
 from ..core.scenarios import baseline_scenario
 from ..des.random import StreamFactory
 from ..experiments import get_experiment, run_experiment
+from ..obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    append_manifest,
+    build_manifest,
+    host_info,
+)
 
-#: Format version of the BENCH_*.json documents.
-BENCH_SCHEMA_VERSION = 1
+#: Format version of the BENCH_*.json documents.  Version 2 adds the run
+#: -manifest host section (``host``, ``manifest_schema``) so bench docs
+#: and run manifests share one provenance schema.
+BENCH_SCHEMA_VERSION = 2
 
 #: Master seed for every benchmark workload (the paper's year, matching
 #: the figure benchmarks in benchmarks/conftest.py).
@@ -203,8 +211,15 @@ def run_workloads(
     label: str = "local",
     processes: int = 4,
     echo: Optional[Callable[[str], None]] = None,
+    manifest_path: Optional[Union[str, Path]] = None,
 ) -> Dict[str, object]:
-    """Run the named workloads (all, by default) and build a bench document."""
+    """Run the named workloads (all, by default) and build a bench document.
+
+    ``manifest_path`` additionally appends one schema-valid run-manifest
+    record per workload (kind ``benchmark``) to the given JSONL file —
+    the same telemetry schema the CLI's ``--metrics`` emits, so bench
+    results and ordinary runs land in one analyzable stream.
+    """
     selected = list(names) if names is not None else workload_names()
     unknown = [n for n in selected if n not in WORKLOADS]
     if unknown:
@@ -213,6 +228,18 @@ def run_workloads(
     for name in selected:
         measured = WORKLOADS[name].run(processes=processes)
         results[name] = measured.to_dict()
+        if manifest_path is not None:
+            append_manifest(
+                manifest_path,
+                build_manifest(
+                    "benchmark",
+                    f"{label}:{name}",
+                    wall_seconds=measured.wall_seconds,
+                    events_executed=measured.events,
+                    seed=BENCH_SEED,
+                    extra={"detail": dict(measured.detail)},
+                ),
+            )
         if echo is not None:
             echo(
                 f"{name}: {measured.wall_seconds:.2f}s, "
@@ -222,12 +249,14 @@ def run_workloads(
     return {
         "label": label,
         "schema": BENCH_SCHEMA_VERSION,
+        "manifest_schema": MANIFEST_SCHEMA_VERSION,
         "created": datetime.datetime.now(datetime.timezone.utc).isoformat(
             timespec="seconds"
         ),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
+        "host": host_info(),
         "seed": BENCH_SEED,
         "workloads": results,
     }
@@ -307,6 +336,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_parser.add_argument("--processes", type=int, default=4,
                             help="worker count for parallel workloads")
     run_parser.add_argument("--out-dir", default=".", help="output directory")
+    run_parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="append one run-manifest JSONL record per workload to PATH",
+    )
 
     smoke_parser = sub.add_parser(
         "smoke", help="run the smoke subset and fail on >FACTOR regression"
@@ -317,6 +350,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     smoke_parser.add_argument("--factor", type=float, default=2.0,
                               help="allowed slowdown factor")
+    smoke_parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="append one run-manifest JSONL record per workload to PATH",
+    )
 
     args = parser.parse_args(argv)
 
@@ -325,7 +362,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if names is None and args.smoke_only:
             names = workload_names(smoke_only=True)
         document = run_workloads(
-            names, label=args.label, processes=args.processes, echo=print
+            names, label=args.label, processes=args.processes, echo=print,
+            manifest_path=args.metrics,
         )
         path = write_bench(document, args.out_dir)
         print(f"wrote {path}")
@@ -338,7 +376,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         baseline = load_bench(baseline_path)
         document = run_workloads(
-            workload_names(smoke_only=True), label="smoke", processes=1, echo=print
+            workload_names(smoke_only=True), label="smoke", processes=1, echo=print,
+            manifest_path=args.metrics,
         )
         regressions = compare_to_baseline(document, baseline, factor=args.factor)
         if regressions:

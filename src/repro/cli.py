@@ -15,6 +15,10 @@ Commands
     Generate a contact-list network file.
 ``repro-sim sweep scan_delay``
     Strength sweep + diminishing-returns knee for one mechanism (§5.3).
+``repro-sim profile --virus 1 --max-events 50000``
+    Short instrumented run: hot-path breakdown by event label, ev/s,
+    kernel stats.  ``run``/``figure``/``sweep`` accept ``--metrics PATH``
+    to append a schema-valid JSONL run manifest (see ``repro.obs``).
 ``repro-sim scenario my_scenario.json --replications 3``
     Simulate a scenario loaded from a JSON file.
 """
@@ -38,6 +42,7 @@ from .core.parameters import (
     UserEducationConfig,
 )
 from .core.cache import ResultCache, default_cache_dir
+from .obs.metrics import Metrics
 from .core.scenarios import baseline_scenario
 from .core.simulation import replicate_scenario
 from .des.random import StreamFactory
@@ -66,7 +71,13 @@ def _add_scheduler_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--cache-dir", default=None,
-        help="result cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+        help="result cache directory (default: $REPRO_CACHE_DIR or "
+        "./.repro-cache — note: CWD-relative, see README 'Observability')",
+    )
+    parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="collect run telemetry and append a JSONL run-manifest "
+        "record (ev/s, cache hit ratio, per-worker rates) to PATH",
     )
 
 
@@ -75,7 +86,19 @@ def _make_scheduler(args: argparse.Namespace) -> ReplicationScheduler:
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir if args.cache_dir else default_cache_dir())
-    return ReplicationScheduler(processes=args.processes, cache=cache)
+    metrics = Metrics(enabled=True) if getattr(args, "metrics", None) else None
+    return ReplicationScheduler(
+        processes=args.processes, cache=cache, metrics=metrics
+    )
+
+
+def _write_cli_manifest(
+    args: argparse.Namespace, scheduler: ReplicationScheduler, label: str
+) -> None:
+    """Append the command's run manifest when ``--metrics PATH`` was given."""
+    if getattr(args, "metrics", None):
+        path = scheduler.write_manifest(args.metrics, label=label)
+        print(f"run manifest appended to {path}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -165,6 +188,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="arguments for repro.validation (run | record | check ...)",
     )
 
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="run a short instrumented scenario and print a hot-path "
+        "breakdown (per-event-label timings, ev/s, kernel stats)",
+    )
+    profile_parser.add_argument(
+        "--virus", type=int, choices=(1, 2, 3, 4), default=1
+    )
+    profile_parser.add_argument("--population", type=int, default=None)
+    profile_parser.add_argument("--duration", type=float, default=None,
+                                help="override horizon, hours")
+    profile_parser.add_argument(
+        "--max-events", type=int, default=None,
+        help="cap the event loop (keeps profiles short)",
+    )
+    profile_parser.add_argument("--seed", type=int, default=0)
+    profile_parser.add_argument("--top", type=int, default=10,
+                                help="hot-path rows to print")
+    profile_parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="append the profile's run-manifest record to PATH",
+    )
+
     topology_parser = subparsers.add_parser(
         "topology", help="generate a contact-list network file"
     )
@@ -221,6 +267,7 @@ def _command_run(args: argparse.Namespace) -> int:
             scenario, replications=args.replications, seed=args.seed
         )
         stats_line = scheduler.stats.format()
+    _write_cli_manifest(args, scheduler, label=f"run:{scenario.name}")
     summary = result_set.final_summary()
     print(f"scenario: {scenario.name}")
     print(f"replications: {result_set.replications}  (seed {args.seed})")
@@ -264,6 +311,9 @@ def _command_figure(args: argparse.Namespace) -> int:
             specs, replications=args.replications, seed=args.seed
         )
         stats_line = scheduler.stats.format()
+    _write_cli_manifest(
+        args, scheduler, label="figure:" + ",".join(args.experiment_ids)
+    )
     multiple = len(specs) > 1
     all_pass = True
     for spec, result in zip(specs, results):
@@ -300,18 +350,17 @@ def _command_sweep(args: argparse.Namespace) -> int:
         known = ", ".join(STANDARD_SWEEPS)
         print(f"unknown sweep {args.sweep_id!r}; known: {known}", file=sys.stderr)
         return 2
-    cache = None
-    if not args.no_cache:
-        cache = ResultCache(args.cache_dir if args.cache_dir else default_cache_dir())
-    result = run_strength_sweep(
-        spec,
-        replications=args.replications,
-        seed=args.seed,
-        processes=args.processes,
-        cache=cache,
-    )
+    with _make_scheduler(args) as scheduler:
+        result = run_strength_sweep(
+            spec,
+            replications=args.replications,
+            seed=args.seed,
+            scheduler=scheduler,
+        )
+    _write_cli_manifest(args, scheduler, label=f"sweep:{args.sweep_id}")
     print(result.format())
-    if cache is not None:
+    if scheduler.cache is not None:
+        cache = scheduler.cache
         print(f"cache: {cache.hits} hits, {cache.misses} misses")
     return 0
 
@@ -346,6 +395,28 @@ def _command_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_profile(args: argparse.Namespace) -> int:
+    from .obs.manifest import append_manifest, build_manifest
+    from .obs.profile import run_profile
+
+    report = run_profile(
+        virus=args.virus,
+        population=args.population,
+        duration=args.duration,
+        max_events=args.max_events,
+        seed=args.seed,
+    )
+    print(report.format(top=args.top))
+    if args.metrics:
+        sections = report.manifest_sections()
+        document = build_manifest(
+            "profile", f"profile:{report.scenario_name}", **sections
+        )
+        path = append_manifest(args.metrics, document)
+        print(f"\nprofile manifest appended to {path}")
+    return 0
+
+
 def _command_topology(args: argparse.Namespace) -> int:
     streams = StreamFactory(args.seed)
     graph = contact_network(
@@ -374,6 +445,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_run(args)
     if args.command == "figure":
         return _command_figure(args)
+    if args.command == "profile":
+        return _command_profile(args)
     if args.command == "topology":
         return _command_topology(args)
     if args.command == "sweep":

@@ -23,7 +23,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Iterator, Optional, Union
 
 from .parameters import ScenarioConfig
 from .serialization import (
@@ -43,10 +43,29 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Default cache directory (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"
 
+#: Temp-file prefix used by atomic writes; anything carrying it is an
+#: orphan of a crashed ``put()`` and never a cache entry.
+_TMP_PREFIX = ".tmp-"
+
 
 def default_cache_dir() -> Path:
-    """The cache root: ``$REPRO_CACHE_DIR`` or ``./.repro-cache``."""
-    return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+    """The cache root, resolved to an *absolute* anchored path.
+
+    ``$REPRO_CACHE_DIR`` wins when set (with ``~`` and nested environment
+    variables expanded, so ``REPRO_CACHE_DIR=~/caches/$PROJECT`` works);
+    otherwise ``.repro-cache`` under the **current working directory**.
+
+    The CWD fallback is deliberate — a per-checkout cache keeps unrelated
+    projects from sharing entries — but it also means invocations from
+    different directories use different caches.  Set ``REPRO_CACHE_DIR``
+    for one shared cache; the resolved absolute path is recorded in every
+    run manifest (``cache.dir``) so a split cache is visible instead of
+    silent.
+    """
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(os.path.expandvars(env)).expanduser().resolve()
+    return (Path.cwd() / DEFAULT_CACHE_DIR).resolve()
 
 
 def result_key(
@@ -117,7 +136,7 @@ class ResultCache:
             "result": result_to_dict(result),
         }
         handle, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json"
+            dir=path.parent, prefix=_TMP_PREFIX, suffix=".json"
         )
         try:
             with os.fdopen(handle, "w", encoding="utf-8") as tmp:
@@ -132,22 +151,56 @@ class ResultCache:
         self.writes += 1
         return path
 
+    def _entry_paths(self) -> Iterator[Path]:
+        """Paths of real entries — never ``.tmp-*`` orphans.
+
+        ``pathlib`` globs *do* match dot-prefixed names (unlike shell
+        globs), so ``*/*.json`` picks up ``.tmp-*.json`` files left by a
+        ``put()`` that crashed between ``mkstemp`` and ``os.replace``;
+        every tree walk must filter them or orphans get counted (and
+        served) as entries.
+        """
+        if not self.root.exists():
+            return
+        for path in self.root.glob("*/*.json"):
+            if not path.name.startswith(_TMP_PREFIX):
+                yield path
+
+    def _tmp_paths(self) -> Iterator[Path]:
+        """Orphaned temp files from crashed writes."""
+        if not self.root.exists():
+            return
+        yield from self.root.glob(f"*/{_TMP_PREFIX}*")
+
     def __len__(self) -> int:
         """Number of stored entries (walks the tree; diagnostic use)."""
-        if not self.root.exists():
-            return 0
-        return sum(
-            1
-            for p in self.root.glob("*/*.json")
-            if not p.name.startswith(".tmp-")
-        )
+        return sum(1 for _ in self._entry_paths())
 
     def clear(self) -> int:
-        """Delete every stored entry; returns how many were removed."""
+        """Delete every stored entry; returns how many entries were removed.
+
+        Orphaned temp files are swept as well (but not counted — they
+        were never entries).
+        """
         removed = 0
-        if not self.root.exists():
-            return 0
-        for path in self.root.glob("*/*.json"):
+        for path in self._entry_paths():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        self.sweep()
+        return removed
+
+    def sweep(self) -> int:
+        """Remove orphaned ``.tmp-*`` files from crashed writes.
+
+        Safe to run at any time: a live concurrent ``put()`` that loses
+        its temp file simply fails that one write and retries on the next
+        miss.  Returns the number of files removed.
+        """
+        removed = 0
+        for path in self._tmp_paths():
             try:
                 path.unlink()
                 removed += 1
@@ -156,8 +209,14 @@ class ResultCache:
         return removed
 
     def stats(self) -> Dict[str, int]:
-        """Hit/miss/write counters for reporting."""
-        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+        """Hit/miss/write counters plus on-disk entry/orphan counts."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "entries": len(self),
+            "tmp_files": sum(1 for _ in self._tmp_paths()),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

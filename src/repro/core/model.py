@@ -28,6 +28,7 @@ from typing import Optional, Tuple
 from ..des.random import Distribution, StreamFactory
 from ..des.simulator import Simulator
 from ..des.trace import Tracer
+from ..obs.metrics import Metrics
 from ..topology.generators import contact_network
 from ..topology.graph import ContactGraph
 from .detection import DetectionTracker
@@ -49,10 +50,11 @@ class PhoneNetworkModel:
         streams: StreamFactory,
         graph: Optional[ContactGraph] = None,
         tracer: Optional[Tracer] = None,
+        metrics: Optional[Metrics] = None,
     ) -> None:
         self.config = config
         self.streams = streams
-        self.sim = Simulator(tracer)
+        self.sim = Simulator(tracer, metrics=metrics)
         self.metrics = ModelMetrics()
         self.detection = DetectionTracker(config.detection)
 

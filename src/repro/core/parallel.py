@@ -27,8 +27,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Iterable, Iterator, Optional, Tuple
+import time
+from typing import Any, Dict, Iterable, Iterator, Optional, Tuple
 
+from ..obs.metrics import Metrics
 from .parameters import ScenarioConfig
 from .simulation import ReplicationSet, ScenarioResult, run_scenario
 
@@ -76,6 +78,32 @@ def _run_indexed(job: IndexedJob) -> Tuple[int, ScenarioResult]:
     return index, run_scenario(config, seed=seed, replication=replication)
 
 
+def _run_indexed_timed(
+    job: IndexedJob,
+) -> Tuple[int, ScenarioResult, Dict[str, Any]]:
+    """Like :func:`_run_indexed`, plus a telemetry sidecar.
+
+    The sidecar carries the worker pid, the job's wall time, and a
+    :meth:`~repro.obs.metrics.Metrics.snapshot` of the kernel telemetry —
+    the cross-process channel the scheduler aggregates per-worker event
+    rates from.  The :class:`ScenarioResult` itself stays byte-identical
+    to the untimed path (telemetry never contaminates cached or golden
+    results).
+    """
+    index, config, seed, replication = job
+    metrics = Metrics(enabled=True)
+    start = time.perf_counter()
+    result = run_scenario(
+        config, seed=seed, replication=replication, metrics=metrics
+    )
+    sidecar = {
+        "pid": os.getpid(),
+        "wall_seconds": time.perf_counter() - start,
+        "metrics": metrics.snapshot(),
+    }
+    return index, result, sidecar
+
+
 class WorkerPool:
     """Persistent process pool streaming indexed replication jobs.
 
@@ -97,11 +125,32 @@ class WorkerPool:
     def __enter__(self) -> "WorkerPool":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Clean exits drain in-flight work; exceptional exits must not
+        # block on it (the results will never be consumed anyway).
+        if exc_type is not None:
+            self.terminate()
+        else:
+            self.close()
 
     def close(self) -> None:
-        """Terminate the pool (if one was started)."""
+        """Shut the pool down *after* draining all dispatched jobs.
+
+        ``Pool.close()`` + ``join()`` lets every chunk already handed to a
+        worker run to completion (a plain ``terminate()`` here used to
+        kill in-flight chunked jobs on context-manager exit, silently
+        dropping dispatched work).
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def terminate(self) -> None:
+        """Kill workers immediately, abandoning in-flight jobs.
+
+        For exception paths only — a clean shutdown is :meth:`close`.
+        """
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
@@ -131,6 +180,28 @@ class WorkerPool:
         chunk = chunk_size_for(count, self.processes)
         pool = self._ensure_pool()
         yield from pool.imap_unordered(_run_indexed, jobs, chunksize=chunk)
+
+    def imap_indexed_timed(
+        self,
+        jobs: Iterable[IndexedJob],
+        job_count: Optional[int] = None,
+    ) -> Iterator[Tuple[int, ScenarioResult, Dict[str, Any]]]:
+        """Like :meth:`imap_indexed`, yielding ``(index, result, sidecar)``.
+
+        Each sidecar reports the executing worker's pid, the job's wall
+        time, and a kernel-telemetry snapshot; the results themselves are
+        identical to the untimed path.  The serial ``processes == 1`` path
+        produces the same sidecars inline, so telemetry consumers never
+        special-case worker counts.
+        """
+        if self.processes == 1:
+            for job in jobs:
+                yield _run_indexed_timed(job)
+            return
+        count = job_count if job_count is not None else 0
+        chunk = chunk_size_for(count, self.processes)
+        pool = self._ensure_pool()
+        yield from pool.imap_unordered(_run_indexed_timed, jobs, chunksize=chunk)
 
 
 def replicate_scenario_parallel(

@@ -19,6 +19,7 @@ from ..analysis.stats import SampleSummary, summarize
 from ..analysis.timeseries import CurveBand, StepCurve, aggregate_curves, time_grid
 from ..des.random import StreamFactory
 from ..des.trace import Tracer
+from ..obs.metrics import Metrics
 from ..topology.graph import ContactGraph
 from .model import PhoneNetworkModel
 from .parameters import ScenarioConfig
@@ -98,16 +99,22 @@ def run_scenario(
     graph: Optional[ContactGraph] = None,
     patient_zero: Optional[int] = None,
     tracer: Optional[Tracer] = None,
+    metrics: Optional[Metrics] = None,
 ) -> ScenarioResult:
     """Simulate one replication of ``config``.
 
     ``graph`` overrides topology sampling (useful for controlled studies
     and cross-validation); ``patient_zero`` pins the initial infection;
     ``tracer`` attaches a :class:`~repro.des.trace.Tracer` to the kernel
-    (golden-trace recording fingerprints runs through it).
+    (golden-trace recording fingerprints runs through it); ``metrics``
+    attaches a :class:`~repro.obs.metrics.Metrics` registry so the run
+    reports kernel telemetry (events fired/cancelled, heap peak, wall
+    time) without altering the result itself.
     """
     streams = StreamFactory(seed).replication(replication)
-    model = PhoneNetworkModel(config, streams, graph=graph, tracer=tracer)
+    model = PhoneNetworkModel(
+        config, streams, graph=graph, tracer=tracer, metrics=metrics
+    )
     model.seed_infection(patient_zero)
     final_time = model.run()
     return ScenarioResult(

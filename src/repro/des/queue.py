@@ -40,6 +40,11 @@ class EventQueue:
         self._heap: List[_HeapEntry] = []
         self._seq = 0
         self._cancelled = 0
+        #: High-water mark of the raw heap size over the queue's lifetime.
+        self.peak_size = 0
+        #: Total cancellations over the queue's lifetime (monotonic, unlike
+        #: the live ``_cancelled`` count which drops as dead entries pop).
+        self.cancelled_total = 0
 
     def __len__(self) -> int:
         """Number of *live* (pending) events."""
@@ -79,7 +84,10 @@ class EventQueue:
         seq = self._seq
         self._seq = seq + 1
         event = Event(time, priority, seq, callback, label)
-        heapq.heappush(self._heap, (time, priority, seq, event))
+        heap = self._heap
+        heapq.heappush(heap, (time, priority, seq, event))
+        if len(heap) > self.peak_size:
+            self.peak_size = len(heap)
         return event
 
     def peek_time(self) -> Optional[float]:
@@ -141,6 +149,7 @@ class EventQueue:
         queue itself never sees ``EventHandle.cancel`` directly.
         """
         self._cancelled += 1
+        self.cancelled_total += 1
         self._maybe_compact()
 
     def _skip_dead(self) -> None:

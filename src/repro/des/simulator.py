@@ -19,8 +19,10 @@ Semantics:
 from __future__ import annotations
 
 import math
-from typing import Callable, List, Optional
+from time import perf_counter
+from typing import Callable, Dict, List, Optional
 
+from ..obs.metrics import NULL_METRICS, Metrics
 from .events import PRIORITY_NORMAL, EventHandle
 from .queue import EventQueue
 from .trace import NULL_TRACER, Tracer
@@ -31,16 +33,34 @@ class SimulationError(RuntimeError):
 
 
 class Simulator:
-    """Event-scheduling discrete-event simulator."""
+    """Event-scheduling discrete-event simulator.
 
-    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+    ``metrics`` attaches a :class:`~repro.obs.metrics.Metrics` registry;
+    when enabled, each :meth:`run` reports ``des.events_fired``,
+    ``des.events_cancelled``, the ``des.heap_peak`` gauge, and a
+    ``des.run_seconds`` timer, and (with ``time_events``) per-event-label
+    ``event.<label>`` timers for hot-path profiling.  The default
+    :data:`~repro.obs.metrics.NULL_METRICS` costs the hot loop nothing
+    beyond one hoisted boolean check.
+    """
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
         self._queue = EventQueue()
         self._now = 0.0
         self._running = False
         self._stop_requested = False
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self._events_fired = 0
         self._end_hooks: List[Callable[[], None]] = []
+        # Cancellations already reported to the metrics registry; lets
+        # successive run() calls sum to the lifetime total (including
+        # cancellations made between runs or during setup).
+        self._cancellations_reported = 0
 
     @property
     def now(self) -> float:
@@ -123,11 +143,15 @@ class Simulator:
         self._stop_requested = False
         fired_this_run = 0
         # Hot loop: pop_due does one heap traversal per event (skip-dead +
-        # horizon check + pop combined), and the queue/tracer lookups are
-        # hoisted out of the loop.
+        # horizon check + pop combined), and the queue/tracer/metrics
+        # lookups are hoisted out of the loop.
         queue = self._queue
         pop_due = queue.pop_due
         tracer = self.tracer
+        metrics = self.metrics
+        collect = metrics.enabled
+        time_events = metrics.time_events
+        run_start = perf_counter() if collect else 0.0
         limit = math.inf if until is None else until
         try:
             while True:
@@ -148,11 +172,29 @@ class Simulator:
                 fired_this_run += 1
                 if tracer.enabled and event.label:
                     tracer.record(next_time, "event", event.label)
-                event.callback()
+                if time_events:
+                    started = perf_counter()
+                    event.callback()
+                    metrics.observe(
+                        "event." + (event.label or "unlabeled"),
+                        perf_counter() - started,
+                    )
+                else:
+                    event.callback()
                 if stop_when is not None and stop_when():
                     break
         finally:
             self._running = False
+            if collect:
+                metrics.inc("des.runs")
+                metrics.inc("des.events_fired", fired_this_run)
+                metrics.inc(
+                    "des.events_cancelled",
+                    queue.cancelled_total - self._cancellations_reported,
+                )
+                self._cancellations_reported = queue.cancelled_total
+                metrics.gauge_max("des.heap_peak", queue.peak_size)
+                metrics.observe("des.run_seconds", perf_counter() - run_start)
         for hook in self._end_hooks:
             hook()
         return self._now
@@ -172,6 +214,15 @@ class Simulator:
     def peek_next_time(self) -> Optional[float]:
         """Time of the next scheduled event without firing it."""
         return self._queue.peek_time()
+
+    def kernel_stats(self) -> Dict[str, int]:
+        """Lifetime kernel telemetry (events, cancellations, heap peak)."""
+        return {
+            "events_fired": self._events_fired,
+            "events_cancelled": self._queue.cancelled_total,
+            "heap_peak": self._queue.peak_size,
+            "pending_events": len(self._queue),
+        }
 
 
 class _TrackedHandle(EventHandle):

@@ -20,13 +20,27 @@ Typical use::
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..core.cache import ResultCache
 from ..core.parallel import IndexedJob, WorkerPool
 from ..core.parameters import ScenarioConfig
 from ..core.simulation import ReplicationSet, ScenarioResult
+from ..obs.metrics import NULL_METRICS, Metrics
 from .spec import ExperimentResult, ExperimentSpec
 
 
@@ -115,6 +129,7 @@ class ReplicationScheduler:
         processes: int = 1,
         cache: Optional[ResultCache] = None,
         pool: Optional[WorkerPool] = None,
+        metrics: Optional[Metrics] = None,
     ) -> None:
         if processes < 1:
             raise ValueError(f"processes must be >= 1, got {processes}")
@@ -123,6 +138,16 @@ class ReplicationScheduler:
         self._pool = pool if pool is not None else WorkerPool(processes)
         self._owns_pool = pool is None
         self.stats = SchedulerStats()
+        #: Telemetry registry.  With the default NULL_METRICS every batch
+        #: runs the exact pre-telemetry dispatch path; pass an enabled
+        #: registry to collect per-batch wall times, per-worker event
+        #: rates, and aggregated kernel stats (see :meth:`telemetry`).
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._batches: List[Dict[str, Any]] = []
+        self._worker_stats: Dict[int, Dict[str, float]] = {}
+        self._seeds: set = set()
+        #: Distinct scenario configs seen, keyed by name, plus job counts.
+        self._scenario_jobs: Dict[str, Tuple[ScenarioConfig, int]] = {}
 
     def __enter__(self) -> "ReplicationScheduler":
         return self
@@ -157,21 +182,178 @@ class ReplicationScheduler:
             pending = list(enumerate(jobs))
 
         cache_hits = len(jobs) - len(pending)
+        collect = self.metrics.enabled
+        batch_start = time.perf_counter() if collect else 0.0
         if pending:
             indexed: Iterator[IndexedJob] = (
                 (index, job.config, job.seed, job.replication)
                 for index, job in pending
             )
-            for index, result in self._pool.imap_indexed(
-                indexed, job_count=len(pending)
-            ):
-                results[index] = result
-                if self.cache is not None:
-                    self.cache.put(result)
+            if collect:
+                for index, result, sidecar in self._pool.imap_indexed_timed(
+                    indexed, job_count=len(pending)
+                ):
+                    results[index] = result
+                    self._absorb_sidecar(sidecar)
+                    if self.cache is not None:
+                        self.cache.put(result)
+            else:
+                for index, result in self._pool.imap_indexed(
+                    indexed, job_count=len(pending)
+                ):
+                    results[index] = result
+                    if self.cache is not None:
+                        self.cache.put(result)
         self.stats.add(
             scheduled=len(jobs), executed=len(pending), cache_hits=cache_hits
         )
+        if collect:
+            self._note_batch(jobs, len(pending), time.perf_counter() - batch_start)
         return reassemble(len(jobs), enumerate(results))  # validates coverage
+
+    # -- telemetry ----------------------------------------------------------
+
+    def _absorb_sidecar(self, sidecar: Mapping[str, Any]) -> None:
+        """Fold one worker's per-job telemetry into the aggregates."""
+        snapshot = sidecar.get("metrics", {})
+        self.metrics.merge(snapshot)
+        pid = int(sidecar.get("pid", 0))
+        entry = self._worker_stats.get(pid)
+        if entry is None:
+            entry = self._worker_stats[pid] = {
+                "jobs": 0,
+                "events": 0,
+                "busy_seconds": 0.0,
+            }
+        entry["jobs"] += 1
+        entry["busy_seconds"] += float(sidecar.get("wall_seconds", 0.0))
+        entry["events"] += int(
+            snapshot.get("counters", {}).get("des.events_fired", 0)
+        )
+
+    def _note_batch(
+        self, jobs: Sequence[ReplicationJob], executed: int, wall: float
+    ) -> None:
+        """Record one batch's accounting (telemetry-enabled runs only)."""
+        self._batches.append(
+            {
+                "jobs": len(jobs),
+                "executed": executed,
+                "cache_hits": len(jobs) - executed,
+                "wall_seconds": wall,
+            }
+        )
+        self.metrics.inc("scheduler.batches")
+        self.metrics.inc("scheduler.jobs", len(jobs))
+        self.metrics.inc("scheduler.executed", executed)
+        self.metrics.inc("scheduler.cache_hits", len(jobs) - executed)
+        self.metrics.observe("scheduler.batch_seconds", wall)
+        for job in jobs:
+            self._seeds.add(job.seed)
+            seen = self._scenario_jobs.get(job.config.name)
+            if seen is None:
+                self._scenario_jobs[job.config.name] = (job.config, 1)
+            else:
+                self._scenario_jobs[job.config.name] = (seen[0], seen[1] + 1)
+
+    def cache_telemetry(self) -> Optional[Dict[str, Any]]:
+        """Manifest-ready cache section (``None`` when caching is off)."""
+        if self.cache is None:
+            return None
+        lookups = self.cache.hits + self.cache.misses
+        return {
+            "hits": self.cache.hits,
+            "misses": self.cache.misses,
+            "writes": self.cache.writes,
+            "hit_ratio": round(self.cache.hits / lookups, 4) if lookups else 0.0,
+            # Resolved so a CWD-relative cache dir is unambiguous in the
+            # manifest (the whole point of recording it — split caches
+            # show up as differing absolute paths).
+            "dir": str(Path(self.cache.root).resolve()),
+        }
+
+    def telemetry(self) -> Dict[str, Any]:
+        """Aggregated run telemetry across every batch this scheduler ran.
+
+        Only meaningful when the scheduler holds an enabled registry;
+        with telemetry off it reports zeroed aggregates (the scheduled /
+        executed / cache-hit counts in :attr:`stats` are always live).
+        """
+        wall = sum(b["wall_seconds"] for b in self._batches)
+        events = self.metrics.counter_value("des.events_fired")
+        workers = [
+            {
+                "pid": pid,
+                "jobs": int(entry["jobs"]),
+                "events": int(entry["events"]),
+                "busy_seconds": round(entry["busy_seconds"], 6),
+                "events_per_second": round(
+                    entry["events"] / entry["busy_seconds"], 1
+                )
+                if entry["busy_seconds"] > 0
+                else 0.0,
+            }
+            for pid, entry in sorted(self._worker_stats.items())
+        ]
+        return {
+            "scheduler": {
+                "scheduled": self.stats.scheduled,
+                "executed": self.stats.executed,
+                "cache_hits": self.stats.cache_hits,
+                "processes": self.processes,
+                "batches": len(self._batches),
+            },
+            "batches": list(self._batches),
+            "wall_seconds": wall,
+            "events_executed": events,
+            "events_per_second": round(events / wall, 1) if wall > 0 else 0.0,
+            "workers": workers,
+            "kernel": {
+                "events_fired": events,
+                "events_cancelled": self.metrics.counter_value(
+                    "des.events_cancelled"
+                ),
+                "heap_peak": int(self.metrics.gauge_value("des.heap_peak")),
+            },
+            "cache": self.cache_telemetry(),
+        }
+
+    def write_manifest(
+        self,
+        path: Union[str, Path],
+        label: str,
+        kind: str = "run",
+        extra: Optional[Mapping[str, Any]] = None,
+    ) -> Path:
+        """Append this scheduler's run manifest record to ``path`` (JSONL).
+
+        The record carries everything :meth:`telemetry` aggregates plus
+        the distinct scenario config hashes, seeds, and host info — the
+        reproducibility trail for one CLI run / figure batch / sweep.
+        """
+        from ..obs.manifest import append_manifest, build_manifest, scenario_hash
+
+        tele = self.telemetry()
+        scenarios = [
+            {"name": name, "hash": scenario_hash(config), "jobs": count}
+            for name, (config, count) in sorted(self._scenario_jobs.items())
+        ]
+        document = build_manifest(
+            kind,
+            label,
+            wall_seconds=tele["wall_seconds"],
+            events_executed=tele["events_executed"],
+            seeds=sorted(self._seeds),
+            replications=self.stats.scheduled,
+            scenarios=scenarios,
+            scheduler=tele["scheduler"],
+            cache=tele["cache"],
+            workers=tele["workers"],
+            kernel=tele["kernel"],
+            metrics=self.metrics.snapshot() if self.metrics.enabled else None,
+            extra=extra,
+        )
+        return append_manifest(path, document)
 
     def replicate(
         self,

@@ -153,6 +153,7 @@ def run_strength_sweep(
     seed: int = 0,
     processes: int = 1,
     cache: Optional[ResultCache] = None,
+    scheduler: Optional[ReplicationScheduler] = None,
 ) -> SweepResult:
     """Simulate the sweep grid plus the baseline.
 
@@ -160,6 +161,10 @@ def run_strength_sweep(
     one :class:`~repro.experiments.scheduler.ReplicationScheduler`, so the
     whole grid shares a worker pool and the result cache skips any
     strength points already computed by an earlier run.
+
+    Passing ``scheduler`` reuses a caller-owned scheduler (its pool,
+    cache, and telemetry registry); ``processes``/``cache`` are ignored
+    then and the caller keeps responsibility for closing it.
     """
     scenarios = [spec.base_scenario]
     for strength in spec.strengths:
@@ -173,8 +178,11 @@ def run_strength_sweep(
         for scenario in scenarios
         for index in range(replications)
     ]
-    with ReplicationScheduler(processes=processes, cache=cache) as scheduler:
+    if scheduler is not None:
         results = scheduler.run_jobs(jobs)
+    else:
+        with ReplicationScheduler(processes=processes, cache=cache) as sched:
+            results = sched.run_jobs(jobs)
     result_sets = [
         ReplicationSet(
             config=scenario,

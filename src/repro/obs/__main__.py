@@ -1,0 +1,80 @@
+"""Manifest tooling: ``python -m repro.obs check <manifest.jsonl> ...``.
+
+``check`` validates every record of one or more JSONL manifest files
+against the current schema and exits non-zero on any problem (including
+an empty file) — CI uses it to assert that instrumented runs actually
+produced schema-valid manifests.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .manifest import MANIFEST_KINDS, read_manifests, validate_manifest
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Run-manifest tooling (schema validation)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="schema-validate manifest JSONL files")
+    check.add_argument("paths", nargs="+", help="manifest JSONL files")
+    check.add_argument(
+        "--kind", default=None, choices=MANIFEST_KINDS,
+        help="additionally require every record to be of this kind",
+    )
+    check.add_argument(
+        "--min-records", type=int, default=1,
+        help="fail unless each file holds at least this many records",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command != "check":  # pragma: no cover - argparse enforces
+        raise AssertionError(f"unhandled command {args.command!r}")
+
+    failures = 0
+    for raw_path in args.paths:
+        path = Path(raw_path)
+        if not path.exists():
+            print(f"{path}: missing", file=sys.stderr)
+            failures += 1
+            continue
+        try:
+            records = read_manifests(path)
+        except ValueError as exc:
+            print(f"{exc}", file=sys.stderr)
+            failures += 1
+            continue
+        if len(records) < args.min_records:
+            print(
+                f"{path}: {len(records)} records, expected >= "
+                f"{args.min_records}",
+                file=sys.stderr,
+            )
+            failures += 1
+            continue
+        bad = 0
+        for number, record in enumerate(records, start=1):
+            problems = validate_manifest(record)
+            if args.kind is not None and record.get("kind") != args.kind:
+                problems.append(
+                    f"kind {record.get('kind')!r} != required {args.kind!r}"
+                )
+            for problem in problems:
+                print(f"{path}: record {number}: {problem}", file=sys.stderr)
+            bad += bool(problems)
+        if bad:
+            failures += 1
+        else:
+            print(f"{path}: {len(records)} schema-valid records")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,295 @@
+"""Per-run JSONL run manifests.
+
+A *run manifest* is the durable record of one execution — a CLI run, a
+figure batch, a sweep, one benchmark workload, or a profile pass.  Every
+record is a single JSON object on its own line (JSONL, append-only), so
+thousands of Monte-Carlo campaign runs accumulate in one greppable file
+and any record can be schema-checked in isolation.
+
+The schema (version :data:`MANIFEST_SCHEMA_VERSION`) has a small required
+core plus optional sections:
+
+required
+    ``manifest_schema``, ``kind`` (one of :data:`MANIFEST_KINDS`),
+    ``label``, ``created`` (UTC ISO-8601), ``wall_seconds``,
+    ``events_executed``, ``events_per_second``, ``host``.
+optional sections
+    ``seed``/``seeds``, ``replications``, ``scenarios`` (name + config
+    hash + job count each), ``scheduler`` (scheduled/executed/cache-hit
+    job counts), ``cache`` (hits/misses/writes/hit_ratio and the
+    *resolved* cache directory — see
+    :func:`repro.core.cache.default_cache_dir` on why the directory
+    matters), ``workers`` (per-worker jobs/events/busy-seconds/rates),
+    ``kernel`` (events fired/cancelled, heap peak), ``metrics`` (a full
+    :meth:`repro.obs.metrics.Metrics.snapshot`), ``extra``.
+
+:func:`validate_manifest` returns a list of problems (empty = valid);
+:func:`append_manifest` refuses to write an invalid record, so a manifest
+file can only ever contain schema-valid lines.
+"""
+
+from __future__ import annotations
+
+import datetime
+import hashlib
+import json
+import os
+import platform
+import socket
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from ..core.parameters import ScenarioConfig
+from ..core.serialization import scenario_to_dict
+
+#: Bump when the required core or the meaning of a section changes.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: The record kinds a manifest file may contain.
+MANIFEST_KINDS = ("run", "benchmark", "profile")
+
+#: Required top-level fields and their accepted types.
+_REQUIRED_FIELDS: Dict[str, tuple] = {
+    "manifest_schema": (int,),
+    "kind": (str,),
+    "label": (str,),
+    "created": (str,),
+    "wall_seconds": (int, float),
+    "events_executed": (int,),
+    "events_per_second": (int, float),
+    "host": (dict,),
+}
+
+#: Required per-worker fields in the ``workers`` section.
+_WORKER_FIELDS: Dict[str, tuple] = {
+    "pid": (int,),
+    "jobs": (int,),
+    "events": (int,),
+    "busy_seconds": (int, float),
+    "events_per_second": (int, float),
+}
+
+
+def scenario_hash(config: ScenarioConfig) -> str:
+    """Content hash of a scenario's canonical JSON.
+
+    The same canonicalization the result cache keys on, so a manifest's
+    scenario hash identifies exactly which configuration produced a run.
+    """
+    canonical = json.dumps(
+        scenario_to_dict(config), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def host_info() -> Dict[str, Any]:
+    """Host/interpreter identity recorded with every manifest."""
+    try:
+        hostname = socket.gethostname()
+    except OSError:  # pragma: no cover - exotic environments
+        hostname = "unknown"
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "hostname": hostname,
+        "cpu_count": os.cpu_count(),
+        "pid": os.getpid(),
+    }
+
+
+def utc_timestamp() -> str:
+    """UTC creation timestamp in ISO-8601 (second resolution)."""
+    return datetime.datetime.now(datetime.timezone.utc).isoformat(
+        timespec="seconds"
+    )
+
+
+def build_manifest(
+    kind: str,
+    label: str,
+    *,
+    wall_seconds: float,
+    events_executed: int = 0,
+    events_total: Optional[int] = None,
+    seed: Optional[int] = None,
+    seeds: Optional[Sequence[int]] = None,
+    replications: Optional[int] = None,
+    scenarios: Optional[Sequence[Mapping[str, Any]]] = None,
+    scheduler: Optional[Mapping[str, Any]] = None,
+    cache: Optional[Mapping[str, Any]] = None,
+    workers: Optional[Sequence[Mapping[str, Any]]] = None,
+    kernel: Optional[Mapping[str, Any]] = None,
+    metrics: Optional[Mapping[str, Any]] = None,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble one schema-valid manifest record.
+
+    ``events_per_second`` is derived from ``events_executed`` over
+    ``wall_seconds`` (0.0 when either is zero — e.g. a fully cached run
+    executes nothing).  Optional sections are included only when given.
+    """
+    rate = (
+        events_executed / wall_seconds
+        if wall_seconds > 0 and events_executed > 0
+        else 0.0
+    )
+    document: Dict[str, Any] = {
+        "manifest_schema": MANIFEST_SCHEMA_VERSION,
+        "kind": kind,
+        "label": label,
+        "created": utc_timestamp(),
+        "wall_seconds": round(float(wall_seconds), 6),
+        "events_executed": int(events_executed),
+        "events_per_second": round(rate, 1),
+        "host": host_info(),
+    }
+    if events_total is not None:
+        document["events_total"] = int(events_total)
+    if seed is not None:
+        document["seed"] = int(seed)
+    if seeds is not None:
+        document["seeds"] = [int(s) for s in seeds]
+    if replications is not None:
+        document["replications"] = int(replications)
+    if scenarios is not None:
+        document["scenarios"] = [dict(s) for s in scenarios]
+    if scheduler is not None:
+        document["scheduler"] = dict(scheduler)
+    if cache is not None:
+        document["cache"] = dict(cache)
+    if workers is not None:
+        document["workers"] = [dict(w) for w in workers]
+    if kernel is not None:
+        document["kernel"] = dict(kernel)
+    if metrics is not None:
+        document["metrics"] = dict(metrics)
+    if extra is not None:
+        document["extra"] = dict(extra)
+    return document
+
+
+def validate_manifest(document: Mapping[str, Any]) -> List[str]:
+    """Schema-check one record; returns problems (empty list = valid)."""
+    problems: List[str] = []
+    if not isinstance(document, Mapping):
+        return [f"record is {type(document).__name__}, not an object"]
+    for name, types in _REQUIRED_FIELDS.items():
+        if name not in document:
+            problems.append(f"missing required field {name!r}")
+        elif not isinstance(document[name], types) or isinstance(
+            document[name], bool
+        ):
+            problems.append(
+                f"field {name!r} has type {type(document[name]).__name__}, "
+                f"expected {'/'.join(t.__name__ for t in types)}"
+            )
+    if not problems:
+        if document["manifest_schema"] != MANIFEST_SCHEMA_VERSION:
+            problems.append(
+                f"manifest_schema {document['manifest_schema']} != "
+                f"{MANIFEST_SCHEMA_VERSION}"
+            )
+        if document["kind"] not in MANIFEST_KINDS:
+            problems.append(
+                f"kind {document['kind']!r} not in {MANIFEST_KINDS}"
+            )
+        if document["wall_seconds"] < 0:
+            problems.append("wall_seconds is negative")
+        if document["events_executed"] < 0:
+            problems.append("events_executed is negative")
+
+    cache = document.get("cache")
+    if cache is not None:
+        if not isinstance(cache, Mapping):
+            problems.append("cache section is not an object")
+        else:
+            for field in ("hits", "misses", "writes"):
+                if not isinstance(cache.get(field), int):
+                    problems.append(f"cache.{field} missing or not an int")
+            ratio = cache.get("hit_ratio")
+            if not isinstance(ratio, (int, float)) or not 0.0 <= ratio <= 1.0:
+                problems.append("cache.hit_ratio missing or outside [0, 1]")
+            if not isinstance(cache.get("dir"), str):
+                problems.append("cache.dir missing or not a string")
+
+    workers = document.get("workers")
+    if workers is not None:
+        if not isinstance(workers, Sequence) or isinstance(workers, (str, bytes)):
+            problems.append("workers section is not a list")
+        else:
+            for position, worker in enumerate(workers):
+                if not isinstance(worker, Mapping):
+                    problems.append(f"workers[{position}] is not an object")
+                    continue
+                for field, types in _WORKER_FIELDS.items():
+                    if not isinstance(worker.get(field), types):
+                        problems.append(
+                            f"workers[{position}].{field} missing or mistyped"
+                        )
+
+    scenarios = document.get("scenarios")
+    if scenarios is not None:
+        if not isinstance(scenarios, Sequence) or isinstance(
+            scenarios, (str, bytes)
+        ):
+            problems.append("scenarios section is not a list")
+        else:
+            for position, scenario in enumerate(scenarios):
+                if not isinstance(scenario, Mapping) or not isinstance(
+                    scenario.get("name"), str
+                ):
+                    problems.append(f"scenarios[{position}] lacks a name")
+                elif not isinstance(scenario.get("hash"), str):
+                    problems.append(f"scenarios[{position}] lacks a config hash")
+    return problems
+
+
+def append_manifest(
+    path: Union[str, Path], document: Mapping[str, Any]
+) -> Path:
+    """Validate ``document`` and append it as one JSONL line.
+
+    Raises :class:`ValueError` listing the problems when the record is
+    not schema-valid — manifest files never accumulate junk lines.
+    """
+    problems = validate_manifest(document)
+    if problems:
+        raise ValueError(
+            "refusing to append invalid manifest record: " + "; ".join(problems)
+        )
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    with target.open("a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+    return target
+
+
+def read_manifests(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse every record of a manifest file (blank lines are skipped)."""
+    records: List[Dict[str, Any]] = []
+    for number, line in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{number}: not valid JSON: {exc}") from exc
+    return records
+
+
+__all__ = [
+    "MANIFEST_KINDS",
+    "MANIFEST_SCHEMA_VERSION",
+    "append_manifest",
+    "build_manifest",
+    "host_info",
+    "read_manifests",
+    "scenario_hash",
+    "utc_timestamp",
+    "validate_manifest",
+]

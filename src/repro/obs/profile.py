@@ -1,0 +1,166 @@
+"""Hot-path profiling: one short instrumented scenario run.
+
+``repro-sim profile`` (and :func:`run_profile` underneath) executes a
+single replication with per-event-label timing enabled and reports where
+the wall time went — setup (topology + model build) vs. the event loop,
+and within the loop a per-label breakdown (``send``, ``install``,
+``bt_encounter``, ...).  That breakdown is what perf PRs cite: it names
+the label to attack and gives the events/sec headline to beat.
+
+Per-event timing costs two ``perf_counter`` calls per event, so profile
+numbers are *not* comparable to benchmark numbers — they answer "where
+does the time go", not "how fast is the kernel".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, List, Optional
+
+from ..core.model import PhoneNetworkModel
+from ..core.parameters import NetworkParameters
+from ..core.scenarios import baseline_scenario
+from ..des.random import StreamFactory
+from .metrics import Metrics
+
+
+@dataclass
+class ProfileReport:
+    """Outcome of one instrumented profile run."""
+
+    scenario_name: str
+    seed: int
+    wall_seconds: float
+    setup_seconds: float
+    run_seconds: float
+    events: int
+    final_infected: int
+    kernel: Dict[str, int]
+    #: Per-event-label rows: name, count, total/mean seconds, share of the
+    #: measured event-callback time.  Sorted by total time, descending.
+    hotspots: List[Dict[str, Any]] = field(default_factory=list)
+    metrics_snapshot: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def events_per_second(self) -> float:
+        """Event-loop throughput under instrumentation."""
+        if self.run_seconds <= 0 or self.events <= 0:
+            return 0.0
+        return self.events / self.run_seconds
+
+    def format(self, top: int = 10) -> str:
+        """Human-readable breakdown for the CLI."""
+        lines = [
+            f"profile: {self.scenario_name}  (seed {self.seed})",
+            f"wall: {self.wall_seconds:.3f}s  "
+            f"(setup {self.setup_seconds:.3f}s, "
+            f"event loop {self.run_seconds:.3f}s)",
+            f"events: {self.events}  "
+            f"({self.events_per_second:,.0f} ev/s under instrumentation)",
+            f"kernel: heap peak {self.kernel.get('heap_peak', 0)}, "
+            f"{self.kernel.get('events_cancelled', 0)} cancellations, "
+            f"{self.kernel.get('pending_events', 0)} still pending",
+            f"final infected: {self.final_infected}",
+            "",
+            f"{'event label':<16} {'count':>9} {'total s':>9} "
+            f"{'mean µs':>9} {'share':>7}",
+        ]
+        for row in self.hotspots[:top]:
+            lines.append(
+                f"{row['label']:<16} {row['count']:>9} "
+                f"{row['total_seconds']:>9.4f} {row['mean_micros']:>9.1f} "
+                f"{row['share']:>6.1%}"
+            )
+        shown = self.hotspots[:top]
+        remainder = len(self.hotspots) - len(shown)
+        if remainder > 0:
+            lines.append(f"... and {remainder} more labels")
+        return "\n".join(lines)
+
+    def manifest_sections(self) -> Dict[str, Any]:
+        """Keyword sections for :func:`repro.obs.manifest.build_manifest`."""
+        return {
+            "wall_seconds": self.run_seconds,
+            "events_executed": self.events,
+            "seed": self.seed,
+            "kernel": {
+                "events_fired": self.kernel.get("events_fired", 0),
+                "events_cancelled": self.kernel.get("events_cancelled", 0),
+                "heap_peak": self.kernel.get("heap_peak", 0),
+            },
+            "metrics": self.metrics_snapshot,
+            "extra": {
+                "setup_seconds": round(self.setup_seconds, 6),
+                "final_infected": self.final_infected,
+                "hotspots": self.hotspots,
+            },
+        }
+
+
+def run_profile(
+    virus: int = 1,
+    population: Optional[int] = None,
+    duration: Optional[float] = None,
+    max_events: Optional[int] = None,
+    seed: int = 0,
+) -> ProfileReport:
+    """Run one instrumented replication and assemble its breakdown.
+
+    ``max_events`` caps the event loop (profiles stay short even for the
+    432-hour Virus 1 horizon); ``population``/``duration`` shrink the
+    scenario itself.
+    """
+    network = NetworkParameters(population=population) if population else None
+    config = baseline_scenario(virus, network=network, duration=duration)
+    metrics = Metrics(enabled=True, time_events=True)
+
+    wall_start = perf_counter()
+    streams = StreamFactory(seed).replication(0)
+    model = PhoneNetworkModel(config, streams, metrics=metrics)
+    model.seed_infection()
+    setup_seconds = perf_counter() - wall_start
+
+    run_start = perf_counter()
+    model.sim.run(until=config.duration, max_events=max_events)
+    run_seconds = perf_counter() - run_start
+
+    snapshot = metrics.snapshot()
+    timers = snapshot.get("timers", {})
+    event_timers = {
+        name[len("event.") :]: moments
+        for name, moments in timers.items()
+        if name.startswith("event.")
+    }
+    measured_total = sum(m["total"] for m in event_timers.values()) or 1.0
+    hotspots = [
+        {
+            "label": label,
+            "count": moments["count"],
+            "total_seconds": round(moments["total"], 6),
+            "mean_micros": round(
+                moments["total"] / moments["count"] * 1e6, 3
+            )
+            if moments["count"]
+            else 0.0,
+            "share": round(moments["total"] / measured_total, 4),
+        }
+        for label, moments in sorted(
+            event_timers.items(), key=lambda kv: kv[1]["total"], reverse=True
+        )
+    ]
+    return ProfileReport(
+        scenario_name=config.name,
+        seed=seed,
+        wall_seconds=perf_counter() - wall_start,
+        setup_seconds=setup_seconds,
+        run_seconds=run_seconds,
+        events=model.sim.events_fired,
+        final_infected=model.total_infected,
+        kernel=model.sim.kernel_stats(),
+        hotspots=hotspots,
+        metrics_snapshot=snapshot,
+    )
+
+
+__all__ = ["ProfileReport", "run_profile"]

@@ -133,3 +133,52 @@ class TestBenchExecution:
         code = bench_main(["smoke", "--baseline", str(path)])
         assert code == 1
         assert "REGRESSION" in capsys.readouterr().err
+
+
+class TestManifestEmission:
+    """Manifest side-channel of ``run_workloads`` using an instant fake
+    workload, so tier-1 stays fast."""
+
+    @staticmethod
+    def _fake_workload(name="fake-instant"):
+        from repro.benchmarks.harness import Workload
+
+        def runner(processes):
+            return WorkloadResult(
+                name=name, wall_seconds=0.01, events=500, detail={"fake": True}
+            )
+
+        return Workload(
+            name=name, description="instant stub", smoke=True, runner=runner
+        )
+
+    def test_manifest_record_per_workload(self, tmp_path, monkeypatch):
+        from repro.benchmarks import harness
+        from repro.obs.manifest import read_manifests, validate_manifest
+
+        monkeypatch.setitem(
+            harness.WORKLOADS, "fake-instant", self._fake_workload()
+        )
+        path = tmp_path / "bench.jsonl"
+        run_workloads(
+            ["fake-instant"], label="unit", processes=1, manifest_path=path
+        )
+        (record,) = read_manifests(path)
+        assert validate_manifest(record) == []
+        assert record["kind"] == "benchmark"
+        assert record["label"] == "unit:fake-instant"
+        assert record["events_executed"] == 500
+        assert record["extra"]["detail"] == {"fake": True}
+
+    def test_bench_document_gains_host_and_schema(self, monkeypatch):
+        from repro.benchmarks import harness
+        from repro.obs.manifest import MANIFEST_SCHEMA_VERSION
+
+        monkeypatch.setitem(
+            harness.WORKLOADS, "fake-instant", self._fake_workload()
+        )
+        document = run_workloads(["fake-instant"], label="unit", processes=1)
+        assert document["schema"] == harness.BENCH_SCHEMA_VERSION
+        assert document["manifest_schema"] == MANIFEST_SCHEMA_VERSION
+        assert "python" in document["host"]
+        assert "cpu_count" in document["host"]

@@ -70,3 +70,67 @@ class TestRunCommand:
         assert main(self.BASE + ["--cache-dir", str(cache_dir)]) == 0
         assert cache_dir.exists()
         assert list(cache_dir.glob("*/*.json"))
+
+
+class TestMetricsFlag:
+    BASE = [
+        "run", "--virus", "3", "--population", "120", "--duration", "4",
+        "--replications", "2", "--no-chart", "--no-cache",
+    ]
+
+    def test_metrics_flag_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(self.BASE + ["--metrics", "out.jsonl"])
+        assert args.metrics == "out.jsonl"
+        assert build_parser().parse_args(self.BASE).metrics is None
+
+    def test_run_writes_schema_valid_manifest(self, tmp_path, capsys):
+        from repro.obs.manifest import read_manifests, validate_manifest
+
+        path = tmp_path / "run.jsonl"
+        assert main(self.BASE + ["--metrics", str(path)]) == 0
+        assert "run manifest appended" in capsys.readouterr().out
+        (record,) = read_manifests(path)
+        assert validate_manifest(record) == []
+        assert record["kind"] == "run"
+        assert record["label"].startswith("run:")
+        assert record["events_executed"] > 0
+        assert record["events_per_second"] > 0
+        assert record["workers"]
+
+    def test_repeat_runs_append(self, tmp_path):
+        from repro.obs.manifest import read_manifests
+
+        path = tmp_path / "run.jsonl"
+        assert main(self.BASE + ["--metrics", str(path)]) == 0
+        assert main(self.BASE + ["--metrics", str(path)]) == 0
+        assert len(read_manifests(path)) == 2
+
+
+class TestProfileCommand:
+    BASE = [
+        "profile", "--virus", "3", "--population", "150",
+        "--max-events", "2000", "--seed", "1",
+    ]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.virus == 1
+        assert args.metrics is None
+
+    def test_profile_prints_breakdown(self, capsys):
+        assert main(self.BASE) == 0
+        out = capsys.readouterr().out
+        assert "profile: virus3-baseline" in out
+        assert "event label" in out
+        assert "send" in out
+
+    def test_profile_manifest(self, tmp_path, capsys):
+        from repro.obs.manifest import read_manifests, validate_manifest
+
+        path = tmp_path / "profile.jsonl"
+        assert main(self.BASE + ["--metrics", str(path)]) == 0
+        (record,) = read_manifests(path)
+        assert validate_manifest(record) == []
+        assert record["kind"] == "profile"
+        assert record["extra"]["hotspots"]

@@ -2,9 +2,19 @@
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import time
+
 import pytest
 
-from repro.core.parallel import default_process_count, replicate_scenario_parallel
+from repro.core import parallel
+from repro.core.parallel import (
+    START_METHOD_ENV,
+    WorkerPool,
+    default_process_count,
+    replicate_scenario_parallel,
+)
 from repro.core.simulation import replicate_scenario
 
 
@@ -39,3 +49,91 @@ def test_validation(small_scenario):
         replicate_scenario_parallel(small_scenario, replications=0)
     with pytest.raises(ValueError):
         replicate_scenario_parallel(small_scenario, replications=2, processes=0)
+
+
+def _slow_marker_job(job):
+    """Substitute worker: records completion on disk (directory via env)."""
+    index = job[0]
+    time.sleep(0.05)
+    marker_dir = os.environ["REPRO_TEST_MARKER_DIR"]
+    with open(os.path.join(marker_dir, f"done-{index}"), "w") as handle:
+        handle.write(str(index))
+    return index, None
+
+
+def test_close_drains_dispatched_jobs(small_scenario, tmp_path, monkeypatch):
+    """Regression: ``close()`` must let already-dispatched jobs finish.
+
+    The pool used to call ``Pool.terminate()`` on clean shutdown, which
+    kills workers mid-chunk — jobs that had been handed out but not yet
+    yielded were silently dropped.  This dispatches slow jobs that leave
+    marker files, consumes only the first completion, closes the pool,
+    and requires every job to have completed.
+    """
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("fork start method required to inherit the patched worker")
+    monkeypatch.setenv(START_METHOD_ENV, "fork")
+    monkeypatch.setenv("REPRO_TEST_MARKER_DIR", str(tmp_path))
+    monkeypatch.setattr(parallel, "_run_indexed", _slow_marker_job)
+
+    job_count = 6
+    jobs = ((index, small_scenario, 0, index) for index in range(job_count))
+    pool = WorkerPool(processes=2)
+    try:
+        completions = pool.imap_indexed(jobs, job_count=job_count)
+        next(completions)  # dispatch has started; rest remain in flight
+    finally:
+        pool.close()
+    done = sorted(int(p.name.split("-")[1]) for p in tmp_path.glob("done-*"))
+    assert done == list(range(job_count))
+
+
+def test_exception_exit_terminates_without_draining(small_scenario):
+    """The context manager still tears down hard on exception paths."""
+    with pytest.raises(RuntimeError, match="boom"):
+        with WorkerPool(processes=2) as pool:
+            raise RuntimeError("boom")
+    assert pool._pool is None
+
+
+class TestTimedDispatch:
+    def test_serial_sidecars(self, small_scenario):
+        jobs = [(i, small_scenario, 3, i) for i in range(2)]
+        with WorkerPool(processes=1) as pool:
+            completions = list(pool.imap_indexed_timed(iter(jobs), job_count=2))
+        assert sorted(c[0] for c in completions) == [0, 1]
+        for _, result, sidecar in completions:
+            assert sidecar["pid"] == os.getpid()
+            assert sidecar["wall_seconds"] > 0
+            counters = sidecar["metrics"]["counters"]
+            assert counters["des.events_fired"] > 0
+
+    def test_results_identical_to_untimed(self, small_scenario):
+        jobs = [(i, small_scenario, 7, i) for i in range(3)]
+        with WorkerPool(processes=1) as pool:
+            untimed = dict(pool.imap_indexed(iter(jobs), job_count=3))
+        with WorkerPool(processes=2) as pool:
+            timed = {
+                index: result
+                for index, result, _ in pool.imap_indexed_timed(
+                    iter(jobs), job_count=3
+                )
+            }
+        assert set(timed) == set(untimed)
+        for index in untimed:
+            assert timed[index].counters == untimed[index].counters
+            assert (
+                timed[index].infection_times == untimed[index].infection_times
+            )
+
+    def test_parallel_sidecars_report_worker_pids(self, small_scenario):
+        jobs = [(i, small_scenario, 1, i) for i in range(3)]
+        with WorkerPool(processes=2) as pool:
+            sidecars = [
+                sidecar
+                for _, _, sidecar in pool.imap_indexed_timed(
+                    iter(jobs), job_count=3
+                )
+            ]
+        assert len(sidecars) == 3
+        assert all(sidecar["pid"] != os.getpid() for sidecar in sidecars)

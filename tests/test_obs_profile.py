@@ -1,0 +1,61 @@
+"""Tests for the hot-path profiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.manifest import build_manifest, validate_manifest
+from repro.obs.profile import run_profile
+
+
+@pytest.fixture(scope="module")
+def report():
+    # Small population + hard event cap keeps the profile well under a
+    # second while still exercising every code path.
+    return run_profile(virus=3, population=150, max_events=4000, seed=1)
+
+
+class TestRunProfile:
+    def test_basic_measurements(self, report):
+        assert report.scenario_name == "virus3-baseline"
+        assert 0 < report.events <= 4000
+        assert report.run_seconds > 0
+        assert report.wall_seconds >= report.run_seconds
+        assert report.events_per_second > 0
+        assert report.kernel["events_fired"] == report.events
+        assert report.kernel["heap_peak"] > 0
+
+    def test_hotspots_cover_event_labels(self, report):
+        assert report.hotspots, "expected at least one hot-path row"
+        labels = {row["label"] for row in report.hotspots}
+        assert "send" in labels
+        # Rows are sorted by total time, descending.
+        totals = [row["total_seconds"] for row in report.hotspots]
+        assert totals == sorted(totals, reverse=True)
+        # Shares partition the measured callback time.
+        assert sum(row["share"] for row in report.hotspots) == pytest.approx(
+            1.0, abs=0.01
+        )
+
+    def test_format_renders_breakdown(self, report):
+        text = report.format(top=2)
+        assert "profile: virus3-baseline" in text
+        assert "ev/s under instrumentation" in text
+        assert "event label" in text
+
+    def test_manifest_sections_build_valid_record(self, report):
+        record = build_manifest(
+            "profile", "profile:unit", **report.manifest_sections()
+        )
+        assert validate_manifest(record) == []
+        assert record["events_executed"] == report.events
+        assert record["extra"]["hotspots"] == report.hotspots
+
+    def test_deterministic_event_sequence(self):
+        a = run_profile(virus=3, population=150, max_events=1500, seed=5)
+        b = run_profile(virus=3, population=150, max_events=1500, seed=5)
+        assert a.events == b.events
+        assert a.final_infected == b.final_infected
+        assert [r["label"] for r in a.hotspots] and [
+            (r["label"], r["count"]) for r in a.hotspots
+        ] == [(r["label"], r["count"]) for r in b.hotspots]

@@ -150,9 +150,79 @@ class TestResultCache:
         cache.get(tiny_config, 3, 1)
         cache.put(tiny_result)
         cache.get(tiny_config, 3, 1)
-        assert cache.stats() == {"hits": 1, "misses": 1, "writes": 1}
+        assert cache.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "writes": 1,
+            "entries": 1,
+            "tmp_files": 0,
+        }
 
     def test_missing_root_dir_is_empty(self, tmp_path):
         cache = ResultCache(tmp_path / "never-created")
         assert len(cache) == 0
         assert cache.clear() == 0
+
+
+class TestTmpHygiene:
+    """Regression: orphaned ``.tmp-*.json`` files from interrupted atomic
+    writes used to be counted as cache entries (pathlib globs match
+    dot-prefixed names, unlike shell globs)."""
+
+    @staticmethod
+    def _plant_orphan(cache, tiny_result):
+        entry = cache.put(tiny_result)
+        orphan = entry.parent / ".tmp-interrupted0.json"
+        orphan.write_text("{partial write")
+        return entry, orphan
+
+    def test_orphans_excluded_from_len_and_entries(self, tiny_result, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        self._plant_orphan(cache, tiny_result)
+        assert len(cache) == 1
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["tmp_files"] == 1
+
+    def test_sweep_removes_only_orphans(
+        self, tiny_config, tiny_result, tmp_path
+    ):
+        cache = ResultCache(tmp_path / "c")
+        entry, orphan = self._plant_orphan(cache, tiny_result)
+        assert cache.sweep() == 1
+        assert not orphan.exists()
+        assert entry.exists()
+        assert cache.get(tiny_config, 3, 1) is not None  # entry still readable
+        assert cache.sweep() == 0
+
+    def test_clear_counts_entries_not_orphans(self, tiny_result, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        _, orphan = self._plant_orphan(cache, tiny_result)
+        assert cache.clear() == 1  # one real entry; the orphan is uncounted
+        assert not orphan.exists()
+        assert cache.stats()["tmp_files"] == 0
+
+    def test_sweep_on_missing_root(self, tmp_path):
+        assert ResultCache(tmp_path / "never-created").sweep() == 0
+
+
+class TestDefaultCacheDir:
+    """Regression: the default cache dir resolved relative to whatever the
+    CWD happened to be; it is now always returned absolute, and the env
+    override expands ``~`` and ``$VARS``."""
+
+    def test_default_is_absolute_and_cwd_anchored(self, tmp_path, monkeypatch):
+        from repro.core.cache import CACHE_DIR_ENV, default_cache_dir
+
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        monkeypatch.chdir(tmp_path)
+        resolved = default_cache_dir()
+        assert resolved.is_absolute()
+        assert resolved == (tmp_path / ".repro-cache").resolve()
+
+    def test_env_override_expands_vars_and_user(self, tmp_path, monkeypatch):
+        from repro.core.cache import CACHE_DIR_ENV, default_cache_dir
+
+        monkeypatch.setenv("REPRO_TEST_BASE", str(tmp_path))
+        monkeypatch.setenv(CACHE_DIR_ENV, "$REPRO_TEST_BASE/cache-here")
+        assert default_cache_dir() == (tmp_path / "cache-here").resolve()

@@ -239,3 +239,104 @@ class TestValidation:
         job = ReplicationJob(config=mini_scenario, seed=0, replication=0)
         with pytest.raises(dataclasses.FrozenInstanceError):
             job.seed = 1
+
+
+class TestTelemetry:
+    """Scheduler-level run telemetry and manifest emission."""
+
+    def test_disabled_by_default(self, mini_spec):
+        with ReplicationScheduler(processes=1) as scheduler:
+            scheduler.run_experiment(mini_spec, replications=1, seed=0)
+            tele = scheduler.telemetry()
+        assert tele["workers"] == []
+        assert tele["events_executed"] == 0
+
+    def test_telemetry_aggregates_serial_run(self, mini_spec, tmp_path):
+        from repro.obs.metrics import Metrics
+
+        cache = ResultCache(tmp_path / "c")
+        metrics = Metrics(enabled=True)
+        with ReplicationScheduler(
+            processes=1, cache=cache, metrics=metrics
+        ) as scheduler:
+            scheduler.run_experiment(mini_spec, replications=2, seed=1)
+            tele = scheduler.telemetry()
+        assert tele["scheduler"]["scheduled"] == 4  # 2 series x 2 replications
+        assert tele["scheduler"]["executed"] == 4
+        assert tele["scheduler"]["cache_hits"] == 0
+        assert tele["events_executed"] > 0
+        assert tele["events_per_second"] > 0
+        assert tele["wall_seconds"] > 0
+        # Serial execution still reports one (inline) worker row.
+        assert len(tele["workers"]) == 1
+        worker = tele["workers"][0]
+        assert worker["jobs"] == 4
+        assert worker["events"] == tele["events_executed"]
+        assert worker["events_per_second"] > 0
+        assert tele["kernel"]["events_fired"] == tele["events_executed"]
+        assert tele["kernel"]["heap_peak"] > 0
+        assert tele["cache"]["hit_ratio"] == 0.0
+        import os
+
+        assert os.path.isabs(tele["cache"]["dir"])
+
+    def test_cache_hits_reflected_in_telemetry(self, mini_spec, tmp_path):
+        from repro.obs.metrics import Metrics
+
+        with ReplicationScheduler(
+            processes=1,
+            cache=ResultCache(tmp_path / "c"),
+            metrics=Metrics(enabled=True),
+        ) as scheduler:
+            scheduler.run_experiment(mini_spec, replications=2, seed=1)
+        # Fresh cache handle over the same directory: its hit/miss counters
+        # cover only the second run, so every lookup is a hit.
+        with ReplicationScheduler(
+            processes=1,
+            cache=ResultCache(tmp_path / "c"),
+            metrics=Metrics(enabled=True),
+        ) as scheduler:
+            scheduler.run_experiment(mini_spec, replications=2, seed=1)
+            tele = scheduler.telemetry()
+        assert tele["scheduler"]["cache_hits"] == 4
+        assert tele["scheduler"]["executed"] == 0
+        assert tele["cache"]["hit_ratio"] == 1.0
+        assert tele["events_executed"] == 0
+
+    def test_results_identical_with_telemetry_enabled(self, mini_spec):
+        from repro.obs.metrics import Metrics
+
+        plain = run_experiment(mini_spec, replications=2, seed=6)
+        with ReplicationScheduler(
+            processes=1, metrics=Metrics(enabled=True)
+        ) as scheduler:
+            instrumented = scheduler.run_experiment(
+                mini_spec, replications=2, seed=6
+            )
+        for label, expected_set in plain.series_results.items():
+            _assert_sets_identical(
+                instrumented.series_results[label], expected_set
+            )
+
+    def test_write_manifest_schema_valid(self, mini_spec, tmp_path):
+        from repro.obs.manifest import read_manifests, validate_manifest
+        from repro.obs.metrics import Metrics
+
+        cache = ResultCache(tmp_path / "c")
+        path = tmp_path / "run.jsonl"
+        with ReplicationScheduler(
+            processes=1, cache=cache, metrics=Metrics(enabled=True)
+        ) as scheduler:
+            scheduler.run_experiment(mini_spec, replications=2, seed=2)
+            scheduler.write_manifest(path, label="test-run")
+        (record,) = read_manifests(path)
+        assert validate_manifest(record) == []
+        assert record["kind"] == "run"
+        assert record["label"] == "test-run"
+        assert record["replications"] == 4
+        assert record["seeds"] == [2]
+        scenario_names = {s["name"] for s in record["scenarios"]}
+        assert scenario_names == {"mini", "mini+edu"}
+        assert all(len(s["hash"]) == 64 for s in record["scenarios"])
+        assert record["workers"][0]["jobs"] == 4
+        assert record["cache"]["hit_ratio"] == 0.0
