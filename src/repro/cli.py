@@ -79,17 +79,88 @@ def _add_scheduler_args(parser: argparse.ArgumentParser) -> None:
         help="collect run telemetry and append a JSONL run-manifest "
         "record (ev/s, cache hit ratio, per-worker rates) to PATH",
     )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry each failed/crashed/timed-out replication up to N "
+        "times under the supervised pool before quarantining it "
+        "(0 = fail fast, the historical behaviour)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill and retry any single replication running longer than "
+        "this (implies the supervised pool)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted campaign from its checkpoint: "
+        "replications already completed (and still in the cache) are "
+        "skipped, only the missing ones run (requires the cache)",
+    )
 
 
-def _make_scheduler(args: argparse.Namespace) -> ReplicationScheduler:
-    """Build the scheduler the command's flags describe."""
+def _make_scheduler(
+    args: argparse.Namespace, label: str = ""
+) -> ReplicationScheduler:
+    """Build the scheduler the command's flags describe.
+
+    ``label`` names the campaign checkpoint (kept under the cache root),
+    so each command/scenario combination checkpoints independently.
+    """
+    from .resilience import CampaignCheckpoint, RetryPolicy, default_checkpoint_path
+
+    if getattr(args, "resume", False) and args.no_cache:
+        print("--resume requires the result cache (drop --no-cache)",
+              file=sys.stderr)
+        raise SystemExit(2)
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir if args.cache_dir else default_cache_dir())
     metrics = Metrics(enabled=True) if getattr(args, "metrics", None) else None
+    resilience = None
+    if getattr(args, "retries", 0) or getattr(args, "task_timeout", None):
+        resilience = RetryPolicy(
+            max_retries=args.retries, task_timeout=args.task_timeout
+        )
+    checkpoint = None
+    if cache is not None and label:
+        checkpoint = CampaignCheckpoint(
+            default_checkpoint_path(cache.root, label),
+            label=label,
+            resume=getattr(args, "resume", False),
+        )
     return ReplicationScheduler(
-        processes=args.processes, cache=cache, metrics=metrics
+        processes=args.processes,
+        cache=cache,
+        metrics=metrics,
+        resilience=resilience,
+        checkpoint=checkpoint,
     )
+
+
+def _report_resume(scheduler: ReplicationScheduler) -> None:
+    """Print the --resume reconciliation line (when a resume happened)."""
+    totals = scheduler.resume_totals
+    if totals:
+        print(
+            f"resume: {totals['previously_completed']} previously completed "
+            f"({totals['resumed_from_cache']} served from cache, "
+            f"{totals['lost_entries']} lost re-run), "
+            f"{totals['fresh']} fresh"
+        )
+
+
+def _report_failures(scheduler: ReplicationScheduler) -> int:
+    """Partial-failure summary on stderr; 3 when any replication failed."""
+    if not scheduler.has_failures:
+        return 0
+    print(
+        "partial failure: some replications were quarantined after "
+        "exhausting retries",
+        file=sys.stderr,
+    )
+    for line in scheduler.failure_summary():
+        print(f"  {line}", file=sys.stderr)
+    return 3
 
 
 def _write_cli_manifest(
@@ -262,12 +333,13 @@ def _command_run(args: argparse.Namespace) -> int:
     response = _build_response(args)
     if response is not None:
         scenario = scenario.with_responses(response, suffix=args.response)
-    with _make_scheduler(args) as scheduler:
+    with _make_scheduler(args, label=f"run:{scenario.name}") as scheduler:
         result_set = scheduler.replicate(
             scenario, replications=args.replications, seed=args.seed
         )
         stats_line = scheduler.stats.format()
     _write_cli_manifest(args, scheduler, label=f"run:{scenario.name}")
+    _report_resume(scheduler)
     summary = result_set.final_summary()
     print(f"scenario: {scenario.name}")
     print(f"replications: {result_set.replications}  (seed {args.seed})")
@@ -289,7 +361,7 @@ def _command_run(args: argparse.Namespace) -> int:
                 end_time=scenario.duration,
             )
         )
-    return 0
+    return _report_failures(scheduler)
 
 
 def _per_figure_path(template: str, experiment_id: str, multiple: bool) -> Path:
@@ -306,14 +378,14 @@ def _command_figure(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(exc, file=sys.stderr)
         return 2
-    with _make_scheduler(args) as scheduler:
+    label = "figure:" + ",".join(args.experiment_ids)
+    with _make_scheduler(args, label=label) as scheduler:
         results = scheduler.run_batch(
             specs, replications=args.replications, seed=args.seed
         )
         stats_line = scheduler.stats.format()
-    _write_cli_manifest(
-        args, scheduler, label="figure:" + ",".join(args.experiment_ids)
-    )
+    _write_cli_manifest(args, scheduler, label=label)
+    _report_resume(scheduler)
     multiple = len(specs) > 1
     all_pass = True
     for spec, result in zip(specs, results):
@@ -338,6 +410,11 @@ def _command_figure(args: argparse.Namespace) -> int:
             print()
         all_pass = all_pass and result.all_checks_pass()
     print(f"scheduler: {stats_line}")
+    # Partial failure (3) outranks a shape-check failure (1): an
+    # incomplete campaign can't be judged against the paper's shapes.
+    failure_code = _report_failures(scheduler)
+    if failure_code:
+        return failure_code
     return 0 if all_pass else 1
 
 
@@ -350,7 +427,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         known = ", ".join(STANDARD_SWEEPS)
         print(f"unknown sweep {args.sweep_id!r}; known: {known}", file=sys.stderr)
         return 2
-    with _make_scheduler(args) as scheduler:
+    with _make_scheduler(args, label=f"sweep:{args.sweep_id}") as scheduler:
         result = run_strength_sweep(
             spec,
             replications=args.replications,
@@ -358,11 +435,12 @@ def _command_sweep(args: argparse.Namespace) -> int:
             scheduler=scheduler,
         )
     _write_cli_manifest(args, scheduler, label=f"sweep:{args.sweep_id}")
+    _report_resume(scheduler)
     print(result.format())
     if scheduler.cache is not None:
         cache = scheduler.cache
         print(f"cache: {cache.hits} hits, {cache.misses} misses")
-    return 0
+    return _report_failures(scheduler)
 
 
 def _command_scenario(args: argparse.Namespace) -> int:
@@ -439,24 +517,34 @@ def _command_topology(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        return _command_list()
-    if args.command == "run":
-        return _command_run(args)
-    if args.command == "figure":
-        return _command_figure(args)
-    if args.command == "profile":
-        return _command_profile(args)
-    if args.command == "topology":
-        return _command_topology(args)
-    if args.command == "sweep":
-        return _command_sweep(args)
-    if args.command == "scenario":
-        return _command_scenario(args)
-    if args.command == "validate":
-        from .validation.cli import main as validation_main
+    try:
+        if args.command == "list":
+            return _command_list()
+        if args.command == "run":
+            return _command_run(args)
+        if args.command == "figure":
+            return _command_figure(args)
+        if args.command == "profile":
+            return _command_profile(args)
+        if args.command == "topology":
+            return _command_topology(args)
+        if args.command == "sweep":
+            return _command_sweep(args)
+        if args.command == "scenario":
+            return _command_scenario(args)
+        if args.command == "validate":
+            from .validation.cli import main as validation_main
 
-        return validation_main(args.validation_args)
+            return validation_main(args.validation_args)
+    except KeyboardInterrupt:
+        # The scheduler's context manager already ran abort(): pool
+        # terminated, cache temp orphans swept, checkpoint flushed.
+        print(
+            "interrupted — progress is checkpointed; rerun with --resume "
+            "to continue",
+            file=sys.stderr,
+        )
+        return 130
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

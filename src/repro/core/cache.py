@@ -14,6 +14,13 @@ old results stale even for identical configs.
 Entries are sharded two-level (``<root>/<k[:2]>/<k>.json``) and written
 atomically (tmp file + ``os.replace``), so a crashed or concurrent writer
 never leaves a truncated entry behind; unreadable entries count as misses.
+
+Integrity: every entry embeds a SHA-256 checksum of its canonical result
+payload, verified on every read.  An entry that fails verification — bit
+rot, a torn write, foreign junk — is **quarantined** (moved to
+``<root>/quarantine/``, never served, never crashed on) and counts as a
+miss, so the slot heals by recomputation while the damaged bytes stay
+available for forensics.
 """
 
 from __future__ import annotations
@@ -35,7 +42,8 @@ from .serialization import (
 from .simulation import ScenarioResult
 
 #: Bump to invalidate all cached results after behaviour-changing releases.
-CACHE_SCHEMA_VERSION = 1
+#: v2: entries embed a per-entry SHA-256 checksum, verified on read.
+CACHE_SCHEMA_VERSION = 2
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -46,6 +54,9 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 #: Temp-file prefix used by atomic writes; anything carrying it is an
 #: orphan of a crashed ``put()`` and never a cache entry.
 _TMP_PREFIX = ".tmp-"
+
+#: Subdirectory corrupted entries are moved into (never served from).
+QUARANTINE_DIR = "quarantine"
 
 
 def default_cache_dir() -> Path:
@@ -90,6 +101,20 @@ def result_key(
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+def result_checksum(result_document: Dict) -> str:
+    """SHA-256 over the canonical JSON of one serialized result payload.
+
+    This is the integrity checksum embedded in every cache entry; any
+    bit flipped inside the payload changes it.
+    """
+    canonical = json.dumps(result_document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class CorruptEntry(ValueError):
+    """Internal: an entry's stored checksum does not match its payload."""
+
+
 class ResultCache:
     """File-per-entry cache of :class:`ScenarioResult` documents."""
 
@@ -98,29 +123,53 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.quarantined = 0
 
     def _path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a damaged entry aside (fall back to deletion).
+
+        Either way the entry stops being servable; quarantining keeps
+        the bytes for forensics.
+        """
+        target = self.root / QUARANTINE_DIR / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                return
+        self.quarantined += 1
+
     def get(
         self, config: ScenarioConfig, seed: int, replication: int
     ) -> Optional[ScenarioResult]:
-        """Look up one replication; ``None`` (and a miss) when absent."""
+        """Look up one replication; ``None`` (and a miss) when absent.
+
+        Every read verifies the entry's embedded checksum; a mismatch —
+        or any parse/shape failure — quarantines the entry and counts as
+        a miss, so corruption costs one recomputation, never a crash and
+        never silently wrong data.
+        """
         path = self._path_for(result_key(config, seed, replication))
         try:
             document = json.loads(path.read_text(encoding="utf-8"))
+            stored = document["sha256"]
+            if result_checksum(document["result"]) != stored:
+                raise CorruptEntry(f"checksum mismatch in {path}")
             result = result_from_dict(document["result"])
         except FileNotFoundError:
             self.misses += 1
             return None
         except (OSError, ValueError, KeyError, TypeError, SerializationError):
-            # Corrupt/truncated/foreign entry: treat as a miss and drop it
-            # so the slot heals on the next put.
+            # Corrupt/truncated/foreign entry: miss + quarantine so the
+            # slot heals on the next put.
             self.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._quarantine(path)
             return None
         self.hits += 1
         return result
@@ -130,10 +179,12 @@ class ResultCache:
         key = result_key(result.config, result.seed, result.replication)
         path = self._path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        result_document = result_to_dict(result)
         document = {
             "cache_schema": CACHE_SCHEMA_VERSION,
             "key": key,
-            "result": result_to_dict(result),
+            "sha256": result_checksum(result_document),
+            "result": result_document,
         }
         handle, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=_TMP_PREFIX, suffix=".json"
@@ -158,13 +209,26 @@ class ResultCache:
         globs), so ``*/*.json`` picks up ``.tmp-*.json`` files left by a
         ``put()`` that crashed between ``mkstemp`` and ``os.replace``;
         every tree walk must filter them or orphans get counted (and
-        served) as entries.
+        served) as entries.  Real entries live only in the two-character
+        shard directories — that rule also excludes the sibling
+        ``quarantine/`` and ``checkpoints/`` directories the same glob
+        would otherwise reach.
         """
         if not self.root.exists():
             return
         for path in self.root.glob("*/*.json"):
-            if not path.name.startswith(_TMP_PREFIX):
+            if (
+                not path.name.startswith(_TMP_PREFIX)
+                and len(path.parent.name) == 2
+            ):
                 yield path
+
+    def quarantine_paths(self) -> Iterator[Path]:
+        """Entries moved aside after failing integrity verification."""
+        quarantine = self.root / QUARANTINE_DIR
+        if not quarantine.exists():
+            return
+        yield from quarantine.glob("*.json")
 
     def _tmp_paths(self) -> Iterator[Path]:
         """Orphaned temp files from crashed writes."""
@@ -214,8 +278,10 @@ class ResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "writes": self.writes,
+            "quarantined": self.quarantined,
             "entries": len(self),
             "tmp_files": sum(1 for _ in self._tmp_paths()),
+            "quarantine_files": sum(1 for _ in self.quarantine_paths()),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -229,7 +295,9 @@ __all__ = [
     "CACHE_DIR_ENV",
     "CACHE_SCHEMA_VERSION",
     "DEFAULT_CACHE_DIR",
+    "QUARANTINE_DIR",
     "ResultCache",
     "default_cache_dir",
+    "result_checksum",
     "result_key",
 ]

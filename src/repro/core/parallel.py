@@ -78,6 +78,12 @@ def _run_indexed(job: IndexedJob) -> Tuple[int, ScenarioResult]:
     return index, run_scenario(config, seed=seed, replication=replication)
 
 
+#: Public alias: the supervised pool (:mod:`repro.resilience.supervisor`)
+#: executes *exactly* this function per attempt, so supervised results are
+#: byte-identical to the plain pool's and the serial path's.
+run_indexed_job = _run_indexed
+
+
 def _run_indexed_timed(
     job: IndexedJob,
 ) -> Tuple[int, ScenarioResult, Dict[str, Any]]:
@@ -240,4 +246,5 @@ __all__ = [
     "default_process_count",
     "mp_context",
     "replicate_scenario_parallel",
+    "run_indexed_job",
 ]

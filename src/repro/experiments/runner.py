@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence, Union
 from ..analysis.report import ascii_chart, format_table
 from ..analysis.timeseries import time_grid
 from ..core.cache import ResultCache
+from ..resilience.policy import RetryPolicy
 from .scheduler import ReplicationScheduler
 from .spec import ExperimentResult, ExperimentSpec
 
@@ -26,6 +27,7 @@ def run_experiment(
     seed: int = 0,
     processes: int = 1,
     cache: Optional[ResultCache] = None,
+    resilience: Optional[RetryPolicy] = None,
 ) -> ExperimentResult:
     """Run every series of ``spec`` with ``replications`` replications.
 
@@ -35,9 +37,13 @@ def run_experiment(
     (series x replication) jobs go through one
     :class:`~repro.experiments.scheduler.ReplicationScheduler`:
     ``processes=1`` is the inline serial path (bit-identical regardless of
-    worker count), and ``cache`` skips already-computed replications.
+    worker count), ``cache`` skips already-computed replications, and
+    ``resilience`` runs pending jobs under the supervised pool (retries,
+    timeouts, quarantine — see :mod:`repro.resilience`).
     """
-    with ReplicationScheduler(processes=processes, cache=cache) as scheduler:
+    with ReplicationScheduler(
+        processes=processes, cache=cache, resilience=resilience
+    ) as scheduler:
         return scheduler.run_experiment(spec, replications=replications, seed=seed)
 
 
@@ -47,9 +53,12 @@ def run_experiment_batch(
     seed: int = 0,
     processes: int = 1,
     cache: Optional[ResultCache] = None,
+    resilience: Optional[RetryPolicy] = None,
 ) -> List[ExperimentResult]:
     """Run several specs as one flattened job list on one scheduler."""
-    with ReplicationScheduler(processes=processes, cache=cache) as scheduler:
+    with ReplicationScheduler(
+        processes=processes, cache=cache, resilience=resilience
+    ) as scheduler:
         return scheduler.run_batch(specs, replications=replications, seed=seed)
 
 

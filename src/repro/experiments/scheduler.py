@@ -16,6 +16,22 @@ Typical use::
     with ReplicationScheduler(processes=4, cache=ResultCache()) as sched:
         result = sched.run_experiment(get_experiment("fig3"), seed=2007)
         print(sched.stats)
+
+Fault tolerance: pass a :class:`~repro.resilience.RetryPolicy` as
+``resilience`` and pending jobs run under a
+:class:`~repro.resilience.SupervisedWorkerPool` — per-task timeouts,
+bounded retries with deterministic backoff, crashed-worker respawn, and
+task quarantine (the campaign continues; quarantined slots surface as
+``None`` results and in :meth:`failure_summary`).  Pass a
+:class:`~repro.resilience.CampaignCheckpoint` and every completed
+replication key is periodically checkpointed; on resume the checkpoint
+reconciles against the cache so only missing work re-executes.  Cache
+write failures (``OSError``) never lose a computed result — the result
+is still returned, the failure is counted and reported.  On an
+exceptional exit (``KeyboardInterrupt`` included) the context manager
+*aborts*: the pool is terminated (not drained), orphaned cache temp
+files are swept, and the checkpoint is flushed so ``--resume`` sees the
+latest progress.
 """
 
 from __future__ import annotations
@@ -36,11 +52,14 @@ from typing import (
     Union,
 )
 
-from ..core.cache import ResultCache
+from ..core.cache import ResultCache, result_key
 from ..core.parallel import IndexedJob, WorkerPool
 from ..core.parameters import ScenarioConfig
 from ..core.simulation import ReplicationSet, ScenarioResult
 from ..obs.metrics import NULL_METRICS, Metrics
+from ..resilience.checkpoint import CampaignCheckpoint
+from ..resilience.policy import RetryPolicy
+from ..resilience.supervisor import FailureEvent, SupervisedWorkerPool
 from .spec import ExperimentResult, ExperimentSpec
 
 
@@ -130,6 +149,9 @@ class ReplicationScheduler:
         cache: Optional[ResultCache] = None,
         pool: Optional[WorkerPool] = None,
         metrics: Optional[Metrics] = None,
+        resilience: Optional[RetryPolicy] = None,
+        checkpoint: Optional[CampaignCheckpoint] = None,
+        fault_plan: Optional[Any] = None,
     ) -> None:
         if processes < 1:
             raise ValueError(f"processes must be >= 1, got {processes}")
@@ -138,6 +160,23 @@ class ReplicationScheduler:
         self._pool = pool if pool is not None else WorkerPool(processes)
         self._owns_pool = pool is None
         self.stats = SchedulerStats()
+        #: Retry/timeout/quarantine policy; ``None`` = plain unsupervised
+        #: dispatch (the original fail-fast path).
+        self.resilience = resilience
+        #: Periodic progress checkpoint (see repro.resilience.checkpoint).
+        self.checkpoint = checkpoint
+        #: Fault plan for the supervised pool (fault-injection harness);
+        #: task ids index into each batch's *pending* (non-cached) jobs.
+        self.fault_plan = fault_plan
+        #: Every failure/retry/quarantine event across all batches.
+        self.failures: List[FailureEvent] = []
+        #: Quarantined jobs: dicts with scenario/seed/replication/failures.
+        self.quarantined: List[Dict[str, Any]] = []
+        self.cache_write_errors = 0
+        self.pool_respawns = 0
+        self.degraded_to_serial = False
+        #: Aggregated resume reconciliation (see CampaignCheckpoint).
+        self._resume_totals: Optional[Dict[str, int]] = None
         #: Telemetry registry.  With the default NULL_METRICS every batch
         #: runs the exact pre-telemetry dispatch path; pass an enabled
         #: registry to collect per-batch wall times, per-worker event
@@ -152,63 +191,211 @@ class ReplicationScheduler:
     def __enter__(self) -> "ReplicationScheduler":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # A clean exit drains dispatched work; an exceptional exit — a
+        # Ctrl-C above all — must NOT block on the pool (the results
+        # will never be consumed) and must not leak workers or cache
+        # temp orphans.
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
 
     def close(self) -> None:
         """Shut down the worker pool (if this scheduler created it)."""
+        if self.checkpoint is not None:
+            self.checkpoint.flush()
         if self._owns_pool:
             self._pool.close()
 
+    def abort(self) -> None:
+        """Signal-safe teardown for exceptional exits (``KeyboardInterrupt``).
+
+        Terminates the pool immediately (abandoning in-flight jobs),
+        sweeps ``.tmp-*`` orphans an interrupted atomic cache write may
+        have left behind, and flushes the campaign checkpoint so a
+        ``--resume`` sees every completion that made it to the cache.
+        The pool is terminated even when externally owned — after an
+        interrupt its in-flight results are garbage to every owner.
+        """
+        try:
+            if self.checkpoint is not None:
+                self.checkpoint.flush()
+        finally:
+            try:
+                self._pool.terminate()
+            finally:
+                if self.cache is not None:
+                    self.cache.sweep()
+
     # -- job execution ------------------------------------------------------
 
-    def run_jobs(self, jobs: Sequence[ReplicationJob]) -> List[ScenarioResult]:
+    def _job_key(self, job: ReplicationJob) -> str:
+        return result_key(job.config, job.seed, job.replication)
+
+    def _cache_put(self, result: ScenarioResult) -> None:
+        """Write one result back; a failed write never loses the result."""
+        if self.cache is None:
+            return
+        try:
+            self.cache.put(result)
+        except OSError as exc:
+            self.cache_write_errors += 1
+            self.metrics.inc("resilience.cache_write_errors")
+            self.failures.append(
+                FailureEvent(
+                    task_id=-1,
+                    key=self._job_key(
+                        ReplicationJob(result.config, result.seed, result.replication)
+                    ),
+                    attempt=0,
+                    kind="cache-write",
+                    action="continue",
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
+            )
+
+    def _record_completion(self, job: ReplicationJob) -> None:
+        if self.checkpoint is not None:
+            self.checkpoint.record(self._job_key(job))
+
+    def _merge_resume(self, report) -> None:
+        totals = self._resume_totals
+        if totals is None:
+            totals = self._resume_totals = {
+                "previously_completed": 0,
+                "resumed_from_cache": 0,
+                "lost_entries": 0,
+                "fresh": 0,
+            }
+        for field_name, value in report.to_dict().items():
+            totals[field_name] += value
+
+    def _run_supervised(
+        self,
+        pending: List[Tuple[int, ReplicationJob]],
+        results: List[Optional[ScenarioResult]],
+    ) -> None:
+        """Dispatch pending jobs through the supervised pool.
+
+        Completed tasks land in ``results`` exactly as on the plain
+        path; quarantined tasks leave their slot ``None`` and are
+        recorded in :attr:`quarantined` (the campaign continues).
+        """
+        indexed: List[IndexedJob] = [
+            (index, job.config, job.seed, job.replication)
+            for index, job in pending
+        ]
+        faults = {}
+        if self.fault_plan is not None:
+            faults = {
+                task_id: spec
+                for task_id in range(len(pending))
+                for spec in [self.fault_plan.spec_for(task_id)]
+                if spec is not None
+            }
+        pool = SupervisedWorkerPool(
+            min(self.processes, max(1, len(pending))),
+            policy=self.resilience,
+            metrics=self.metrics,
+            faults=faults,
+        )
+        report = pool.run(indexed)
+        for task_id, (index, result) in report.results.items():
+            results[index] = result
+            self._cache_put(result)
+            self._record_completion(pending[task_id][1])
+        for task_id in report.quarantined:
+            _, job = pending[task_id]
+            self.quarantined.append(
+                {
+                    "scenario": job.config.name,
+                    "seed": job.seed,
+                    "replication": job.replication,
+                    "failures": self.resilience.max_attempts,
+                }
+            )
+        self.failures.extend(report.events)
+        self.pool_respawns += report.respawns
+        self.degraded_to_serial = self.degraded_to_serial or report.degraded_to_serial
+
+    def run_jobs(
+        self, jobs: Sequence[ReplicationJob]
+    ) -> List[Optional[ScenarioResult]]:
         """Execute ``jobs``, returning results in job order.
 
         Cached results are returned without simulation; the remainder is
         dispatched to the pool (or run inline at ``processes=1``) and
-        every fresh result is written back to the cache.
+        every fresh result is written back to the cache.  Without a
+        resilience policy every returned entry is a result (gaps raise);
+        with one, a quarantined job's slot is ``None`` and the failure is
+        recorded instead of raised.
         """
+        quarantined_before = len(self.quarantined)
         results: List[Optional[ScenarioResult]] = [None] * len(jobs)
         pending: List[Tuple[int, ReplicationJob]] = []
+        cache_present: List[bool] = [False] * len(jobs)
         if self.cache is not None:
             for index, job in enumerate(jobs):
                 hit = self.cache.get(job.config, job.seed, job.replication)
                 if hit is not None:
                     results[index] = hit
+                    cache_present[index] = True
+                    self._record_completion(job)
                 else:
                     pending.append((index, job))
         else:
             pending = list(enumerate(jobs))
+        if (
+            self.checkpoint is not None
+            and self.checkpoint.previously_completed
+            and jobs
+        ):
+            self._merge_resume(
+                self.checkpoint.reconcile(
+                    [self._job_key(job) for job in jobs], cache_present
+                )
+            )
 
         cache_hits = len(jobs) - len(pending)
         collect = self.metrics.enabled
         batch_start = time.perf_counter() if collect else 0.0
         if pending:
-            indexed: Iterator[IndexedJob] = (
-                (index, job.config, job.seed, job.replication)
-                for index, job in pending
-            )
-            if collect:
+            if self.resilience is not None:
+                self._run_supervised(pending, results)
+            elif collect:
+                indexed: Iterator[IndexedJob] = (
+                    (index, job.config, job.seed, job.replication)
+                    for index, job in pending
+                )
                 for index, result, sidecar in self._pool.imap_indexed_timed(
                     indexed, job_count=len(pending)
                 ):
                     results[index] = result
                     self._absorb_sidecar(sidecar)
-                    if self.cache is not None:
-                        self.cache.put(result)
+                    self._cache_put(result)
+                    self._record_completion(jobs[index])
             else:
+                indexed = (
+                    (index, job.config, job.seed, job.replication)
+                    for index, job in pending
+                )
                 for index, result in self._pool.imap_indexed(
                     indexed, job_count=len(pending)
                 ):
                     results[index] = result
-                    if self.cache is not None:
-                        self.cache.put(result)
+                    self._cache_put(result)
+                    self._record_completion(jobs[index])
         self.stats.add(
             scheduled=len(jobs), executed=len(pending), cache_hits=cache_hits
         )
+        if self.checkpoint is not None:
+            self.checkpoint.flush()
         if collect:
             self._note_batch(jobs, len(pending), time.perf_counter() - batch_start)
+        if len(self.quarantined) > quarantined_before:
+            # Partial completion: quarantined slots legitimately stay None.
+            return results
         return reassemble(len(jobs), enumerate(results))  # validates coverage
 
     # -- telemetry ----------------------------------------------------------
@@ -272,6 +459,81 @@ class ReplicationScheduler:
             "dir": str(Path(self.cache.root).resolve()),
         }
 
+    # -- failure reporting ---------------------------------------------------
+
+    @property
+    def has_failures(self) -> bool:
+        """True when any replication was quarantined (partial campaign)."""
+        return bool(self.quarantined)
+
+    def failure_summary(self) -> List[str]:
+        """Per-scenario failure lines for CLI stderr reporting."""
+        lines: List[str] = []
+        by_scenario: Dict[str, List[Dict[str, Any]]] = {}
+        for entry in self.quarantined:
+            by_scenario.setdefault(entry["scenario"], []).append(entry)
+        for scenario, entries in sorted(by_scenario.items()):
+            replications = ", ".join(
+                str(e["replication"]) for e in sorted(
+                    entries, key=lambda e: e["replication"]
+                )
+            )
+            attempts = entries[0]["failures"]
+            lines.append(
+                f"{scenario}: {len(entries)} replication(s) failed after "
+                f"{attempts} attempt(s) each (replication {replications})"
+            )
+        if self.cache_write_errors:
+            lines.append(
+                f"cache: {self.cache_write_errors} write failure(s) — results "
+                "were kept in memory but not persisted"
+            )
+        return lines
+
+    @property
+    def resume_totals(self) -> Optional[Dict[str, int]]:
+        """Aggregated ``--resume`` reconciliation (``None`` unless resumed)."""
+        if self._resume_totals is None:
+            return None
+        return dict(self._resume_totals)
+
+    def resilience_telemetry(self) -> Optional[Dict[str, Any]]:
+        """Manifest-ready resilience section (``None`` when inactive).
+
+        Present whenever a policy was configured *or* any resilience
+        event occurred (e.g. a cache write failure on the plain path) —
+        it carries every retry/quarantine event of the run.
+        """
+        if (
+            self.resilience is None
+            and not self.failures
+            and self._resume_totals is None
+        ):
+            return None
+        counts: Dict[str, int] = {}
+        retries = 0
+        quarantines = 0
+        for event in self.failures:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+            if event.action == "retry":
+                retries += 1
+            elif event.action == "quarantine":
+                quarantines += 1
+        section: Dict[str, Any] = {
+            "policy": self.resilience.to_dict() if self.resilience else None,
+            "retries": retries,
+            "quarantined": quarantines,
+            "failures_by_kind": counts,
+            "cache_write_errors": self.cache_write_errors,
+            "pool_respawns": self.pool_respawns,
+            "degraded_to_serial": self.degraded_to_serial,
+            "quarantined_jobs": list(self.quarantined),
+            "events": [event.to_dict() for event in self.failures],
+        }
+        if self._resume_totals is not None:
+            section["resume"] = dict(self._resume_totals)
+        return section
+
     def telemetry(self) -> Dict[str, Any]:
         """Aggregated run telemetry across every batch this scheduler ran.
 
@@ -316,6 +578,7 @@ class ReplicationScheduler:
                 "heap_peak": int(self.metrics.gauge_value("des.heap_peak")),
             },
             "cache": self.cache_telemetry(),
+            "resilience": self.resilience_telemetry(),
         }
 
     def write_manifest(
@@ -350,6 +613,7 @@ class ReplicationScheduler:
             cache=tele["cache"],
             workers=tele["workers"],
             kernel=tele["kernel"],
+            resilience=tele["resilience"],
             metrics=self.metrics.snapshot() if self.metrics.enabled else None,
             extra=extra,
         )
@@ -366,7 +630,13 @@ class ReplicationScheduler:
             ReplicationJob(config=config, seed=seed, replication=index)
             for index in range(replications)
         ]
-        return ReplicationSet(config=config, results=self.run_jobs(jobs))
+        survivors = [r for r in self.run_jobs(jobs) if r is not None]
+        if not survivors:
+            raise RuntimeError(
+                f"every replication of scenario {config.name!r} failed and "
+                "was quarantined; no statistics can be reported"
+            )
+        return ReplicationSet(config=config, results=survivors)
 
     # -- experiment orchestration -------------------------------------------
 
@@ -417,8 +687,17 @@ class ReplicationScheduler:
         for spec, reps, slices in layout:
             series_results: Dict[str, ReplicationSet] = {}
             for label, scenario, start, stop in slices:
+                # Quarantined replications (resilience mode) leave None
+                # slots; the series continues with the survivors.
+                survivors = [r for r in results[start:stop] if r is not None]
+                if not survivors:
+                    raise RuntimeError(
+                        f"every replication of series {label!r} "
+                        f"({spec.experiment_id}) failed and was quarantined; "
+                        "no statistics can be reported"
+                    )
                 series_results[label] = ReplicationSet(
-                    config=scenario, results=results[start:stop]
+                    config=scenario, results=survivors
                 )
             experiment_results.append(
                 ExperimentResult(

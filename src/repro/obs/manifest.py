@@ -20,7 +20,10 @@ optional sections
     *resolved* cache directory — see
     :func:`repro.core.cache.default_cache_dir` on why the directory
     matters), ``workers`` (per-worker jobs/events/busy-seconds/rates),
-    ``kernel`` (events fired/cancelled, heap peak), ``metrics`` (a full
+    ``kernel`` (events fired/cancelled, heap peak), ``resilience``
+    (retry/quarantine counts, pool respawns, every failure event, and
+    the checkpoint resume reconciliation — the durable record that a
+    campaign survived faults), ``metrics`` (a full
     :meth:`repro.obs.metrics.Metrics.snapshot`), ``extra``.
 
 :func:`validate_manifest` returns a list of problems (empty = valid);
@@ -121,6 +124,7 @@ def build_manifest(
     cache: Optional[Mapping[str, Any]] = None,
     workers: Optional[Sequence[Mapping[str, Any]]] = None,
     kernel: Optional[Mapping[str, Any]] = None,
+    resilience: Optional[Mapping[str, Any]] = None,
     metrics: Optional[Mapping[str, Any]] = None,
     extra: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
@@ -163,6 +167,8 @@ def build_manifest(
         document["workers"] = [dict(w) for w in workers]
     if kernel is not None:
         document["kernel"] = dict(kernel)
+    if resilience is not None:
+        document["resilience"] = dict(resilience)
     if metrics is not None:
         document["metrics"] = dict(metrics)
     if extra is not None:
@@ -227,6 +233,35 @@ def validate_manifest(document: Mapping[str, Any]) -> List[str]:
                     if not isinstance(worker.get(field), types):
                         problems.append(
                             f"workers[{position}].{field} missing or mistyped"
+                        )
+
+    resilience = document.get("resilience")
+    if resilience is not None:
+        if not isinstance(resilience, Mapping):
+            problems.append("resilience section is not an object")
+        else:
+            for field in ("retries", "quarantined", "pool_respawns"):
+                value = resilience.get(field)
+                if not isinstance(value, int) or isinstance(value, bool):
+                    problems.append(
+                        f"resilience.{field} missing or not an int"
+                    )
+            if not isinstance(resilience.get("degraded_to_serial"), bool):
+                problems.append(
+                    "resilience.degraded_to_serial missing or not a bool"
+                )
+            events = resilience.get("events")
+            if not isinstance(events, Sequence) or isinstance(
+                events, (str, bytes)
+            ):
+                problems.append("resilience.events missing or not a list")
+            else:
+                for position, event in enumerate(events):
+                    if not isinstance(event, Mapping) or not isinstance(
+                        event.get("kind"), str
+                    ) or not isinstance(event.get("action"), str):
+                        problems.append(
+                            f"resilience.events[{position}] lacks kind/action"
                         )
 
     scenarios = document.get("scenarios")

@@ -1,0 +1,52 @@
+"""Fault-tolerant campaign execution.
+
+A paper figure is hundreds of long stochastic replications; at
+production scale a crashed worker, a hung replication, or a corrupted
+cache entry must cost one retry, not the whole campaign.  This package
+supplies the three pieces the execution stack threads together:
+
+* :mod:`repro.resilience.policy` — :class:`RetryPolicy`: per-task
+  timeouts and bounded retries with exponential backoff and
+  *deterministic* jitter (reproducible schedules from a seed);
+* :mod:`repro.resilience.supervisor` — :class:`SupervisedWorkerPool`:
+  worker processes supervised by the parent, with crashed-worker
+  detection and respawn, per-task timeout enforcement, task quarantine
+  after repeated failures, and graceful degradation to serial execution
+  when the pool repeatedly dies;
+* :mod:`repro.resilience.checkpoint` — :class:`CampaignCheckpoint`:
+  periodic atomic snapshots of completed replication keys, reconciled
+  against the result cache on ``--resume`` so an interrupted campaign
+  restarts only missing work.
+
+Results stay byte-identical to fault-free runs: supervision only decides
+*where and when* a replication executes, never *what* it computes — each
+replication derives everything from ``(config, seed, replication)``.
+Every failure, retry, and quarantine event flows into
+:mod:`repro.obs` metrics and run manifests.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CampaignCheckpoint,
+    ResumeReport,
+    default_checkpoint_path,
+    load_checkpoint,
+)
+from .policy import RetryPolicy
+from .supervisor import (
+    FailureEvent,
+    SupervisedWorkerPool,
+    SupervisionReport,
+)
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CampaignCheckpoint",
+    "FailureEvent",
+    "ResumeReport",
+    "RetryPolicy",
+    "SupervisedWorkerPool",
+    "SupervisionReport",
+    "default_checkpoint_path",
+    "load_checkpoint",
+]

@@ -1,0 +1,194 @@
+"""Campaign checkpoint/resume.
+
+A *campaign checkpoint* is a small atomic JSON snapshot of which
+replication keys (see :func:`repro.core.cache.result_key`) a campaign
+has completed so far.  The scheduler records every completion and
+flushes the file every ``interval`` completions plus once at the end —
+and, crucially, on abort — so a killed campaign leaves a fresh record
+of its progress behind.
+
+On ``--resume`` the checkpoint is *reconciled* against the
+:class:`~repro.core.cache.ResultCache`: a key recorded as completed is
+only trusted if its cache entry is still present and passes the cache's
+checksum verification; anything missing or corrupt is simply re-run.
+The checkpoint never stores results — the cache is the single source of
+truth for data, the checkpoint only for progress accounting (and for
+reporting ``resumed / lost / fresh`` splits in the run manifest).
+
+Writes are atomic (tmp file + ``os.replace``), so a crash mid-flush
+leaves the previous snapshot intact, never a truncated one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Union
+
+#: Bump when the checkpoint document layout changes.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ResumeReport:
+    """How a resumed campaign's job list reconciled against the cache."""
+
+    #: Keys the checkpoint recorded as completed that are part of this run.
+    previously_completed: int
+    #: Of those, how many were actually served from the cache.
+    resumed_from_cache: int
+    #: Recorded as completed but missing/corrupt in the cache — re-run.
+    lost_entries: int
+    #: Jobs never completed before (fresh work).
+    fresh: int
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "previously_completed": self.previously_completed,
+            "resumed_from_cache": self.resumed_from_cache,
+            "lost_entries": self.lost_entries,
+            "fresh": self.fresh,
+        }
+
+    def format(self) -> str:
+        """One-line summary for CLI reporting."""
+        return (
+            f"resume: {self.resumed_from_cache} replications restored from "
+            f"cache, {self.lost_entries} lost, {self.fresh} fresh"
+        )
+
+
+class CampaignCheckpoint:
+    """Periodic atomic record of completed replication keys.
+
+    ``resume=True`` loads any existing snapshot at ``path`` (tolerating a
+    corrupt/truncated file — it is treated as empty, since the cache, not
+    the checkpoint, holds the actual results); ``resume=False`` starts a
+    fresh campaign and overwrites on first flush.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        label: str = "",
+        interval: int = 20,
+        resume: bool = False,
+    ) -> None:
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        self.path = Path(path)
+        self.label = label
+        self.interval = interval
+        self.completed: Set[str] = set()
+        #: Keys the loaded (pre-resume) snapshot reported as completed.
+        self.previously_completed: Set[str] = frozenset()
+        self.flushes = 0
+        self._dirty = 0
+        if resume:
+            loaded = load_checkpoint(self.path)
+            if loaded is not None:
+                self.previously_completed = frozenset(loaded)
+                self.completed.update(loaded)
+
+    def record(self, key: str) -> None:
+        """Mark one replication key completed; flush every ``interval``."""
+        if key in self.completed:
+            return
+        self.completed.add(key)
+        self._dirty += 1
+        if self._dirty >= self.interval:
+            self.flush()
+
+    def flush(self) -> Optional[Path]:
+        """Atomically write the current snapshot (no-op when unchanged)."""
+        if self._dirty == 0 and self.flushes > 0:
+            return None
+        document = {
+            "checkpoint_schema": CHECKPOINT_SCHEMA_VERSION,
+            "label": self.label,
+            "completed": sorted(self.completed),
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        handle, tmp_name = tempfile.mkstemp(
+            dir=self.path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+                json.dump(document, tmp, sort_keys=True)
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self._dirty = 0
+        self.flushes += 1
+        return self.path
+
+    def reconcile(self, job_keys: List[str], cache_present: List[bool]) -> ResumeReport:
+        """Split this run's jobs into resumed / lost / fresh.
+
+        ``cache_present[i]`` says whether job ``i`` was actually served
+        from the cache this run (post checksum verification).
+        """
+        if len(job_keys) != len(cache_present):
+            raise ValueError("job_keys and cache_present must align")
+        previously = 0
+        resumed = 0
+        lost = 0
+        for key, present in zip(job_keys, cache_present):
+            if key in self.previously_completed:
+                previously += 1
+                if present:
+                    resumed += 1
+                else:
+                    lost += 1
+        return ResumeReport(
+            previously_completed=previously,
+            resumed_from_cache=resumed,
+            lost_entries=lost,
+            fresh=len(job_keys) - previously,
+        )
+
+
+def load_checkpoint(path: Union[str, Path]) -> Optional[List[str]]:
+    """Completed keys of the snapshot at ``path``; ``None`` when unusable.
+
+    A missing file, truncated JSON, wrong schema version, or malformed
+    document all return ``None`` — resuming from a damaged checkpoint
+    just means re-checking the cache for everything, never crashing.
+    """
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(document, dict):
+        return None
+    if document.get("checkpoint_schema") != CHECKPOINT_SCHEMA_VERSION:
+        return None
+    completed = document.get("completed")
+    if not isinstance(completed, list) or not all(
+        isinstance(key, str) for key in completed
+    ):
+        return None
+    return completed
+
+
+def default_checkpoint_path(cache_root: Union[str, Path], label: str) -> Path:
+    """Conventional checkpoint location for one campaign label."""
+    safe = "".join(c if c.isalnum() or c in "._-" else "-" for c in label)
+    return Path(cache_root) / "checkpoints" / f"{safe or 'campaign'}.json"
+
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CampaignCheckpoint",
+    "ResumeReport",
+    "default_checkpoint_path",
+    "load_checkpoint",
+]

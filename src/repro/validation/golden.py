@@ -145,8 +145,25 @@ def save_golden(document: Dict[str, Any], directory: Union[str, Path]) -> Path:
 
 
 def load_golden(path: Union[str, Path]) -> Dict[str, Any]:
-    """Load one fixture document, validating its schema version."""
-    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    """Load one fixture document, validating its schema version.
+
+    A fixture that does not parse — truncated by a killed recorder, bit
+    rot, a bad merge — raises :class:`ValueError` naming the file, not a
+    bare :class:`json.JSONDecodeError` with no context.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"corrupt/truncated golden trace {path}: {exc} — "
+            "re-record the fixture"
+        ) from exc
+    if not isinstance(document, dict):
+        raise ValueError(
+            f"corrupt/truncated golden trace {path}: top level is "
+            f"{type(document).__name__}, expected an object"
+        )
     version = document.get("golden_schema")
     if version != GOLDEN_SCHEMA_VERSION:
         raise ValueError(

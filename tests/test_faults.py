@@ -1,0 +1,121 @@
+"""Unit tests for the deterministic fault-injection harness itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    NetworkParameters,
+    ScenarioConfig,
+    UserParameters,
+    VirusParameters,
+    run_scenario,
+)
+from repro.faults import (
+    FaultInjectingCache,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrashError,
+    InjectedHangError,
+    InjectedTaskError,
+    corrupt_cache_entry,
+)
+
+
+@pytest.fixture
+def tiny_config() -> ScenarioConfig:
+    return ScenarioConfig(
+        name="faults-test",
+        virus=VirusParameters(
+            name="f-virus", min_send_interval=0.05, extra_send_delay_mean=0.05
+        ),
+        network=NetworkParameters(population=40, mean_contact_list_size=6.0),
+        user=UserParameters(read_delay_mean=0.1),
+        duration=2.0,
+    )
+
+
+class TestFaultSpec:
+    def test_noop_on_unlisted_attempt(self):
+        FaultSpec(raise_attempts=(1,)).apply(0)  # must not raise
+
+    def test_raise_attempts(self):
+        with pytest.raises(InjectedTaskError):
+            FaultSpec(raise_attempts=(0,)).apply(0)
+
+    def test_soft_crash_and_hang_raise_instead(self):
+        with pytest.raises(InjectedCrashError):
+            FaultSpec(crash_attempts=(0,)).apply(0, soft=True)
+        with pytest.raises(InjectedHangError):
+            FaultSpec(hang_attempts=(0,)).apply(0, soft=True)
+
+
+class TestFaultPlan:
+    def test_from_seed_is_deterministic(self):
+        a = FaultPlan.from_seed(7, task_count=50, crash_fraction=0.2, hangs=2)
+        b = FaultPlan.from_seed(7, task_count=50, crash_fraction=0.2, hangs=2)
+        assert a.specs == b.specs
+        c = FaultPlan.from_seed(8, task_count=50, crash_fraction=0.2, hangs=2)
+        assert a.specs != c.specs
+
+    def test_from_seed_victim_counts(self):
+        plan = FaultPlan.from_seed(0, task_count=20, crash_fraction=0.25, hangs=1)
+        crashes = sum(1 for s in plan.specs.values() if s.crash_attempts)
+        hangs = sum(1 for s in plan.specs.values() if s.hang_attempts)
+        assert crashes == 5
+        assert hangs == 1
+        assert len(plan) == 6
+
+    def test_from_seed_soft_crash_kind(self):
+        plan = FaultPlan.from_seed(
+            0, task_count=10, crash_fraction=0.5, crash_kind="raise"
+        )
+        assert all(s.raise_attempts == (0,) for s in plan.specs.values())
+
+    def test_from_seed_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_seed(0, 10, crash_fraction=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan.from_seed(0, 10, hangs=-1)
+        with pytest.raises(ValueError):
+            FaultPlan.from_seed(0, 10, crash_kind="segfault")
+
+    def test_spec_for_unlisted_task_is_none(self):
+        assert FaultPlan({}).spec_for(3) is None
+
+
+class TestFaultInjectingCache:
+    def test_selected_writes_fail(self, tiny_config, tmp_path):
+        cache = FaultInjectingCache(tmp_path / "c", fail_write_ordinals=(1,))
+        results = [run_scenario(tiny_config, seed=0, replication=r) for r in range(3)]
+        cache.put(results[0])
+        with pytest.raises(OSError, match="injected cache write"):
+            cache.put(results[1])
+        cache.put(results[2])
+        assert cache.failed_writes == 1
+        assert cache.writes == 2
+        assert cache.get(tiny_config, 0, 0) is not None
+        assert cache.get(tiny_config, 0, 1) is None  # the failed write
+        assert cache.get(tiny_config, 0, 2) is not None
+
+
+class TestCorruptCacheEntry:
+    def test_flip_changes_bytes_in_place(self, tiny_config, tmp_path):
+        from repro.core import ResultCache
+
+        cache = ResultCache(tmp_path / "c")
+        path = cache.put(run_scenario(tiny_config, seed=0, replication=0))
+        pristine = path.read_bytes()
+        assert corrupt_cache_entry(cache, tiny_config, 0, 0, flip_offset=40) == path
+        assert path.read_bytes() != pristine
+        # Flipping the same offset again restores the original bytes (XOR).
+        corrupt_cache_entry(cache, tiny_config, 0, 0, flip_offset=40)
+        assert path.read_bytes() == pristine
+
+    def test_flip_offset_validation(self, tiny_config, tmp_path):
+        from repro.core import ResultCache
+
+        cache = ResultCache(tmp_path / "c")
+        cache.put(run_scenario(tiny_config, seed=0, replication=0))
+        with pytest.raises(ValueError, match="flip_offset"):
+            corrupt_cache_entry(cache, tiny_config, 0, 0, flip_offset=10**9)

@@ -1,0 +1,200 @@
+"""Supervised worker pool: crash/hang/corruption recovery, byte-identically.
+
+The fast serial-path tests run in tier-1; everything that injures real
+worker processes carries the ``faultinject`` marker (deselected by
+default, run with ``-m faultinject``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import (
+    NetworkParameters,
+    ResultCache,
+    ScenarioConfig,
+    UserParameters,
+    VirusParameters,
+)
+from repro.core.simulation import replicate_scenario
+from repro.experiments import ReplicationScheduler
+from repro.faults import FaultPlan, FaultSpec
+from repro.obs.manifest import read_manifests, validate_manifest
+from repro.resilience import RetryPolicy
+
+
+@pytest.fixture
+def mini_scenario() -> ScenarioConfig:
+    return ScenarioConfig(
+        name="sup-mini",
+        virus=VirusParameters(
+            name="sup-virus", min_send_interval=0.05, extra_send_delay_mean=0.05
+        ),
+        network=NetworkParameters(population=80, mean_contact_list_size=10.0),
+        user=UserParameters(read_delay_mean=0.1),
+        duration=6.0,
+    )
+
+
+FAST_POLICY = RetryPolicy(max_retries=2, backoff_base=0.01, backoff_cap=0.05)
+
+
+def _times(result_set):
+    return [r.infection_times for r in result_set.results]
+
+
+class TestSerialSupervised:
+    """processes=1 supervised dispatch is the plain serial path plus
+    bookkeeping — results must be bit-identical, and soft faults must be
+    retried in-process."""
+
+    def test_identical_to_unsupervised(self, mini_scenario):
+        expected = replicate_scenario(mini_scenario, replications=3, seed=9)
+        with ReplicationScheduler(resilience=FAST_POLICY) as scheduler:
+            got = scheduler.replicate(mini_scenario, replications=3, seed=9)
+        assert _times(got) == _times(expected)
+        assert not scheduler.failures
+
+    def test_soft_fault_retried(self, mini_scenario):
+        expected = replicate_scenario(mini_scenario, replications=3, seed=9)
+        plan = FaultPlan({1: FaultSpec(raise_attempts=(0,))})
+        with ReplicationScheduler(
+            resilience=FAST_POLICY, fault_plan=plan
+        ) as scheduler:
+            got = scheduler.replicate(mini_scenario, replications=3, seed=9)
+        assert _times(got) == _times(expected)
+        assert [(e.kind, e.action) for e in scheduler.failures] == [
+            ("error", "retry")
+        ]
+        assert not scheduler.has_failures
+
+    def test_quarantine_reported_not_raised(self, mini_scenario):
+        plan = FaultPlan({2: FaultSpec(raise_attempts=tuple(range(10)))})
+        with ReplicationScheduler(
+            resilience=FAST_POLICY, fault_plan=plan
+        ) as scheduler:
+            got = scheduler.replicate(mini_scenario, replications=4, seed=9)
+        assert got.replications == 3  # survivors only
+        assert scheduler.has_failures
+        assert scheduler.quarantined == [
+            {
+                "scenario": "sup-mini",
+                "seed": 9,
+                "replication": 2,
+                "failures": FAST_POLICY.max_attempts,
+            }
+        ]
+        summary = scheduler.failure_summary()
+        assert summary and "sup-mini" in summary[0]
+
+
+@pytest.mark.faultinject
+class TestFaultInjection:
+    """Real worker processes get crashed, hung, and corrupted."""
+
+    def test_hard_crash_detected_and_retried(self, mini_scenario):
+        expected = replicate_scenario(mini_scenario, replications=4, seed=9)
+        plan = FaultPlan({0: FaultSpec(crash_attempts=(0,))})
+        with ReplicationScheduler(
+            processes=2, resilience=FAST_POLICY, fault_plan=plan
+        ) as scheduler:
+            got = scheduler.replicate(mini_scenario, replications=4, seed=9)
+        assert _times(got) == _times(expected)
+        kinds = [(e.kind, e.action) for e in scheduler.failures]
+        assert ("crash", "retry") in kinds
+        assert scheduler.pool_respawns >= 1
+
+    def test_hang_timed_out_and_retried(self, mini_scenario):
+        expected = replicate_scenario(mini_scenario, replications=4, seed=9)
+        policy = RetryPolicy(
+            max_retries=2, backoff_base=0.01, backoff_cap=0.05, task_timeout=2.0
+        )
+        plan = FaultPlan({1: FaultSpec(hang_attempts=(0,), hang_seconds=60.0)})
+        with ReplicationScheduler(
+            processes=2, resilience=policy, fault_plan=plan
+        ) as scheduler:
+            got = scheduler.replicate(mini_scenario, replications=4, seed=9)
+        assert _times(got) == _times(expected)
+        assert ("timeout", "retry") in [
+            (e.kind, e.action) for e in scheduler.failures
+        ]
+
+    def test_repeated_pool_death_degrades_to_serial(self, mini_scenario):
+        expected = replicate_scenario(mini_scenario, replications=4, seed=9)
+        policy = RetryPolicy(
+            max_retries=4,
+            backoff_base=0.005,
+            backoff_cap=0.01,
+            max_pool_respawns=1,
+        )
+        always = tuple(range(10))
+        plan = FaultPlan(
+            {
+                0: FaultSpec(crash_attempts=always),
+                1: FaultSpec(crash_attempts=always),
+            }
+        )
+        with ReplicationScheduler(
+            processes=2, resilience=policy, fault_plan=plan
+        ) as scheduler:
+            got = scheduler.replicate(mini_scenario, replications=4, seed=9)
+        assert scheduler.degraded_to_serial
+        # The poisoned tasks fail in serial soft mode too -> quarantined;
+        # the healthy replications still match the reference exactly.
+        assert {q["replication"] for q in scheduler.quarantined} == {0, 1}
+        expected_times = _times(expected)
+        for result in got.results:
+            assert result.infection_times == expected_times[result.replication]
+
+
+@pytest.mark.faultinject
+class TestFig1CampaignUnderFaults:
+    """The acceptance campaign: a scaled-down Figure-1 run (all four
+    viruses) under >=10% worker crashes, one hang, and one corrupted
+    cache entry — byte-identical results, a manifest recording every
+    retry, and a resume that re-executes only the lost replication."""
+
+    def test_demo_campaign_self_check_passes(self, tmp_path):
+        from repro.faults.__main__ import main as faults_main
+
+        manifest_path = tmp_path / "faults-manifest.jsonl"
+        code = faults_main(
+            [
+                "--manifest", str(manifest_path),
+                "--cache-dir", str(tmp_path / "cache"),
+                "--population", "100",
+                "--duration", "5.0",
+                "--task-timeout", "2.0",
+            ]
+        )
+        assert code == 0
+
+        records = read_manifests(manifest_path)
+        assert len(records) == 2  # injected phase + resume phase
+        for record in records:
+            assert validate_manifest(record) == []
+
+        injected, resumed = records
+        section = injected["resilience"]
+        kinds = {event["kind"] for event in section["events"]}
+        assert "crash" in kinds and "timeout" in kinds
+        assert section["retries"] == len(
+            [e for e in section["events"] if e["action"] == "retry"]
+        )
+        assert section["retries"] >= 3  # 2 crashes + 1 hang, each retried
+        assert section["quarantined"] == 0
+        assert section["degraded_to_serial"] is False
+        assert section["policy"]["task_timeout"] == 2.0
+
+        # Resume phase: cache hit stats prove only the corrupted entry
+        # was re-executed.
+        assert resumed["resilience"]["resume"] == {
+            "previously_completed": 12,
+            "resumed_from_cache": 11,
+            "lost_entries": 1,
+            "fresh": 0,
+        }
+        assert resumed["cache"]["hits"] == 11
+        assert resumed["scheduler"]["executed"] == 1

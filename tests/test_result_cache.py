@@ -131,9 +131,41 @@ class TestResultCache:
         path.write_text("{ this is not json")
         assert cache.get(tiny_config, 3, 1) is None
         assert cache.misses == 1
-        assert not path.exists()  # corrupt entry dropped
+        assert not path.exists()  # corrupt entry quarantined away
+        assert cache.quarantined == 1
         cache.put(tiny_result)
         assert cache.get(tiny_config, 3, 1) is not None
+
+    def test_bit_flip_is_quarantined_not_served(
+        self, tiny_config, tiny_result, tmp_path
+    ):
+        # A flipped byte inside the payload still parses as JSON — only
+        # the embedded checksum catches it.
+        from repro.faults import corrupt_cache_entry
+
+        cache = ResultCache(tmp_path / "c")
+        cache.put(tiny_result)
+        path = corrupt_cache_entry(cache, tiny_config, 3, 1)
+        assert cache.get(tiny_config, 3, 1) is None
+        assert cache.misses == 1
+        assert not path.exists()
+        quarantined = list(cache.quarantine_paths())
+        assert len(quarantined) == 1
+        assert quarantined[0].name == path.name  # bytes kept for forensics
+        # The slot heals on the next put; quarantined bytes never count
+        # as entries.
+        cache.put(tiny_result)
+        assert cache.get(tiny_config, 3, 1) is not None
+        assert len(cache) == 1
+
+    def test_checksum_mismatch_detected(self, tiny_config, tiny_result, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        path = cache.put(tiny_result)
+        document = json.loads(path.read_text())
+        document["result"]["final_time"] = document["result"]["final_time"] + 1.0
+        path.write_text(json.dumps(document))  # valid JSON, tampered payload
+        assert cache.get(tiny_config, 3, 1) is None
+        assert cache.quarantined == 1
 
     def test_wrong_schema_inside_document_is_miss(
         self, tiny_config, tiny_result, tmp_path
@@ -154,8 +186,10 @@ class TestResultCache:
             "hits": 1,
             "misses": 1,
             "writes": 1,
+            "quarantined": 0,
             "entries": 1,
             "tmp_files": 0,
+            "quarantine_files": 0,
         }
 
     def test_missing_root_dir_is_empty(self, tmp_path):

@@ -340,3 +340,63 @@ class TestTelemetry:
         assert all(len(s["hash"]) == 64 for s in record["scenarios"])
         assert record["workers"][0]["jobs"] == 4
         assert record["cache"]["hit_ratio"] == 0.0
+
+
+class _InterruptingPool:
+    """Stub pool whose dispatch raises KeyboardInterrupt mid-campaign."""
+
+    def __init__(self):
+        self.terminated = False
+        self.closed = False
+
+    def imap_indexed(self, jobs, job_count=None):
+        raise KeyboardInterrupt
+
+    def imap_indexed_timed(self, jobs, job_count=None):
+        raise KeyboardInterrupt
+
+    def close(self):
+        self.closed = True
+
+    def terminate(self):
+        self.terminated = True
+
+
+class TestInterruptCleanup:
+    """Regression: a Ctrl-C mid-campaign used to leak the worker pool and
+    leave ``.tmp-*.json`` orphans from interrupted atomic cache writes;
+    the scheduler's exceptional exit must terminate the pool, sweep the
+    orphans, and flush the checkpoint."""
+
+    def test_interrupt_terminates_pool_and_sweeps_orphans(
+        self, mini_scenario, tmp_path
+    ):
+        from repro.resilience import CampaignCheckpoint, load_checkpoint
+
+        cache = ResultCache(tmp_path / "c")
+        shard = cache.root / "ab"
+        shard.mkdir(parents=True)
+        orphan = shard / ".tmp-interrupted0.json"
+        orphan.write_text("{partial")
+        checkpoint_path = tmp_path / "ck.json"
+        pool = _InterruptingPool()
+        with pytest.raises(KeyboardInterrupt):
+            with ReplicationScheduler(
+                processes=2,
+                cache=cache,
+                pool=pool,
+                checkpoint=CampaignCheckpoint(checkpoint_path, label="int"),
+            ) as scheduler:
+                scheduler.replicate(mini_scenario, replications=2, seed=0)
+        assert pool.terminated  # no leaked workers
+        assert not orphan.exists()  # tmp orphans swept
+        assert load_checkpoint(checkpoint_path) is not None  # progress saved
+
+    def test_clean_exit_does_not_terminate_external_pool(
+        self, mini_scenario, tmp_path
+    ):
+        pool = _InterruptingPool()
+        with ReplicationScheduler(processes=2, cache=None, pool=pool):
+            pass  # no work dispatched
+        assert not pool.terminated
+        assert not pool.closed  # externally owned: left running

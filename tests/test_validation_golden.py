@@ -125,6 +125,26 @@ class TestRecordAndCheck:
         with pytest.raises(ValueError, match="golden_schema"):
             load_golden(path)
 
+    def test_truncated_fixture_names_the_file(self, tiny_config, tmp_path):
+        # Regression: a truncated fixture used to surface as a bare
+        # json.JSONDecodeError with no hint of which file was damaged.
+        document = record_golden(tiny_config, "tiny", seed=11, replications=1)
+        path = tmp_path / "tiny.json"
+        text = canonical_json(document)
+        path.write_text(text[: len(text) // 2], encoding="utf-8")
+        with pytest.raises(ValueError) as excinfo:
+            load_golden(path)
+        message = str(excinfo.value)
+        assert "corrupt/truncated golden trace" in message
+        assert str(path) in message
+        assert not isinstance(excinfo.value, json.JSONDecodeError)
+
+    def test_non_object_fixture_rejected(self, tmp_path):
+        path = tmp_path / "weird.json"
+        path.write_text("[1, 2, 3]", encoding="utf-8")
+        with pytest.raises(ValueError, match="corrupt/truncated golden trace"):
+            load_golden(path)
+
 
 class TestCommittedFixtures:
     """The fixtures under tests/golden/ are live: they must replay cleanly."""
