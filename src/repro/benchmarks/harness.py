@@ -129,6 +129,40 @@ def _single_replication(
     return runner
 
 
+def _xl_replication(
+    name: str,
+    virus: int,
+    preset: str,
+    duration: Optional[float] = None,
+) -> Callable[[int], WorkloadResult]:
+    """One seeded replication on the array-backed xl engine."""
+
+    def runner(processes: int) -> WorkloadResult:
+        from ..core.simulation import run_scenario
+        from ..xl.presets import xl_scenario
+
+        config = xl_scenario(virus, preset, duration=duration)
+        start = time.perf_counter()
+        result = run_scenario(config, seed=BENCH_SEED, replication=0)
+        wall = time.perf_counter() - start
+        return WorkloadResult(
+            name=name,
+            wall_seconds=wall,
+            events=int(result.counters["events_fired"]),
+            detail={
+                "kind": "xl_replication",
+                "virus": virus,
+                "preset": preset,
+                "population": config.network.population,
+                "duration_hours": config.duration,
+                "final_infected": result.total_infected,
+                "rounds": int(result.counters["xl_rounds"]),
+            },
+        )
+
+    return runner
+
+
 def _experiment(
     name: str,
     experiment_id: str,
@@ -196,6 +230,22 @@ WORKLOADS: Dict[str, Workload] = {
             description="One replication of the Virus 1 baseline at 2000 phones",
             smoke=False,
             runner=_single_replication("scaling-2000", virus=1, population=2000),
+        ),
+        # xl workloads are smoke=False: the smoke gate compares against
+        # BENCH_pr1.json, which predates the xl engine.
+        Workload(
+            name="xl-10k-v1",
+            description="Virus 1 baseline on the xl engine at 10k phones (432 h)",
+            smoke=False,
+            runner=_xl_replication("xl-10k-v1", virus=1, preset="xl-10k"),
+        ),
+        Workload(
+            name="xl-100k-v1",
+            description="Virus 1 baseline on the xl engine at 100k phones (96 h)",
+            smoke=False,
+            runner=_xl_replication(
+                "xl-100k-v1", virus=1, preset="xl-100k", duration=96.0
+            ),
         ),
     )
 }

@@ -26,6 +26,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -56,6 +57,7 @@ from .experiments import (
 from .topology.contact_lists import write_contact_lists
 from .topology.generators import contact_network
 from .topology.metrics import DegreeStats
+from .xl.presets import XL_PRESETS, xl_network
 
 
 def _add_scheduler_args(parser: argparse.ArgumentParser) -> None:
@@ -210,6 +212,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--population", type=int, default=1000)
     run_parser.add_argument("--duration", type=float, default=None,
                             help="override horizon, hours")
+    run_parser.add_argument("--engine", choices=("core", "xl"), default="core",
+                            help="simulation engine (xl = array-backed, "
+                                 "for large populations)")
+    run_parser.add_argument("--preset", choices=sorted(XL_PRESETS), default=None,
+                            help="population preset (paper/xl-10k/xl-100k/xl-1m); "
+                                 "overrides --population")
     run_parser.add_argument("--replications", type=int, default=3)
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--no-chart", action="store_true")
@@ -222,6 +230,8 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment_ids", nargs="+", metavar="experiment_id",
         help="e.g. fig1 .. fig7 (several ids run as one scheduled batch)",
     )
+    figure_parser.add_argument("--engine", choices=("core", "xl"), default="core",
+                               help="simulation engine for every series")
     figure_parser.add_argument("--replications", type=int, default=None)
     figure_parser.add_argument("--seed", type=int, default=0)
     figure_parser.add_argument("--csv", default=None, help="export mean curves to CSV")
@@ -328,8 +338,13 @@ def _command_list() -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    network = NetworkParameters(population=args.population)
+    if args.preset is not None:
+        network = xl_network(args.preset)
+    else:
+        network = NetworkParameters(population=args.population)
     scenario = baseline_scenario(args.virus, network=network, duration=args.duration)
+    if args.engine != "core":
+        scenario = scenario.with_engine(args.engine)
     response = _build_response(args)
     if response is not None:
         scenario = scenario.with_responses(response, suffix=args.response)
@@ -378,6 +393,8 @@ def _command_figure(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(exc, file=sys.stderr)
         return 2
+    if args.engine != "core":
+        specs = [dataclasses.replace(spec, engine=args.engine) for spec in specs]
     label = "figure:" + ",".join(args.experiment_ids)
     with _make_scheduler(args, label=label) as scheduler:
         results = scheduler.run_batch(

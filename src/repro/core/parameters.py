@@ -427,6 +427,9 @@ ResponseConfig = Union[
     BlacklistConfig,
 ]
 
+#: Simulation engines a scenario can run on.
+ENGINES = frozenset({"core", "xl"})
+
 
 @dataclass(frozen=True)
 class ScenarioConfig:
@@ -440,12 +443,21 @@ class ScenarioConfig:
     responses: Tuple[ResponseConfig, ...] = ()
     #: Simulation horizon in hours (paper: 432 for V1/V4, 240 for V2, 24 for V3).
     duration: float = 432 * HOURS
+    #: Simulation engine: ``"core"`` (per-phone discrete-event kernel) or
+    #: ``"xl"`` (array-backed batched-round engine for large populations,
+    #: see :mod:`repro.xl`).  Part of the scenario identity: cached
+    #: results, golden fixtures, and manifests all key on it.
+    engine: str = "core"
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("scenario name must be non-empty")
         if self.duration <= 0:
             raise ValueError(f"duration must be > 0, got {self.duration}")
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {sorted(ENGINES)}, got {self.engine!r}"
+            )
 
     def with_responses(self, *responses: ResponseConfig, suffix: str = "") -> "ScenarioConfig":
         """Copy of this scenario with the given response mechanisms added."""
@@ -455,6 +467,10 @@ class ScenarioConfig:
     def with_duration(self, duration: float) -> "ScenarioConfig":
         """Copy of this scenario with a different horizon."""
         return replace(self, duration=duration)
+
+    def with_engine(self, engine: str) -> "ScenarioConfig":
+        """Copy of this scenario running on a different engine."""
+        return replace(self, engine=engine)
 
 
 __all__ = [
@@ -472,4 +488,5 @@ __all__ = [
     "BlacklistConfig",
     "ResponseConfig",
     "ScenarioConfig",
+    "ENGINES",
 ]

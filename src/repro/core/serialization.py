@@ -124,8 +124,13 @@ def response_from_dict(data: Dict[str, Any]) -> ResponseConfig:
 
 
 def scenario_to_dict(scenario: ScenarioConfig) -> Dict[str, Any]:
-    """Serialize a scenario to a plain dict."""
-    return {
+    """Serialize a scenario to a plain dict.
+
+    The ``engine`` key is emitted only for non-default engines so that
+    documents produced before the engine axis existed (cache entries,
+    golden fixtures) remain byte-identical for core-engine scenarios.
+    """
+    document = {
         "format_version": FORMAT_VERSION,
         "name": scenario.name,
         "duration": scenario.duration,
@@ -135,6 +140,9 @@ def scenario_to_dict(scenario: ScenarioConfig) -> Dict[str, Any]:
         "detection": _dataclass_to_dict(scenario.detection),
         "responses": [response_to_dict(r) for r in scenario.responses],
     }
+    if scenario.engine != "core":
+        document["engine"] = scenario.engine
+    return document
 
 
 def scenario_from_dict(data: Dict[str, Any]) -> ScenarioConfig:
@@ -163,6 +171,7 @@ def scenario_from_dict(data: Dict[str, Any]) -> ScenarioConfig:
             DetectionParameters, data.get("detection", {}), "detection"
         ),
         responses=tuple(responses),
+        engine=data.get("engine", "core"),
     )
 
 

@@ -110,7 +110,29 @@ def run_scenario(
     attaches a :class:`~repro.obs.metrics.Metrics` registry so the run
     reports kernel telemetry (events fired/cancelled, heap peak, wall
     time) without altering the result itself.
+
+    When ``config.engine`` is ``"xl"`` the run dispatches to the
+    array-backed engine in :mod:`repro.xl`; results come back through
+    the same :class:`ScenarioResult`, so caching, aggregation, and
+    serialization are engine-agnostic.  The xl engine has no per-event
+    kernel, so ``tracer`` is rejected there and ``metrics`` is ignored.
     """
+    if config.engine == "xl":
+        if tracer is not None:
+            raise ValueError(
+                "event tracing is not supported on the xl engine; "
+                "use engine='core' for golden-trace recording"
+            )
+        from ..xl.engine import run_scenario_xl
+
+        return run_scenario_xl(
+            config,
+            seed=seed,
+            replication=replication,
+            graph=graph,
+            patient_zero=patient_zero,
+            metrics=metrics,
+        )
     streams = StreamFactory(seed).replication(replication)
     model = PhoneNetworkModel(
         config, streams, graph=graph, tracer=tracer, metrics=metrics

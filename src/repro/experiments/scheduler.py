@@ -104,7 +104,7 @@ def flatten_experiment(
     if reps < 1:
         raise ValueError(f"replications must be >= 1, got {reps}")
     return [
-        ReplicationJob(config=series.scenario, seed=seed, replication=index)
+        ReplicationJob(config=spec.scenario_for(series), seed=seed, replication=index)
         for series in spec.series
         for index in range(reps)
     ]
@@ -673,12 +673,13 @@ class ReplicationScheduler:
             )
             slices: List[Tuple[str, ScenarioConfig, int, int]] = []
             for series in spec.series:
+                scenario = spec.scenario_for(series)
                 start = len(jobs)
                 jobs.extend(
-                    ReplicationJob(config=series.scenario, seed=seed, replication=i)
+                    ReplicationJob(config=scenario, seed=seed, replication=i)
                     for i in range(reps)
                 )
-                slices.append((series.label, series.scenario, start, len(jobs)))
+                slices.append((series.label, scenario, start, len(jobs)))
             layout.append((spec, reps, slices))
 
         results = self.run_jobs(jobs)

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.timeseries import StepCurve
-from ..core.parameters import ScenarioConfig
+from ..core.parameters import ENGINES, ScenarioConfig
 from ..core.simulation import ReplicationSet
 
 
@@ -68,6 +68,10 @@ class ExperimentSpec:
     checkpoints: Tuple[float, ...] = ()
     #: Qualitative claims to verify against the simulated results.
     shape_checks: Tuple[ShapeCheck, ...] = ()
+    #: Simulation engine every series runs on (``"core"`` or ``"xl"``).
+    #: Stamped onto each scenario at job-build time, so the same spec can
+    #: regenerate an artifact on either engine without redefining series.
+    engine: str = "core"
 
     def __post_init__(self) -> None:
         if not self.series:
@@ -75,11 +79,22 @@ class ExperimentSpec:
         labels = [s.label for s in self.series]
         if len(set(labels)) != len(labels):
             raise ValueError(f"duplicate series labels in {self.experiment_id!r}: {labels}")
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"experiment {self.experiment_id!r}: engine must be one of "
+                f"{sorted(ENGINES)}, got {self.engine!r}"
+            )
 
     @property
     def horizon(self) -> float:
         """Longest series duration (chart x-extent)."""
         return max(s.scenario.duration for s in self.series)
+
+    def scenario_for(self, series: SeriesSpec) -> ScenarioConfig:
+        """The series scenario stamped with this experiment's engine."""
+        if series.scenario.engine == self.engine:
+            return series.scenario
+        return series.scenario.with_engine(self.engine)
 
 
 @dataclass

@@ -6,6 +6,7 @@ contact-list size 80), comparison topologies, an NGCE-like contact-list
 file format, and validation metrics.
 """
 
+from .csr import CSRAdjacency, csr_powerlaw
 from .contact_lists import (
     ContactListFormatError,
     dumps_contact_lists,
@@ -39,6 +40,8 @@ from .metrics import (
 
 __all__ = [
     "ContactGraph",
+    "CSRAdjacency",
+    "csr_powerlaw",
     "contact_network",
     "chung_lu_powerlaw",
     "barabasi_albert",

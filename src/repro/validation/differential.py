@@ -7,11 +7,14 @@ stochastic process are compared:
   replicated with per-replication RNG streams;
 * the **SAN engine** (:mod:`repro.san` via :mod:`repro.core.san_model`) —
   the Möbius-style composed-submodel formalism the paper used;
+* the **xl engine** (:mod:`repro.xl`) — the array-backed large-population
+  engine, exercised here at small N so its batched-round dynamics are
+  gated against the event-scheduled reference;
 * the **mean-field analysis** (:mod:`repro.analysis.meanfield`) — the
   deterministic ODE companion whose fixed point is the paper's analytic
   plateau ``patient zero + susceptible x P(ever accept) ~ 0.40 x S``.
 
-Both stochastic engines run on the *same pinned contact graph* with the
+All stochastic engines run on the *same pinned contact graph* with the
 same patient zero, so the statistical gates compare the processes rather
 than topology luck.  The mean-field trajectory is well mixed and ignores
 pacing jitter, so it is held to looser, explicitly declared tolerances:
@@ -88,6 +91,7 @@ class ScenarioVerdict:
     plateau_prediction: float
     meanfield_half_time: Optional[float]
     core_half_time: Optional[float]
+    xl_finals: List[float] = field(default_factory=list)
     gates: List[GateResult] = field(default_factory=list)
 
     @property
@@ -105,6 +109,11 @@ class ScenarioVerdict:
         """Summary of the SAN engine's final infection counts."""
         return summarize(self.san_finals)
 
+    @property
+    def xl_summary(self) -> SampleSummary:
+        """Summary of the xl engine's final infection counts."""
+        return summarize(self.xl_finals)
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable form."""
         return {
@@ -113,8 +122,10 @@ class ScenarioVerdict:
             "passed": self.passed,
             "core_finals": [float(v) for v in self.core_finals],
             "san_finals": [float(v) for v in self.san_finals],
+            "xl_finals": [float(v) for v in self.xl_finals],
             "core_mean": self.core_summary.mean,
             "san_mean": self.san_summary.mean,
+            "xl_mean": self.xl_summary.mean if self.xl_finals else None,
             "plateau_prediction": self.plateau_prediction,
             "meanfield_half_time": self.meanfield_half_time,
             "core_half_time": self.core_half_time,
@@ -162,6 +173,20 @@ def run_differential_scenario(
         for rep in range(reps)
     ]
     core_finals = [float(r.total_infected) for r in core_results]
+
+    xl_config = config.with_engine("xl")
+    xl_finals = [
+        float(
+            run_scenario(
+                xl_config,
+                seed=seed,
+                replication=rep,
+                graph=graph,
+                patient_zero=patient_zero,
+            ).total_infected
+        )
+        for rep in range(reps)
+    ]
 
     san_finals = san_final_infected_samples(
         graph,
@@ -217,6 +242,25 @@ def run_differential_scenario(
             san_finals, plateau, rel_tolerance=tolerances.plateau_rel_tolerance,
             name="san-vs-meanfield plateau",
         ),
+        mean_equivalence_gate(
+            core_finals,
+            xl_finals,
+            absolute_margin=tolerances.mean_absolute_floor,
+            se_multiplier=tolerances.mean_se_multiplier,
+            name="core-vs-xl mean",
+        ),
+        welch_gate(
+            core_finals, xl_finals, alpha=tolerances.welch_alpha,
+            name="core-vs-xl welch",
+        ),
+        rank_gate(
+            core_finals, xl_finals, alpha=tolerances.rank_alpha,
+            name="core-vs-xl rank",
+        ),
+        prediction_gate(
+            xl_finals, plateau, rel_tolerance=tolerances.plateau_rel_tolerance,
+            name="xl-vs-meanfield plateau",
+        ),
         ratio_gate(
             core_half_time,
             meanfield_half_time,
@@ -229,6 +273,7 @@ def run_differential_scenario(
         scenario=scenario,
         core_finals=core_finals,
         san_finals=san_finals,
+        xl_finals=xl_finals,
         plateau_prediction=plateau,
         meanfield_half_time=meanfield_half_time,
         core_half_time=core_half_time,
@@ -264,11 +309,18 @@ class CampaignResult:
         for verdict in self.verdicts:
             core = verdict.core_summary
             san = verdict.san_summary
+            xl = (
+                f"{verdict.xl_summary.mean:.1f} ± "
+                f"{verdict.xl_summary.ci_half_width:.1f}"
+                if verdict.xl_finals
+                else "—"
+            )
             rows.append(
                 [
                     verdict.scenario.name,
                     f"{core.mean:.1f} ± {core.ci_half_width:.1f}",
                     f"{san.mean:.1f} ± {san.ci_half_width:.1f}",
+                    xl,
                     f"{verdict.plateau_prediction:.1f}",
                     f"{sum(g.passed for g in verdict.gates)}/{len(verdict.gates)}",
                     "PASS" if verdict.passed else "FAIL",
@@ -276,7 +328,8 @@ class CampaignResult:
             )
         lines = [
             format_table(
-                ["scenario", "core final", "SAN final", "mean-field", "gates", "status"],
+                ["scenario", "core final", "SAN final", "xl final",
+                 "mean-field", "gates", "status"],
                 rows,
                 title="Cross-engine differential campaign "
                 f"(seed {self.seed}, 95% CIs)",

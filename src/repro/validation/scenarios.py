@@ -27,6 +27,7 @@ from typing import Dict, List
 from ..core.parameters import (
     BlacklistConfig,
     GatewayScanConfig,
+    ImmunizationConfig,
     LimitPeriod,
     MonitoringConfig,
     NetworkParameters,
@@ -141,6 +142,36 @@ def golden_scenarios() -> Dict[str, ScenarioConfig]:
             BlacklistConfig(threshold=10),
         ),
         duration=72.0,
+    )
+    # xl-engine fixtures at the paper population: the scenario documents
+    # embed engine="xl", so replay dispatches to the array engine and any
+    # drift in its batched-round dynamics is caught byte-for-byte, same as
+    # the core fixtures above.
+    xl_network = NetworkParameters(population=1000)
+    scenarios["xl-virus1"] = ScenarioConfig(
+        name="xl-virus1-golden",
+        virus=virus_parameters(1),
+        network=xl_network,
+        duration=96.0,
+        engine="xl",
+    )
+    scenarios["xl-virus3"] = ScenarioConfig(
+        name="xl-virus3-golden",
+        virus=virus_parameters(3),
+        network=xl_network,
+        duration=6.0,
+        engine="xl",
+    )
+    scenarios["xl-virus1-responses"] = ScenarioConfig(
+        name="xl-virus1-responses-golden",
+        virus=virus_parameters(1),
+        network=xl_network,
+        responses=(
+            ImmunizationConfig(development_time=12.0, deployment_window=6.0),
+            MonitoringConfig(),
+        ),
+        duration=96.0,
+        engine="xl",
     )
     return scenarios
 

@@ -1,0 +1,90 @@
+"""Vectorised user-consent model (paper §4.4, ``AF/2^n``).
+
+Array counterpart of :mod:`repro.core.user`: the probability that a user
+accepts the *n*-th infected message ever received is ``AF / 2**n``,
+treated as zero beyond :data:`~repro.core.user.ACCEPTANCE_NEGLIGIBLE_AFTER`
+messages.  The helpers here operate on whole delivery batches — arrays of
+recipient ids with one entry per delivered message copy — so the xl
+engine can decide consent for thousands of deliveries in a handful of
+NumPy operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.user import ACCEPTANCE_NEGLIGIBLE_AFTER
+
+
+def acceptance_probabilities(factor: float, n: np.ndarray) -> np.ndarray:
+    """Elementwise ``P(accept) = factor / 2**n`` for 1-based indices ``n``.
+
+    Matches :func:`repro.core.user.acceptance_probability` for every
+    element: indices beyond ``ACCEPTANCE_NEGLIGIBLE_AFTER`` (and invalid
+    indices < 1) yield probability zero.
+    """
+    if not 0.0 <= factor <= 1.0:
+        raise ValueError(f"acceptance factor must be in [0, 1], got {factor}")
+    n = np.asarray(n)
+    clipped = np.clip(n, 1, ACCEPTANCE_NEGLIGIBLE_AFTER).astype(np.float64)
+    probabilities = factor / np.exp2(clipped)
+    valid = (n >= 1) & (n <= ACCEPTANCE_NEGLIGIBLE_AFTER)
+    return np.where(valid, probabilities, 0.0)
+
+
+def occurrence_index(sorted_ids: np.ndarray) -> np.ndarray:
+    """0-based occurrence index of each element within its run of equal ids.
+
+    ``sorted_ids`` must be sorted so equal ids are contiguous.  For
+    ``[3, 3, 5, 7, 7, 7]`` returns ``[0, 1, 0, 0, 1, 2]`` — the
+    within-batch delivery number used to continue each phone's ``AF/2^n``
+    series across a batch containing several messages for one phone.
+    """
+    ids = np.asarray(sorted_ids)
+    if ids.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    run_start = np.concatenate(([True], ids[1:] != ids[:-1]))
+    starts = np.nonzero(run_start)[0]
+    lengths = np.diff(np.concatenate((starts, [ids.size])))
+    return np.arange(ids.size, dtype=np.int64) - np.repeat(starts, lengths)
+
+
+def batch_message_indices(
+    sorted_recipients: np.ndarray, received_counts: np.ndarray
+) -> np.ndarray:
+    """1-based "n-th infected message" index for each delivery in a batch.
+
+    ``sorted_recipients`` holds one phone id per delivered message copy
+    (sorted); ``received_counts`` is the per-phone count of messages
+    received *before* this batch.  The returned ``n`` continues each
+    phone's series without gaps even when one batch delivers several
+    messages to the same phone.
+    """
+    recipients = np.asarray(sorted_recipients)
+    return received_counts[recipients] + occurrence_index(recipients) + 1
+
+
+def decide_batch(
+    factor: float,
+    sorted_recipients: np.ndarray,
+    received_counts: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Accept/reject draws for a sorted delivery batch.
+
+    Returns a boolean array aligned with ``sorted_recipients``.  The
+    caller is responsible for updating ``received_counts`` afterwards
+    (every delivery counts, accepted or not) and for masking out phones
+    that cannot become infected.
+    """
+    n = batch_message_indices(sorted_recipients, received_counts)
+    probabilities = acceptance_probabilities(factor, n)
+    return rng.random(len(n)) < probabilities
+
+
+__all__ = [
+    "acceptance_probabilities",
+    "occurrence_index",
+    "batch_message_indices",
+    "decide_batch",
+]

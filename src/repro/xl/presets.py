@@ -1,0 +1,46 @@
+"""Large-population scenario presets for the xl engine.
+
+The paper fixes N=1000 throughout; these presets scale the same model to
+populations the object kernel cannot hold, keeping the paper's density
+(mean contact-list size 80) and susceptibility (80%) so per-capita
+dynamics stay comparable across sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional
+
+from ..core.parameters import NetworkParameters, ScenarioConfig
+from ..core.scenarios import baseline_scenario
+
+#: Named population presets runnable via ``repro-sim run --engine xl``.
+XL_PRESETS: Dict[str, NetworkParameters] = {
+    "paper": NetworkParameters(population=1_000),
+    "xl-10k": NetworkParameters(population=10_000),
+    "xl-100k": NetworkParameters(population=100_000),
+    "xl-1m": NetworkParameters(population=1_000_000),
+}
+
+
+def xl_network(preset: str) -> NetworkParameters:
+    """Network parameters for a named preset."""
+    try:
+        return XL_PRESETS[preset]
+    except KeyError:
+        raise ValueError(
+            f"unknown xl preset {preset!r}; known: {sorted(XL_PRESETS)}"
+        ) from None
+
+
+def xl_scenario(
+    virus_number: int, preset: str = "paper", duration: Optional[float] = None
+) -> ScenarioConfig:
+    """Paper virus scenario scaled to a preset population, on the xl engine."""
+    base = baseline_scenario(
+        virus_number, network=xl_network(preset), duration=duration
+    )
+    return replace(base, name=f"{base.name}-{preset}", engine="xl")
+
+
+__all__ = ["XL_PRESETS", "xl_network", "xl_scenario"]

@@ -76,10 +76,11 @@ class TestDifferentialRun:
         verdict = run_differential_scenario(
             matched_scenario(3, population=30), replications=6
         )
-        assert len(verdict.gates) == 6
+        assert len(verdict.gates) == 10
         assert verdict.passed, "\n".join(g.format() for g in verdict.gates)
         assert len(verdict.core_finals) == 6
         assert len(verdict.san_finals) == 6
+        assert len(verdict.xl_finals) == 6
         assert verdict.plateau_prediction > 1.0
         payload = verdict.to_dict()
         assert payload["passed"] is True
@@ -89,6 +90,10 @@ class TestDifferentialRun:
             "core-vs-san rank",
             "core-vs-meanfield plateau",
             "san-vs-meanfield plateau",
+            "core-vs-xl mean",
+            "core-vs-xl welch",
+            "core-vs-xl rank",
+            "xl-vs-meanfield plateau",
             "core-vs-meanfield growth",
         }
 
@@ -98,6 +103,7 @@ class TestDifferentialRun:
         two = run_differential_scenario(scenario, seed=5, replications=3)
         assert one.core_finals == two.core_finals
         assert one.san_finals == two.san_finals
+        assert one.xl_finals == two.xl_finals
 
     def test_impossible_tolerances_fail(self):
         strict = Tolerances(

@@ -117,6 +117,31 @@ class TestRecordAndCheck:
         with pytest.raises(ValueError, match="cache"):
             record_golden(tiny_config, "tiny", seed=11, scheduler=scheduler)
 
+    def test_cache_backed_scheduler_refused_for_xl(self, tiny_config, tmp_path):
+        # The refusal is engine-agnostic: an xl fixture served from the
+        # result cache would mask drift in the array engine just the same.
+        from repro.core.cache import ResultCache
+
+        xl_config = tiny_config.with_engine("xl")
+        scheduler = ReplicationScheduler(
+            processes=1, cache=ResultCache(tmp_path / "cache")
+        )
+        with pytest.raises(ValueError, match="cache"):
+            record_golden(xl_config, "tiny-xl", seed=11, scheduler=scheduler)
+        with pytest.raises(ValueError, match="cache"):
+            check_golden(
+                record_golden(xl_config, "tiny-xl", seed=11, replications=1),
+                scheduler=scheduler,
+            )
+
+    def test_xl_round_trip_no_drift(self, tiny_config, tmp_path):
+        document = record_golden(
+            tiny_config.with_engine("xl"), "tiny-xl", seed=11, replications=2
+        )
+        assert document["scenario"]["engine"] == "xl"
+        path = save_golden(document, tmp_path)
+        assert check_golden(load_golden(path)) == []
+
     def test_schema_version_enforced(self, tiny_config, tmp_path):
         document = record_golden(tiny_config, "tiny", seed=11, replications=1)
         document["golden_schema"] = 999
@@ -153,7 +178,13 @@ class TestCommittedFixtures:
 
     def test_fixtures_exist_and_are_canonical(self):
         paths = golden_paths(self.GOLDEN_DIR)
-        assert len(paths) >= 5, "expected the committed golden fixture set"
+        assert len(paths) >= 8, "expected the committed golden fixture set"
+        names = {p.stem for p in paths}
+        assert {"xl-virus1", "xl-virus3", "xl-virus1-responses"} <= names, (
+            "xl-engine fixtures missing; record them with "
+            "`python -m repro.validation record --scenarios xl-virus1 "
+            "xl-virus3 xl-virus1-responses`"
+        )
         for path in paths:
             raw = path.read_text(encoding="utf-8")
             document = json.loads(raw)
@@ -165,6 +196,13 @@ class TestCommittedFixtures:
     def test_fastest_fixture_replays_clean(self):
         # virus3 has the shortest horizon; tier-1 replays just this one.
         document = load_golden(self.GOLDEN_DIR / "virus3.json")
+        assert check_golden(document) == []
+
+    def test_fastest_xl_fixture_replays_clean(self):
+        # The 6 h virus-3 xl fixture replays in well under a second, so
+        # tier-1 also guards the array engine byte-for-byte.
+        document = load_golden(self.GOLDEN_DIR / "xl-virus3.json")
+        assert document["scenario"]["engine"] == "xl"
         assert check_golden(document) == []
 
     @pytest.mark.validation

@@ -1,0 +1,89 @@
+"""Small-N statistical equivalence: xl engine vs core DES vs mean field.
+
+The headline correctness deliverable of the xl engine: at the paper's
+population (N=1000) the array engine's infection dynamics must be
+statistically indistinguishable from the event-scheduled reference under
+the PR-2 gates, and must land on the analytic plateau
+``1 + 800 x P(ever accept) ~ 320``.
+
+These run full fig1-scale campaigns, so they carry the ``validation``
+marker (deselected from tier-1; run with ``-m validation``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.meanfield import (
+    expected_mean_field_plateau,
+    mean_field_for_scenario,
+)
+from repro.core.scenarios import baseline_scenario
+from repro.core.simulation import run_scenario
+from repro.validation.differential import run_campaign
+from repro.validation.gates import (
+    mean_equivalence_gate,
+    rank_gate,
+    welch_gate,
+)
+from repro.validation.scenarios import VALIDATION_SEED, matched_scenario
+
+pytestmark = pytest.mark.validation
+
+REPLICATIONS = 10
+
+
+def _finals(config, engine, reps=REPLICATIONS, seed=VALIDATION_SEED):
+    stamped = config.with_engine(engine)
+    return [
+        float(run_scenario(stamped, seed=seed, replication=rep).total_infected)
+        for rep in range(reps)
+    ]
+
+
+@pytest.mark.parametrize("virus", [1, 2, 3, 4])
+def test_fig1_small_n_equivalence_gates(virus):
+    """Full paper virus at N=1000: xl passes the PR-2 gates against core.
+
+    Unlike the matched campaign (which pins one graph), each replication
+    here samples its own topology from the same stream — the engines see
+    identical population-level draws, so this also covers the scalable
+    CSR generator's statistical agreement with the object generator.
+    """
+    horizon = {1: 168.0, 2: 48.0, 3: 24.0, 4: 240.0}[virus]
+    config = baseline_scenario(virus, duration=horizon)
+    core = _finals(config, "core")
+    xl = _finals(config, "xl")
+    gates = [
+        mean_equivalence_gate(
+            core, xl, absolute_margin=3.0, name=f"v{virus} mean"
+        ),
+        welch_gate(core, xl, alpha=0.01, name=f"v{virus} welch"),
+        rank_gate(core, xl, alpha=0.01, name=f"v{virus} rank"),
+    ]
+    failed = [g.format() for g in gates if not g.passed]
+    assert not failed, f"xl-vs-core gates failed for virus {virus}: {failed}"
+
+
+def test_fig1_xl_plateau_matches_mean_field():
+    """Virus 1 at its full 432 h horizon plateaus at ~320 infections."""
+    config = baseline_scenario(1)
+    plateau = expected_mean_field_plateau(mean_field_for_scenario(config))
+    assert plateau == pytest.approx(320.0, abs=2.0)
+    xl = _finals(config, "xl")
+    mean = float(np.mean(xl))
+    # ±25% band, matching the campaign's plateau tolerance.
+    assert abs(mean - plateau) / plateau < 0.25
+
+
+def test_matched_campaign_passes_with_xl_engine():
+    """The pinned-graph matched trio (core/SAN/xl) passes every gate."""
+    result = run_campaign(
+        scenarios=[matched_scenario(1), matched_scenario(3)],
+    )
+    assert result.passed, result.format_report()
+    for verdict in result.verdicts:
+        assert len(verdict.xl_finals) == verdict.scenario.replications
+        xl_gates = [g for g in verdict.gates if g.name.startswith("xl-vs")]
+        assert xl_gates, "campaign must gate the xl engine directly"

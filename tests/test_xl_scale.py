@@ -1,0 +1,73 @@
+"""Large-population smoke tests for the xl engine (slow marker).
+
+One seeded N=100k campaign under an explicit memory ceiling: the point of
+the xl engine is populations the object kernel cannot hold, so this
+asserts the engine actually delivers that scale — bounded peak RSS,
+sane epidemic shape — rather than merely not crashing.
+
+Excluded from tier-1 (and from the validation/bench suites); run with
+``-m slow``.  CI gives these a dedicated job.
+"""
+
+from __future__ import annotations
+
+import resource
+
+import numpy as np
+import pytest
+
+from repro.core.simulation import run_scenario
+from repro.xl import xl_scenario
+
+pytestmark = pytest.mark.slow
+
+#: Peak-RSS ceiling for the N=100k run, in MiB.  The run measures ~550 MiB
+#: (dominated by the 8M-edge CSR build); the ceiling is a regression
+#: tripwire against accidental per-phone object allocation, not a tight
+#: budget.
+RSS_CEILING_MIB = 1536
+
+
+def _peak_rss_mib() -> float:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+@pytest.fixture(scope="module")
+def hundred_k_result():
+    config = xl_scenario(1, "xl-100k", duration=96.0)
+    return run_scenario(config, seed=2007)
+
+
+def test_100k_population_run_within_memory_ceiling(hundred_k_result):
+    result = hundred_k_result
+    peak = _peak_rss_mib()
+    assert peak < RSS_CEILING_MIB, (
+        f"N=100k run peaked at {peak:.0f} MiB (ceiling {RSS_CEILING_MIB} MiB)"
+    )
+
+    assert result.population == 100_000
+    assert result.total_infected > 100, "epidemic failed to take off"
+    assert result.total_infected <= result.susceptible_count
+
+    # The cumulative infection curve is monotone with exact timestamps.
+    times = np.asarray(result.infection_times)
+    assert times.size == result.total_infected
+    assert np.all(np.diff(times) >= 0.0)
+    assert times[0] == 0.0
+    assert times[-1] <= result.final_time
+
+    counters = result.counters
+    assert counters["messages_sent"] > 0
+    assert counters["xl_rounds"] >= 1
+    assert counters["deliveries"] >= counters["attachments_accepted"]
+
+
+def test_100k_detection_fires_early(hundred_k_result):
+    """At 100k the 5th infection (detection) lands in the first hours."""
+    result = hundred_k_result
+    assert result.detection_time is not None
+    assert 0.0 < result.detection_time < result.final_time
+    # Detection is pinned to the 5th infection's exact timestamp.
+    assert result.detection_time == pytest.approx(
+        sorted(result.infection_times)[4]
+    )
