@@ -18,7 +18,6 @@ factor against a previously committed ``BENCH_<label>.json``.
 from __future__ import annotations
 
 import datetime
-import inspect
 import json
 import os
 import platform
@@ -26,13 +25,13 @@ import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.model import PhoneNetworkModel
 from ..core.parameters import NetworkParameters
 from ..core.scenarios import baseline_scenario
 from ..des.random import StreamFactory
-from ..experiments import get_experiment, run_experiment
+from ..experiments import get_experiment
 from ..obs.manifest import (
     MANIFEST_SCHEMA_VERSION,
     append_manifest,
@@ -42,8 +41,14 @@ from ..obs.manifest import (
 
 #: Format version of the BENCH_*.json documents.  Version 2 adds the run
 #: -manifest host section (``host``, ``manifest_schema``) so bench docs
-#: and run manifests share one provenance schema.
-BENCH_SCHEMA_VERSION = 2
+#: and run manifests share one provenance schema.  Version 3 splits
+#: one-off setup (model construction, topology generation) from the
+#: event-loop phase for single-replication workloads: ``build_seconds``
+#: and ``run_seconds`` appear alongside ``wall_seconds``, and
+#: ``events_per_second`` is computed over the *run* phase — the harness's
+#: documented "raw event-loop throughput" — instead of diluting it with
+#: setup cost that scales with population, not with events.
+BENCH_SCHEMA_VERSION = 3
 
 #: Master seed for every benchmark workload (the paper's year, matching
 #: the figure benchmarks in benchmarks/conftest.py).
@@ -52,28 +57,42 @@ BENCH_SEED = 2007
 
 @dataclass
 class WorkloadResult:
-    """Measured outcome of one workload."""
+    """Measured outcome of one workload.
+
+    ``wall_seconds`` is always the end-to-end time.  Workloads that can
+    separate one-off setup from event processing also report
+    ``build_seconds``/``run_seconds`` (summing to the wall), and their
+    ``events_per_second`` is computed over the run phase alone.
+    """
 
     name: str
     wall_seconds: float
     events: int
     detail: Dict[str, object] = field(default_factory=dict)
+    build_seconds: Optional[float] = None
+    run_seconds: Optional[float] = None
 
     @property
     def events_per_second(self) -> float:
         """Event-loop throughput (0 when the workload reports no events)."""
-        if self.wall_seconds <= 0 or self.events <= 0:
+        window = self.run_seconds if self.run_seconds is not None else self.wall_seconds
+        if window <= 0 or self.events <= 0:
             return 0.0
-        return self.events / self.wall_seconds
+        return self.events / window
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable form."""
-        return {
+        document: Dict[str, object] = {
             "wall_seconds": round(self.wall_seconds, 4),
             "events": self.events,
             "events_per_second": round(self.events_per_second, 1),
             "detail": self.detail,
         }
+        if self.build_seconds is not None:
+            document["build_seconds"] = round(self.build_seconds, 4)
+        if self.run_seconds is not None:
+            document["run_seconds"] = round(self.run_seconds, 4)
+        return document
 
 
 @dataclass(frozen=True)
@@ -91,15 +110,6 @@ class Workload:
         return self.runner(processes)
 
 
-def _run_experiment_compat(spec, replications, seed, processes):
-    """Forward ``processes`` to run_experiment only if it accepts it."""
-    kwargs = {"replications": replications, "seed": seed}
-    accepted = inspect.signature(run_experiment).parameters
-    if "processes" in accepted:
-        kwargs["processes"] = processes
-    return run_experiment(spec, **kwargs)
-
-
 def _single_replication(
     name: str,
     virus: int,
@@ -110,12 +120,15 @@ def _single_replication(
         config = baseline_scenario(virus, network=network)
         start = time.perf_counter()
         model = PhoneNetworkModel(config, StreamFactory(BENCH_SEED).replication(0))
+        built = time.perf_counter()
         model.seed_infection()
         model.run()
-        wall = time.perf_counter() - start
+        finished = time.perf_counter()
         return WorkloadResult(
             name=name,
-            wall_seconds=wall,
+            wall_seconds=finished - start,
+            build_seconds=built - start,
+            run_seconds=finished - built,
             events=model.sim.events_fired,
             detail={
                 "kind": "single_replication",
@@ -135,28 +148,44 @@ def _xl_replication(
     preset: str,
     duration: Optional[float] = None,
 ) -> Callable[[int], WorkloadResult]:
-    """One seeded replication on the array-backed xl engine."""
+    """One seeded replication on the array-backed xl engine.
+
+    Drives :class:`~repro.xl.engine.XLEngine` directly (the same calls
+    :func:`~repro.xl.engine.run_scenario_xl` makes, so results are
+    identical) to time topology/state construction separately from the
+    round loop, and records the process's peak RSS after the run — the
+    memory-ceiling evidence for the large presets.
+    """
 
     def runner(processes: int) -> WorkloadResult:
-        from ..core.simulation import run_scenario
+        import resource
+
+        from ..xl.engine import XLEngine
         from ..xl.presets import xl_scenario
 
         config = xl_scenario(virus, preset, duration=duration)
         start = time.perf_counter()
-        result = run_scenario(config, seed=BENCH_SEED, replication=0)
-        wall = time.perf_counter() - start
+        engine = XLEngine(config, StreamFactory(BENCH_SEED).replication(0))
+        built = time.perf_counter()
+        engine.seed_infection()
+        engine.run()
+        finished = time.perf_counter()
+        peak_rss_mib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
         return WorkloadResult(
             name=name,
-            wall_seconds=wall,
-            events=int(result.counters["events_fired"]),
+            wall_seconds=finished - start,
+            build_seconds=built - start,
+            run_seconds=finished - built,
+            events=int(engine.counters["events_fired"]),
             detail={
                 "kind": "xl_replication",
                 "virus": virus,
                 "preset": preset,
                 "population": config.network.population,
                 "duration_hours": config.duration,
-                "final_infected": result.total_infected,
-                "rounds": int(result.counters["xl_rounds"]),
+                "final_infected": len(engine.infection_times),
+                "rounds": int(engine.counters["xl_rounds"]),
+                "peak_rss_mib": round(peak_rss_mib, 1),
             },
         )
 
@@ -170,26 +199,36 @@ def _experiment(
     use_processes: bool = False,
 ) -> Callable[[int], WorkloadResult]:
     def runner(processes: int) -> WorkloadResult:
+        from ..experiments.scheduler import ReplicationScheduler
+
         spec = get_experiment(experiment_id)
         reps = replications if replications is not None else spec.default_replications
         workers = processes if use_processes else 1
         start = time.perf_counter()
-        result = _run_experiment_compat(spec, reps, BENCH_SEED, workers)
+        # Drive the scheduler directly (run_experiment does exactly this)
+        # so the dispatch-planning decisions — did the cost model keep the
+        # pool or degrade to serial? — land in the bench document.
+        with ReplicationScheduler(processes=workers) as scheduler:
+            result = scheduler.run_experiment(spec, replications=reps, seed=BENCH_SEED)
+            decisions = list(scheduler.dispatch_decisions)
         wall = time.perf_counter() - start
         events = sum(
             rs.counter_total("events_fired") for rs in result.series_results.values()
         )
+        detail = {
+            "kind": "experiment",
+            "experiment_id": experiment_id,
+            "series": len(spec.series),
+            "replications": reps,
+            "processes": workers,
+        }
+        if decisions:
+            detail["dispatch_decisions"] = decisions
         return WorkloadResult(
             name=name,
             wall_seconds=wall,
             events=events,
-            detail={
-                "kind": "experiment",
-                "experiment_id": experiment_id,
-                "series": len(spec.series),
-                "replications": reps,
-                "processes": workers,
-            },
+            detail=detail,
         )
 
     return runner
@@ -245,6 +284,17 @@ WORKLOADS: Dict[str, Workload] = {
             smoke=False,
             runner=_xl_replication(
                 "xl-100k-v1", virus=1, preset="xl-100k", duration=96.0
+            ),
+        ),
+        Workload(
+            name="xl-1M-v1",
+            description=(
+                "Virus 1 baseline on the xl engine at 1,000,000 phones (96 h); "
+                "topology-build dominated, records peak RSS"
+            ),
+            smoke=False,
+            runner=_xl_replication(
+                "xl-1M-v1", virus=1, preset="xl-1m", duration=96.0
             ),
         ),
     )
@@ -365,8 +415,138 @@ def compare_to_baseline(
     return regressions
 
 
+def compare_documents(
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    threshold_pct: float = 10.0,
+) -> List[Dict[str, object]]:
+    """Per-workload deltas between two bench documents.
+
+    One row per workload in either document.  Workloads present in both
+    get wall-clock and throughput deltas and a status: ``regressed`` when
+    the current wall clock exceeds the baseline by more than
+    ``threshold_pct`` percent, ``ok`` otherwise.  Workloads only in one
+    document get status ``added``/``removed`` (never a failure — the
+    suite is allowed to grow).
+    """
+    if threshold_pct < 0:
+        raise ValueError(f"threshold_pct must be >= 0, got {threshold_pct}")
+    base_workloads = baseline.get("workloads", {})
+    cur_workloads = current.get("workloads", {})
+    rows: List[Dict[str, object]] = []
+    for name, measured in cur_workloads.items():
+        reference = base_workloads.get(name)
+        if reference is None:
+            rows.append(
+                {
+                    "name": name,
+                    "status": "added",
+                    "current_wall_seconds": float(measured["wall_seconds"]),
+                    "current_events_per_second": float(
+                        measured.get("events_per_second", 0.0)
+                    ),
+                }
+            )
+            continue
+        base_wall = float(reference["wall_seconds"])
+        cur_wall = float(measured["wall_seconds"])
+        delta_pct = (cur_wall / base_wall - 1.0) * 100.0 if base_wall > 0 else 0.0
+        regressed = base_wall > 0 and delta_pct > threshold_pct
+        rows.append(
+            {
+                "name": name,
+                "status": "regressed" if regressed else "ok",
+                "baseline_wall_seconds": base_wall,
+                "current_wall_seconds": cur_wall,
+                "delta_pct": round(delta_pct, 1),
+                "baseline_events_per_second": float(
+                    reference.get("events_per_second", 0.0)
+                ),
+                "current_events_per_second": float(
+                    measured.get("events_per_second", 0.0)
+                ),
+            }
+        )
+    for name in base_workloads:
+        if name not in cur_workloads:
+            rows.append({"name": name, "status": "removed"})
+    return rows
+
+
+def format_comparison(rows: List[Dict[str, object]]) -> str:
+    """Render :func:`compare_documents` rows as an aligned delta table."""
+    headers = ("workload", "old wall", "new wall", "delta", "old ev/s", "new ev/s", "status")
+    table: List[Tuple[str, ...]] = [headers]
+    for row in rows:
+        if row["status"] in ("added", "removed"):
+            table.append(
+                (
+                    str(row["name"]),
+                    "-",
+                    f"{row['current_wall_seconds']:.2f}s"
+                    if "current_wall_seconds" in row
+                    else "-",
+                    "-",
+                    "-",
+                    f"{row['current_events_per_second']:,.0f}"
+                    if "current_events_per_second" in row
+                    else "-",
+                    str(row["status"]),
+                )
+            )
+            continue
+        table.append(
+            (
+                str(row["name"]),
+                f"{row['baseline_wall_seconds']:.2f}s",
+                f"{row['current_wall_seconds']:.2f}s",
+                f"{row['delta_pct']:+.1f}%",
+                f"{row['baseline_events_per_second']:,.0f}",
+                f"{row['current_events_per_second']:,.0f}",
+                str(row["status"]),
+            )
+        )
+    widths = [max(len(entry[i]) for entry in table) for i in range(len(headers))]
+    lines = []
+    for entry in table:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(entry)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def check_floors(
+    document: Dict[str, object], floors: Sequence[str]
+) -> List[str]:
+    """Evaluate ``NAME:EVPS`` throughput floors against a bench document.
+
+    Returns one failure line per violated (or unmeasured) floor; an empty
+    list means every floor held.
+    """
+    failures: List[str] = []
+    workloads = document.get("workloads", {})
+    for floor in floors:
+        name, _, raw = floor.partition(":")
+        try:
+            minimum = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"invalid floor {floor!r}: expected NAME:EVENTS_PER_SECOND"
+            ) from None
+        measured = workloads.get(name)
+        if measured is None:
+            failures.append(f"{name}: not present in the bench document")
+            continue
+        rate = float(measured.get("events_per_second", 0.0))
+        if rate < minimum:
+            failures.append(
+                f"{name}: {rate:,.0f} ev/s below the {minimum:,.0f} ev/s floor"
+            )
+    return failures
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI for the harness: ``run`` (full suite) and ``smoke`` (quick gate)."""
+    """CLI for the harness: ``run``, ``compare`` (delta gate), ``smoke``."""
     import argparse
 
     parser = argparse.ArgumentParser(
@@ -389,6 +569,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_parser.add_argument(
         "--metrics", default=None, metavar="PATH",
         help="append one run-manifest JSONL record per workload to PATH",
+    )
+
+    compare_parser = sub.add_parser(
+        "compare",
+        help="diff two BENCH documents; non-zero exit on regression",
+    )
+    compare_parser.add_argument("baseline", help="older BENCH_<label>.json")
+    compare_parser.add_argument("current", help="newer BENCH_<label>.json")
+    compare_parser.add_argument(
+        "--threshold", type=float, default=10.0, metavar="PCT",
+        help="allowed wall-clock growth per workload, in percent "
+        "(default 10; CI uses a generous 40 to ride out VM noise)",
+    )
+    compare_parser.add_argument(
+        "--floor", action="append", default=[], metavar="NAME:EVPS",
+        help="additionally fail unless workload NAME reports at least "
+        "EVPS events per second (repeatable)",
     )
 
     smoke_parser = sub.add_parser(
@@ -417,6 +614,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         path = write_bench(document, args.out_dir)
         print(f"wrote {path}")
+        return 0
+
+    if args.command == "compare":
+        for path in (args.baseline, args.current):
+            if not Path(path).exists():
+                print(f"bench document {path} not found", file=sys.stderr)
+                return 2
+        baseline = load_bench(args.baseline)
+        document = load_bench(args.current)
+        rows = compare_documents(baseline, document, threshold_pct=args.threshold)
+        print(format_comparison(rows))
+        failures = [row for row in rows if row["status"] == "regressed"]
+        floor_failures = check_floors(document, args.floor)
+        for row in failures:
+            print(
+                f"REGRESSION {row['name']}: {row['current_wall_seconds']:.2f}s vs "
+                f"{row['baseline_wall_seconds']:.2f}s "
+                f"({row['delta_pct']:+.1f}% > +{args.threshold:g}%)",
+                file=sys.stderr,
+            )
+        for line in floor_failures:
+            print(f"FLOOR {line}", file=sys.stderr)
+        if failures or floor_failures:
+            return 1
+        print(
+            f"compare ok: no workload regressed past +{args.threshold:g}%"
+            + (f", {len(args.floor)} floor(s) held" if args.floor else "")
+        )
         return 0
 
     if args.command == "smoke":
@@ -453,7 +678,10 @@ __all__ = [
     "WorkloadResult",
     "WORKLOADS",
     "bench_path",
+    "check_floors",
+    "compare_documents",
     "compare_to_baseline",
+    "format_comparison",
     "load_bench",
     "main",
     "run_workloads",

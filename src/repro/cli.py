@@ -68,6 +68,13 @@ def _add_scheduler_args(parser: argparse.ArgumentParser) -> None:
         "bit-identical either way)",
     )
     parser.add_argument(
+        "--no-auto-degrade", action="store_true",
+        help="always dispatch to the worker pool when --processes > 1, "
+        "even when the scheduler's cost model projects the pool would "
+        "lose to serial (the projection and decision are still logged "
+        "to the run manifest)",
+    )
+    parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the on-disk replication result cache",
     )
@@ -136,6 +143,7 @@ def _make_scheduler(
         metrics=metrics,
         resilience=resilience,
         checkpoint=checkpoint,
+        auto_degrade=not getattr(args, "no_auto_degrade", False),
     )
 
 
@@ -276,6 +284,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile_parser.add_argument(
         "--virus", type=int, choices=(1, 2, 3, 4), default=1
+    )
+    profile_parser.add_argument(
+        "--engine", choices=("core", "xl"), default="core",
+        help="core = per-event-label DES breakdown; "
+        "xl = per-round phase breakdown on the array engine",
+    )
+    profile_parser.add_argument(
+        "--preset", default="xl-10k",
+        help="xl population preset (xl engine only)",
     )
     profile_parser.add_argument("--population", type=int, default=None)
     profile_parser.add_argument("--duration", type=float, default=None,
@@ -492,15 +509,23 @@ def _command_scenario(args: argparse.Namespace) -> int:
 
 def _command_profile(args: argparse.Namespace) -> int:
     from .obs.manifest import append_manifest, build_manifest
-    from .obs.profile import run_profile
+    from .obs.profile import run_profile, run_profile_xl
 
-    report = run_profile(
-        virus=args.virus,
-        population=args.population,
-        duration=args.duration,
-        max_events=args.max_events,
-        seed=args.seed,
-    )
+    if args.engine == "xl":
+        report = run_profile_xl(
+            virus=args.virus,
+            preset=args.preset,
+            duration=args.duration,
+            seed=args.seed,
+        )
+    else:
+        report = run_profile(
+            virus=args.virus,
+            population=args.population,
+            duration=args.duration,
+            max_events=args.max_events,
+            seed=args.seed,
+        )
     print(report.format(top=args.top))
     if args.metrics:
         sections = report.manifest_sections()

@@ -87,18 +87,21 @@ class MMSGateway:
         if not message.recipients:
             raise ValueError("gateway received a message with no valid recipients")
         self.messages_processed += 1
-        now = self.sim.now
-        for message_filter in self._filters:
-            if message_filter(message, now):
-                self.messages_blocked += 1
-                return False
+        if self._filters:
+            now = self.sim.now
+            for message_filter in self._filters:
+                if message_filter(message, now):
+                    self.messages_blocked += 1
+                    return False
         if self._service is not None:
             self._enqueue(message)
         elif self._delay is None:
             self._deliver(message)
         else:
             delay = self._delay.sample(self.rng)
-            self.sim.schedule(delay, lambda: self._deliver(message), label="deliver")
+            self.sim.schedule_fast(
+                delay, lambda: self._deliver(message), label="deliver"
+            )
         return True
 
     # -- finite-capacity queueing -------------------------------------------

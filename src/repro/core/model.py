@@ -36,7 +36,7 @@ from .gateway import MMSGateway
 from .messages import MessageIdAllocator, MMSMessage
 from .metrics import ModelMetrics
 from .parameters import ScenarioConfig
-from .phone import Phone
+from .phone import Phone, PhoneState
 from .responses import ResponseMechanism, build_mechanism
 from .virus import VirusEngine
 
@@ -90,6 +90,11 @@ class PhoneNetworkModel:
         self._user_rng = streams.stream("user")
         self._message_ids = MessageIdAllocator()
         self._read_delay: Distribution = config.user.read_delay_distribution()
+        # Per-event bound-method caches: the send/receive path runs once
+        # per kernel event, so each saved attribute hop is paid back tens
+        # of thousands of times per replication.
+        self._count = self.metrics.count
+        self._schedule_fast = self.sim.schedule_fast
 
         # Response mechanisms attach before any event fires so that
         # detection subscriptions and acceptance scaling are in place.
@@ -199,7 +204,7 @@ class PhoneNetworkModel:
             phone.start_new_period(now)
             if phone.actively_spreading and phone.pending_send is None:
                 self._schedule_send(phone, self.virus.sample_send_interval(self._virus_rng))
-        self.sim.schedule(
+        self._schedule_fast(
             self.config.virus.limit_window, self._global_window_tick, label="window_tick"
         )
 
@@ -212,21 +217,24 @@ class PhoneNetworkModel:
         phone.pending_send = None
         if not phone.actively_spreading:
             return
+        virus = self.virus
+        count = self._count
         now = self.sim.now
-        self.virus.advance_window(phone, now)
-        if self.virus.budget_exhausted(phone):
-            reset_time = self.virus.next_budget_reset(phone)
+        if virus.uses_lazy_windows:
+            virus.advance_window(phone, now)
+        if virus.budget_exhausted(phone):
+            reset_time = virus.next_budget_reset(phone)
             if reset_time is not None:
                 # Fixed window: retry the moment the budget resets.
                 self._schedule_send(phone, max(0.0, reset_time - now))
             # Reboot-limited budgets resume from the reboot handler.
-            self.metrics.count("sends_deferred_by_budget")
+            count("sends_deferred_by_budget")
             return
 
-        recipients, invalid = self.virus.select_targets(phone, self._virus_rng)
+        recipients, invalid = virus.select_targets(phone, self._virus_rng)
         if not recipients and invalid == 0:
             # Isolated phone with contact-list targeting: nothing to attack.
-            self.metrics.count("sends_abandoned_no_contacts")
+            count("sends_abandoned_no_contacts")
             return
         message = MMSMessage(
             message_id=self._message_ids.next_id(),
@@ -236,11 +244,12 @@ class PhoneNetworkModel:
             infected=True,
             invalid_dials=invalid,
         )
-        phone.record_send(now, self.virus.budget_units(message.addressed_count))
-        self.metrics.count("messages_sent")
-        self.metrics.count("recipients_addressed", message.addressed_count)
+        addressed = len(recipients) + invalid
+        phone.record_send(now, virus.budget_units(addressed))
+        count("messages_sent")
+        count("recipients_addressed", addressed)
         if invalid:
-            self.metrics.count("invalid_dials", invalid)
+            count("invalid_dials", invalid)
 
         if self.sim.tracer.enabled:
             self.sim.tracer.record(
@@ -250,17 +259,19 @@ class PhoneNetworkModel:
                 recipients=len(message.recipients),
                 invalid=message.invalid_dials,
             )
-        for mechanism in self.mechanisms:
-            mechanism.on_message_sent(phone, message, now)
+        if self.mechanisms:
+            for mechanism in self.mechanisms:
+                mechanism.on_message_sent(phone, message, now)
 
-        if message.recipients:
+        if recipients:
             self.gateway.submit(message)
 
         if not phone.actively_spreading:
             return  # blacklisted by the message just sent
-        interval = self.virus.sample_send_interval(self._virus_rng)
-        for mechanism in self.mechanisms:
-            interval = mechanism.adjust_send_interval(phone, interval, now)
+        interval = virus.sample_send_interval(self._virus_rng)
+        if self.mechanisms:
+            for mechanism in self.mechanisms:
+                interval = mechanism.adjust_send_interval(phone, interval, now)
         self._schedule_send(phone, interval)
 
     def _schedule_reboot(self, phone: Phone) -> None:
@@ -287,7 +298,7 @@ class PhoneNetworkModel:
     def _schedule_bluetooth_encounter(self, phone: Phone) -> None:
         rate = self.config.virus.bluetooth_rate
         delay = float(self._virus_rng.exponential(1.0 / rate))
-        self.sim.schedule(
+        self._schedule_fast(
             delay, lambda: self._bluetooth_encounter(phone), label="bt_encounter"
         )
 
@@ -311,19 +322,21 @@ class PhoneNetworkModel:
 
     def _deliver_message(self, message: MMSMessage) -> None:
         now = self.sim.now
-        self.metrics.count("deliveries", len(message.recipients))
+        self._count("deliveries", len(message.recipients))
+        phones = self.phones
+        receive = self._receive
         for recipient_id in message.recipients:
-            self._receive(self.phones[recipient_id], now)
+            receive(phones[recipient_id], now)
 
     def _receive(self, phone: Phone, now: float) -> None:
-        if phone.can_become_infected:
+        if phone.susceptible and phone.state is PhoneState.UNINFECTED:
             accepted = phone.consent.receive_and_decide(
                 self._effective_acceptance_factor, self._user_rng
             )
             if accepted:
-                self.metrics.count("attachments_accepted")
+                self._count("attachments_accepted")
                 delay = self._read_delay.sample(self._user_rng)
-                self.sim.schedule(
+                self._schedule_fast(
                     delay, lambda p=phone: self._install(p), label="install"
                 )
         else:

@@ -43,6 +43,12 @@ IndexedJob = Tuple[int, ScenarioConfig, int, int]
 #: Upper bound on imap chunk size; small enough to keep workers balanced.
 _MAX_CHUNK = 8
 
+#: Cost model for the dispatch-planning heuristics.  Calibrated
+#: conservatively for the fork start method (spawn costs more, which only
+#: makes degrading to serial *more* correct when the model says to).
+POOL_STARTUP_SECONDS = 0.25
+DISPATCH_SECONDS_PER_CHUNK = 0.004
+
 
 def mp_context():
     """An explicitly chosen multiprocessing context.
@@ -66,10 +72,59 @@ def default_process_count() -> int:
 
 
 def chunk_size_for(job_count: int, processes: int) -> int:
-    """Chunk size balancing dispatch overhead against tail latency."""
-    if job_count <= 0 or processes <= 0:
+    """Chunk size balancing dispatch overhead against tail latency.
+
+    Targets about two chunks per worker: small campaigns (a figure's 30
+    replications on 4 workers) ship in a handful of pickled batches
+    instead of one IPC round-trip per job, while the second wave still
+    rebalances a straggling worker.
+    """
+    if job_count <= 0 or processes <= 1:
         return 1
-    return max(1, min(_MAX_CHUNK, job_count // (processes * 4) or 1))
+    per_worker_waves = -(-job_count // (processes * 2))  # ceil
+    return max(1, min(_MAX_CHUNK, per_worker_waves))
+
+
+def effective_parallelism(processes: int, job_count: Optional[int] = None) -> int:
+    """Worker slots that can actually run simultaneously.
+
+    Requested workers are capped by physical cores (oversubscribed pools
+    time-slice, they don't speed up) and by the job count.
+    """
+    cap = min(processes, os.cpu_count() or 1)
+    if job_count is not None:
+        cap = min(cap, job_count)
+    return max(1, cap)
+
+
+def projected_speedup(
+    job_count: int,
+    processes: int,
+    est_job_seconds: float,
+    pool_started: bool = False,
+) -> float:
+    """Estimated serial-wall over parallel-wall ratio for one batch.
+
+    The parallel estimate charges pool startup (waived when the
+    persistent pool is already running), one dispatch round-trip per
+    chunk, and perfect work division across the effective workers — an
+    optimistic parallel model, so a projection below 1.0 is a confident
+    "serial wins" signal.
+    """
+    if job_count <= 0 or processes <= 1:
+        return 1.0
+    workers = effective_parallelism(processes, job_count)
+    serial = job_count * max(est_job_seconds, 0.0)
+    chunk = chunk_size_for(job_count, processes)
+    chunks = -(-job_count // chunk)
+    parallel = (
+        (0.0 if pool_started else POOL_STARTUP_SECONDS)
+        + chunks * DISPATCH_SECONDS_PER_CHUNK
+        + serial / workers
+    )
+    if parallel <= 0.0:
+        return 1.0
+    return serial / parallel
 
 
 def _run_indexed(job: IndexedJob) -> Tuple[int, ScenarioResult]:
@@ -162,6 +217,11 @@ class WorkerPool:
             self._pool.join()
             self._pool = None
 
+    @property
+    def started(self) -> bool:
+        """True once worker processes exist (startup cost already paid)."""
+        return self._pool is not None
+
     def _ensure_pool(self):
         if self._pool is None:
             self._pool = mp_context().Pool(self.processes)
@@ -239,12 +299,16 @@ def replicate_scenario_parallel(
 
 
 __all__ = [
+    "DISPATCH_SECONDS_PER_CHUNK",
     "IndexedJob",
+    "POOL_STARTUP_SECONDS",
     "START_METHOD_ENV",
     "WorkerPool",
     "chunk_size_for",
     "default_process_count",
+    "effective_parallelism",
     "mp_context",
+    "projected_speedup",
     "replicate_scenario_parallel",
     "run_indexed_job",
 ]

@@ -26,6 +26,16 @@ class VirusEngine:
         self.population = population
         self._interval_dist: Distribution = parameters.send_interval_distribution()
         self._reboot_dist: Distribution = parameters.reboot_distribution()
+        # Budget-mode flags are fixed for the engine's lifetime; plain
+        # attributes keep them off the per-send property-dispatch path.
+        self.uses_reboot_limit = parameters.limit_period is LimitPeriod.REBOOT
+        self.uses_window_limit = parameters.limit_period is LimitPeriod.FIXED_WINDOW
+        self.uses_global_windows = (
+            self.uses_window_limit and parameters.global_limit_windows
+        )
+        #: True when :meth:`advance_window` can ever change phone state —
+        #: callers skip the call entirely otherwise.
+        self.uses_lazy_windows = self.uses_window_limit and not self.uses_global_windows
 
     # -- pacing -------------------------------------------------------------
 
@@ -48,21 +58,6 @@ class VirusEngine:
 
     # -- budgets --------------------------------------------------------------
 
-    @property
-    def uses_reboot_limit(self) -> bool:
-        """True when the message budget resets at phone reboots."""
-        return self.parameters.limit_period is LimitPeriod.REBOOT
-
-    @property
-    def uses_window_limit(self) -> bool:
-        """True when the message budget resets each fixed window."""
-        return self.parameters.limit_period is LimitPeriod.FIXED_WINDOW
-
-    @property
-    def uses_global_windows(self) -> bool:
-        """True when the fixed windows are anchored to the global clock."""
-        return self.uses_window_limit and self.parameters.global_limit_windows
-
     def advance_window(self, phone: Phone, now: float) -> None:
         """Roll the phone's fixed limit window forward to contain ``now``.
 
@@ -70,7 +65,7 @@ class VirusEngine:
         event instead, so the budget becomes available only *at* each
         boundary.
         """
-        if not self.uses_window_limit or self.uses_global_windows:
+        if not self.uses_lazy_windows:
             return
         window = self.parameters.limit_window
         while now >= phone.period_start + window:
@@ -135,15 +130,21 @@ class VirusEngine:
                 k = min(k, max(0, remaining))
                 if k == 0:
                     return ((), 0)
-            start = phone.next_contact_index % len(contacts)
-            if k == len(contacts):
+            size = len(contacts)
+            start = phone.next_contact_index % size
+            if k == size:
                 recipients = contacts
                 phone.next_contact_index = start  # cursor irrelevant
+            elif k == 1:
+                # Single-recipient pacing (Virus 1/3/4 with contact lists)
+                # is the hottest targeting path; skip the genexpr.
+                recipients = (contacts[start],)
+                phone.next_contact_index = start + 1 if start + 1 < size else 0
             else:
                 recipients = tuple(
-                    contacts[(start + i) % len(contacts)] for i in range(k)
+                    contacts[(start + i) % size] for i in range(k)
                 )
-                phone.next_contact_index = (start + k) % len(contacts)
+                phone.next_contact_index = (start + k) % size
             return (recipients, 0)
 
         # Random dialing.

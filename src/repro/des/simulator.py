@@ -87,7 +87,26 @@ class Simulator:
         """Schedule ``callback`` to fire ``delay`` time units from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule with negative delay {delay}")
-        return self.schedule_at(self._now + delay, callback, priority, label)
+        event = self._queue.push_event(self._now + delay, callback, priority, label)
+        return _TrackedHandle(event, self._queue)
+
+    def schedule_fast(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> None:
+        """Schedule a fire-and-forget callback ``delay`` time units from now.
+
+        Identical queue semantics to :meth:`schedule` (same ordering, same
+        sequence numbering) but returns no handle, so call sites that never
+        cancel — deliveries, installs, periodic ticks — skip one handle
+        allocation per event on the hot path.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule with negative delay {delay}")
+        self._queue.push_event(self._now + delay, callback, priority, label)
 
     def schedule_at(
         self,
@@ -144,7 +163,10 @@ class Simulator:
         fired_this_run = 0
         # Hot loop: pop_due does one heap traversal per event (skip-dead +
         # horizon check + pop combined), and the queue/tracer/metrics
-        # lookups are hoisted out of the loop.
+        # lookups are hoisted out of the loop.  The loop *kernel* is chosen
+        # once per run: with tracing and telemetry off and no per-event
+        # predicates, the tight loop in :meth:`_run_plain` fires callbacks
+        # with zero instrumentation branches per event.
         queue = self._queue
         pop_due = queue.pop_due
         tracer = self.tracer
@@ -153,36 +175,45 @@ class Simulator:
         time_events = metrics.time_events
         run_start = perf_counter() if collect else 0.0
         limit = math.inf if until is None else until
+        plain = (
+            not collect
+            and not tracer.enabled
+            and max_events is None
+            and stop_when is None
+        )
         try:
-            while True:
-                if self._stop_requested:
-                    break
-                if max_events is not None and fired_this_run >= max_events:
-                    break
-                event, next_time = pop_due(limit)
-                if event is None:
-                    if next_time is None:
-                        if until is not None:
-                            self._now = max(self._now, until)
+            if plain:
+                fired_this_run = self._run_plain(pop_due, limit, until)
+            else:
+                while True:
+                    if self._stop_requested:
+                        break
+                    if max_events is not None and fired_this_run >= max_events:
+                        break
+                    event, next_time = pop_due(limit)
+                    if event is None:
+                        if next_time is None:
+                            if until is not None:
+                                self._now = max(self._now, until)
+                        else:
+                            self._now = until
+                        break
+                    self._now = next_time
+                    self._events_fired += 1
+                    fired_this_run += 1
+                    if tracer.enabled and event.label:
+                        tracer.record(next_time, "event", event.label)
+                    if time_events:
+                        started = perf_counter()
+                        event.callback()
+                        metrics.observe(
+                            "event." + (event.label or "unlabeled"),
+                            perf_counter() - started,
+                        )
                     else:
-                        self._now = until
-                    break
-                self._now = next_time
-                self._events_fired += 1
-                fired_this_run += 1
-                if tracer.enabled and event.label:
-                    tracer.record(next_time, "event", event.label)
-                if time_events:
-                    started = perf_counter()
-                    event.callback()
-                    metrics.observe(
-                        "event." + (event.label or "unlabeled"),
-                        perf_counter() - started,
-                    )
-                else:
-                    event.callback()
-                if stop_when is not None and stop_when():
-                    break
+                        event.callback()
+                    if stop_when is not None and stop_when():
+                        break
         finally:
             self._running = False
             if collect:
@@ -198,6 +229,33 @@ class Simulator:
         for hook in self._end_hooks:
             hook()
         return self._now
+
+    def _run_plain(self, pop_due, limit: float, until: Optional[float]) -> int:
+        """Uninstrumented run-loop kernel (tracing/telemetry/predicates off).
+
+        Event and clock semantics are identical to the general loop in
+        :meth:`run`; the only difference is that no per-event branch ever
+        consults the tracer, the metrics registry, ``max_events``, or
+        ``stop_when``.  The fired count folds into ``_events_fired`` even
+        when a callback raises.
+        """
+        fired = 0
+        try:
+            while not self._stop_requested:
+                event, next_time = pop_due(limit)
+                if event is None:
+                    if next_time is None:
+                        if until is not None:
+                            self._now = max(self._now, until)
+                    else:
+                        self._now = until
+                    break
+                self._now = next_time
+                fired += 1
+                event.callback()
+        finally:
+            self._events_fired += fired
+        return fired
 
     def step(self) -> bool:
         """Fire exactly one event.  Returns ``False`` when the queue is empty."""

@@ -28,6 +28,7 @@ def run_experiment(
     processes: int = 1,
     cache: Optional[ResultCache] = None,
     resilience: Optional[RetryPolicy] = None,
+    auto_degrade: bool = True,
 ) -> ExperimentResult:
     """Run every series of ``spec`` with ``replications`` replications.
 
@@ -37,12 +38,17 @@ def run_experiment(
     (series x replication) jobs go through one
     :class:`~repro.experiments.scheduler.ReplicationScheduler`:
     ``processes=1`` is the inline serial path (bit-identical regardless of
-    worker count), ``cache`` skips already-computed replications, and
+    worker count), ``cache`` skips already-computed replications,
     ``resilience`` runs pending jobs under the supervised pool (retries,
-    timeouts, quarantine — see :mod:`repro.resilience`).
+    timeouts, quarantine — see :mod:`repro.resilience`), and
+    ``auto_degrade`` lets the scheduler run a batch inline when its cost
+    model projects the pool would lose to serial.
     """
     with ReplicationScheduler(
-        processes=processes, cache=cache, resilience=resilience
+        processes=processes,
+        cache=cache,
+        resilience=resilience,
+        auto_degrade=auto_degrade,
     ) as scheduler:
         return scheduler.run_experiment(spec, replications=replications, seed=seed)
 
@@ -54,10 +60,14 @@ def run_experiment_batch(
     processes: int = 1,
     cache: Optional[ResultCache] = None,
     resilience: Optional[RetryPolicy] = None,
+    auto_degrade: bool = True,
 ) -> List[ExperimentResult]:
     """Run several specs as one flattened job list on one scheduler."""
     with ReplicationScheduler(
-        processes=processes, cache=cache, resilience=resilience
+        processes=processes,
+        cache=cache,
+        resilience=resilience,
+        auto_degrade=auto_degrade,
     ) as scheduler:
         return scheduler.run_batch(specs, replications=replications, seed=seed)
 

@@ -36,6 +36,7 @@ latest progress.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -53,7 +54,12 @@ from typing import (
 )
 
 from ..core.cache import ResultCache, result_key
-from ..core.parallel import IndexedJob, WorkerPool
+from ..core.parallel import (
+    IndexedJob,
+    WorkerPool,
+    effective_parallelism,
+    projected_speedup,
+)
 from ..core.parameters import ScenarioConfig
 from ..core.simulation import ReplicationSet, ScenarioResult
 from ..obs.metrics import NULL_METRICS, Metrics
@@ -61,6 +67,11 @@ from ..resilience.checkpoint import CampaignCheckpoint
 from ..resilience.policy import RetryPolicy
 from ..resilience.supervisor import FailureEvent, SupervisedWorkerPool
 from .spec import ExperimentResult, ExperimentSpec
+
+
+#: Prior for one replication's runtime before any batch has calibrated
+#: the estimate — roughly one small-population figure replication.
+DEFAULT_JOB_SECONDS = 0.05
 
 
 @dataclass(frozen=True)
@@ -152,6 +163,7 @@ class ReplicationScheduler:
         resilience: Optional[RetryPolicy] = None,
         checkpoint: Optional[CampaignCheckpoint] = None,
         fault_plan: Optional[Any] = None,
+        auto_degrade: bool = True,
     ) -> None:
         if processes < 1:
             raise ValueError(f"processes must be >= 1, got {processes}")
@@ -159,6 +171,17 @@ class ReplicationScheduler:
         self.cache = cache
         self._pool = pool if pool is not None else WorkerPool(processes)
         self._owns_pool = pool is None
+        #: When True, each batch is cost-modelled before dispatch and runs
+        #: inline when the pool is projected to lose to serial (small
+        #: campaigns, oversubscribed hosts).  Results are bit-identical
+        #: either way; only wall clock and the logged decision differ.
+        #: Planning never applies to externally injected pools.
+        self.auto_degrade = auto_degrade
+        #: One record per planned batch (see :meth:`_plan_dispatch`);
+        #: surfaces through :meth:`telemetry` into the run manifest.
+        self.dispatch_decisions: List[Dict[str, Any]] = []
+        self._job_seconds_estimate: Optional[float] = None
+        self._inline_pool: Optional[WorkerPool] = None
         self.stats = SchedulerStats()
         #: Retry/timeout/quarantine policy; ``None`` = plain unsupervised
         #: dispatch (the original fail-fast path).
@@ -319,6 +342,76 @@ class ReplicationScheduler:
         self.pool_respawns += report.respawns
         self.degraded_to_serial = self.degraded_to_serial or report.degraded_to_serial
 
+    # -- dispatch planning ---------------------------------------------------
+
+    def _plan_dispatch(self, pending_count: int) -> WorkerPool:
+        """Choose the pool (or inline execution) for one batch, and log why.
+
+        With more than one process requested, the batch is projected with
+        the :func:`~repro.core.parallel.projected_speedup` cost model
+        (pool startup + per-chunk dispatch against perfect work division).
+        When ``auto_degrade`` is on and the projection says the pool loses
+        to serial, the batch runs inline through a one-process pool — the
+        same jobs under the same indexes, so results stay bit-identical —
+        and the parallel pool is never even started.  Every planned batch
+        appends a decision record for the run manifest.
+        """
+        if self.processes == 1 or not self._owns_pool:
+            return self._pool
+        estimate = self._job_seconds_estimate
+        source = "calibrated" if estimate is not None else "default"
+        if estimate is None:
+            estimate = DEFAULT_JOB_SECONDS
+        speedup = projected_speedup(
+            pending_count,
+            self.processes,
+            estimate,
+            pool_started=self._pool.started,
+        )
+        degrade = self.auto_degrade and speedup < 1.0
+        self.dispatch_decisions.append(
+            {
+                "pending": pending_count,
+                "requested_processes": self.processes,
+                "cpu_count": os.cpu_count() or 1,
+                "effective_workers": effective_parallelism(
+                    self.processes, pending_count
+                ),
+                "estimated_job_seconds": round(estimate, 6),
+                "estimate_source": source,
+                "projected_speedup": round(speedup, 3),
+                "auto_degrade": self.auto_degrade,
+                "mode": "serial" if degrade else "parallel",
+            }
+        )
+        if self.metrics.enabled:
+            self.metrics.inc(
+                "scheduler.dispatch.serial"
+                if degrade
+                else "scheduler.dispatch.parallel"
+            )
+        if not degrade:
+            return self._pool
+        if self._inline_pool is None:
+            self._inline_pool = WorkerPool(1)
+        return self._inline_pool
+
+    def _note_job_seconds(self, executed: int, workers: int, wall: float) -> None:
+        """Fold one batch's measured wall time into the per-job estimate.
+
+        Approximates per-job compute as ``wall * workers / executed`` —
+        exact for inline batches, an upper bound for pooled ones (startup
+        and imbalance inflate it), which only biases later projections
+        toward keeping the pool they already paid for.
+        """
+        if executed <= 0 or wall <= 0.0:
+            return
+        estimate = wall * workers / executed
+        prior = self._job_seconds_estimate
+        self._job_seconds_estimate = (
+            estimate if prior is None else 0.5 * prior + 0.5 * estimate
+        )
+
     def run_jobs(
         self, jobs: Sequence[ReplicationJob]
     ) -> List[Optional[ScenarioResult]]:
@@ -363,29 +456,33 @@ class ReplicationScheduler:
         if pending:
             if self.resilience is not None:
                 self._run_supervised(pending, results)
-            elif collect:
+            else:
+                pool = self._plan_dispatch(len(pending))
+                dispatch_start = time.perf_counter()
                 indexed: Iterator[IndexedJob] = (
                     (index, job.config, job.seed, job.replication)
                     for index, job in pending
                 )
-                for index, result, sidecar in self._pool.imap_indexed_timed(
-                    indexed, job_count=len(pending)
-                ):
-                    results[index] = result
-                    self._absorb_sidecar(sidecar)
-                    self._cache_put(result)
-                    self._record_completion(jobs[index])
-            else:
-                indexed = (
-                    (index, job.config, job.seed, job.replication)
-                    for index, job in pending
+                if collect:
+                    for index, result, sidecar in pool.imap_indexed_timed(
+                        indexed, job_count=len(pending)
+                    ):
+                        results[index] = result
+                        self._absorb_sidecar(sidecar)
+                        self._cache_put(result)
+                        self._record_completion(jobs[index])
+                else:
+                    for index, result in pool.imap_indexed(
+                        indexed, job_count=len(pending)
+                    ):
+                        results[index] = result
+                        self._cache_put(result)
+                        self._record_completion(jobs[index])
+                self._note_job_seconds(
+                    len(pending),
+                    effective_parallelism(pool.processes, len(pending)),
+                    time.perf_counter() - dispatch_start,
                 )
-                for index, result in self._pool.imap_indexed(
-                    indexed, job_count=len(pending)
-                ):
-                    results[index] = result
-                    self._cache_put(result)
-                    self._record_completion(jobs[index])
         self.stats.add(
             scheduled=len(jobs), executed=len(pending), cache_hits=cache_hits
         )
@@ -564,6 +661,10 @@ class ReplicationScheduler:
                 "cache_hits": self.stats.cache_hits,
                 "processes": self.processes,
                 "batches": len(self._batches),
+                "auto_degrade": self.auto_degrade,
+                "dispatch_decisions": [
+                    dict(decision) for decision in self.dispatch_decisions
+                ],
             },
             "batches": list(self._batches),
             "wall_seconds": wall,
@@ -712,6 +813,7 @@ class ReplicationScheduler:
 
 
 __all__ = [
+    "DEFAULT_JOB_SECONDS",
     "ReplicationJob",
     "ReplicationScheduler",
     "SchedulerStats",

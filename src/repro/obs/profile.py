@@ -98,6 +98,129 @@ class ProfileReport:
         }
 
 
+@dataclass
+class XLProfileReport:
+    """Outcome of one phase-instrumented xl-engine run.
+
+    The xl engine has no per-event callbacks to time; its unit of work is
+    the round, and each round walks a fixed sequence of vectorised phases
+    (budget boundaries, reboots, patches, sends, deliveries, installs,
+    round scheduling).  The breakdown here is per *phase*, accumulated
+    across every round of the run.
+    """
+
+    scenario_name: str
+    preset: str
+    seed: int
+    wall_seconds: float
+    build_seconds: float
+    run_seconds: float
+    events: int
+    rounds: int
+    final_infected: int
+    #: Per-phase rows: name, total seconds, share of the measured
+    #: round-loop time.  Sorted by total time, descending.
+    phases: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def events_per_second(self) -> float:
+        """Round-loop throughput under phase instrumentation."""
+        if self.run_seconds <= 0 or self.events <= 0:
+            return 0.0
+        return self.events / self.run_seconds
+
+    def format(self, top: int = 10) -> str:
+        """Human-readable breakdown for the CLI."""
+        lines = [
+            f"profile: {self.scenario_name}  "
+            f"(xl engine, preset {self.preset}, seed {self.seed})",
+            f"wall: {self.wall_seconds:.3f}s  "
+            f"(build {self.build_seconds:.3f}s, "
+            f"round loop {self.run_seconds:.3f}s)",
+            f"events: {self.events}  rounds: {self.rounds}  "
+            f"({self.events_per_second:,.0f} ev/s under instrumentation)",
+            f"final infected: {self.final_infected}",
+            "",
+            f"{'round phase':<20} {'total s':>9} {'per round µs':>13} "
+            f"{'share':>7}",
+        ]
+        for row in self.phases[:top]:
+            lines.append(
+                f"{row['phase']:<20} {row['total_seconds']:>9.4f} "
+                f"{row['per_round_micros']:>13.1f} {row['share']:>6.1%}"
+            )
+        return "\n".join(lines)
+
+    def manifest_sections(self) -> Dict[str, Any]:
+        """Keyword sections for :func:`repro.obs.manifest.build_manifest`."""
+        return {
+            "wall_seconds": self.run_seconds,
+            "events_executed": self.events,
+            "seed": self.seed,
+            "extra": {
+                "engine": "xl",
+                "preset": self.preset,
+                "build_seconds": round(self.build_seconds, 6),
+                "rounds": self.rounds,
+                "final_infected": self.final_infected,
+                "phases": self.phases,
+            },
+        }
+
+
+def run_profile_xl(
+    virus: int = 1,
+    preset: str = "xl-10k",
+    duration: Optional[float] = None,
+    seed: int = 0,
+) -> XLProfileReport:
+    """Run one phase-instrumented xl replication and assemble its breakdown.
+
+    Mirrors the benchmark harness's xl runner (same construction order,
+    same seeding) but with ``profile_phases=True``, so per-round phase
+    wall time accumulates in :attr:`XLEngine.phase_seconds`.
+    """
+    from ..des.random import StreamFactory as _StreamFactory
+    from ..xl.engine import XLEngine
+    from ..xl.presets import xl_scenario
+
+    config = xl_scenario(virus, preset, duration=duration)
+    wall_start = perf_counter()
+    engine = XLEngine(
+        config, _StreamFactory(seed).replication(0), profile_phases=True
+    )
+    built = perf_counter()
+    engine.seed_infection()
+    engine.run()
+    finished = perf_counter()
+
+    rounds = int(engine.counters["xl_rounds"])
+    measured_total = sum(engine.phase_seconds.values()) or 1.0
+    phases = [
+        {
+            "phase": name,
+            "total_seconds": round(total, 6),
+            "per_round_micros": round(total / rounds * 1e6, 3) if rounds else 0.0,
+            "share": round(total / measured_total, 4),
+        }
+        for name, total in sorted(
+            engine.phase_seconds.items(), key=lambda kv: kv[1], reverse=True
+        )
+    ]
+    return XLProfileReport(
+        scenario_name=config.name,
+        preset=preset,
+        seed=seed,
+        wall_seconds=finished - wall_start,
+        build_seconds=built - wall_start,
+        run_seconds=finished - built,
+        events=int(engine.counters["events_fired"]),
+        rounds=rounds,
+        final_infected=len(engine.infection_times),
+        phases=phases,
+    )
+
+
 def run_profile(
     virus: int = 1,
     population: Optional[int] = None,
@@ -163,4 +286,4 @@ def run_profile(
     )
 
 
-__all__ = ["ProfileReport", "run_profile"]
+__all__ = ["ProfileReport", "XLProfileReport", "run_profile", "run_profile_xl"]

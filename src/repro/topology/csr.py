@@ -81,33 +81,49 @@ class CSRAdjacency:
         Self-loops are dropped and duplicate edges collapse, mirroring
         :meth:`ContactGraph.add_edge` semantics.
         """
-        u = np.asarray(u, dtype=np.int64)
-        v = np.asarray(v, dtype=np.int64)
+        u = np.asarray(u)
+        v = np.asarray(v)
         if u.shape != v.shape:
             raise ValueError("u and v must have the same shape")
         keep = u != v
         u, v = u[keep], v[keep]
+        # Canonicalise at native width (the stub arrays arrive as int32;
+        # widening before min/max doubles the memory traffic for nothing)
+        # and only widen for the 64-bit (lo < hi) keys, deduped by sort +
+        # adjacent-diff (an order of magnitude faster than np.unique's
+        # hash path on multi-million-edge arrays).
         lo = np.minimum(u, v)
         hi = np.maximum(u, v)
-        # Canonical (lo < hi) 64-bit keys, deduped by sort + adjacent-diff
-        # (an order of magnitude faster than np.unique's hash path on
-        # multi-million-edge arrays).
-        key = lo * num_nodes + hi
-        key.sort(kind="stable")
+        key = lo.astype(np.int64, copy=False) * num_nodes + hi
+        key.sort()
         if key.size:
             first = np.concatenate(([True], key[1:] != key[:-1]))
             key = key[first]
         lo = key // num_nodes
         hi = key % num_nodes
-        # Symmetrise and sort by (source, neighbour) so each row comes out
-        # sorted like ContactGraph.neighbor_lists().
-        src = np.concatenate((lo, hi))
-        dst = np.concatenate((hi, lo))
-        order = np.argsort(src * num_nodes + dst, kind="stable")
-        counts = np.bincount(src, minlength=num_nodes)
+        # Symmetrise into (source, neighbour) order so each row comes out
+        # sorted like ContactGraph.neighbor_lists().  The forward run
+        # (lo -> hi) is already key-sorted, so only the reverse run needs
+        # an argsort — half the elements of sorting the concatenation —
+        # and the two sorted runs merge via searchsorted rank arithmetic.
+        # Keys never collide across runs: a forward key has lo < hi, a
+        # reverse key hi > lo, so equality would force lo == hi.
+        reverse_key = hi * num_nodes + lo
+        reverse_order = np.argsort(reverse_key)
+        reverse_sorted = reverse_key[reverse_order]
+        edge_count = key.size
+        rank = np.arange(edge_count, dtype=np.int64)
+        indices = np.empty(2 * edge_count, dtype=np.int32)
+        indices[np.searchsorted(reverse_sorted, key) + rank] = hi.astype(np.int32)
+        indices[np.searchsorted(key, reverse_sorted) + rank] = lo[
+            reverse_order
+        ].astype(np.int32)
+        counts = np.bincount(lo, minlength=num_nodes) + np.bincount(
+            hi, minlength=num_nodes
+        )
         indptr = np.zeros(num_nodes + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
-        return cls(indptr=indptr, indices=dst[order].astype(np.int32))
+        return cls(indptr=indptr, indices=indices)
 
     @classmethod
     def from_contact_graph(cls, graph: ContactGraph) -> "CSRAdjacency":

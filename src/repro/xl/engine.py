@@ -37,6 +37,7 @@ rejected at the dispatch layer.
 from __future__ import annotations
 
 import math
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -102,6 +103,7 @@ class XLEngine:
         config: ScenarioConfig,
         streams: StreamFactory,
         graph: Optional[ContactGraph] = None,
+        profile_phases: bool = False,
     ) -> None:
         virus = config.virus
         network = config.network
@@ -263,6 +265,22 @@ class XLEngine:
         self._install_buckets: Dict[int, List[Tuple[np.ndarray, np.ndarray]]] = {}
         self._patch_buckets: Dict[int, List[Tuple[np.ndarray, np.ndarray]]] = {}
 
+        # -- active sets -----------------------------------------------------
+        # The round loop never scans the full population: these sorted id
+        # arrays are maintained incrementally and are exactly the phones
+        # matching ``INFECTED & ~propagation_stopped & ~outgoing_blocked``
+        # (``_send_ids``) and the phones with a live reboot chain
+        # (``_reboot_ids``, finite ``next_reboot_at``).  Every per-round
+        # sweep, budget check, and next-event minimum then costs
+        # O(infected), not O(population).
+        self._send_ids = np.empty(0, dtype=np.int64)
+        self._reboot_ids = np.empty(0, dtype=np.int64)
+
+        #: Per-phase wall time, populated only under ``profile_phases``
+        #: (the plain :meth:`run` loop never touches the clock).
+        self.phase_seconds: Dict[str, float] = {}
+        self._profile_phases = profile_phases
+
         self.counters: Dict[str, int] = {
             "messages_sent": 0,
             "recipients_addressed": 0,
@@ -305,6 +323,8 @@ class XLEngine:
         """Advance batched rounds to the scenario horizon."""
         if self.patient_zero is None:
             raise RuntimeError("seed_infection must run before run()")
+        if self._profile_phases:
+            return self._run_profiled()
         n_rounds = max(1, int(math.ceil(self.duration / self.dt)))
         k = 0
         while k < n_rounds:
@@ -321,18 +341,70 @@ class XLEngine:
             k = self._next_round(k, n_rounds)
         return self.duration
 
+    def _run_profiled(self) -> float:
+        """The round loop with per-phase wall-time accumulation.
+
+        Identical phase order and semantics to :meth:`run`; every phase of
+        every round is bracketed with ``perf_counter`` and folded into
+        :attr:`phase_seconds`.  Kept as a separate loop so the unprofiled
+        path pays nothing.
+        """
+        phases = self.phase_seconds
+        for name in (
+            "budget_boundaries",
+            "reboots",
+            "patches",
+            "sends",
+            "deliveries",
+            "installs",
+            "round_scheduling",
+        ):
+            phases.setdefault(name, 0.0)
+        n_rounds = max(1, int(math.ceil(self.duration / self.dt)))
+        k = 0
+        while k < n_rounds:
+            t_end = min((k + 1) * self.dt, self.duration)
+            self.counters["xl_rounds"] += 1
+            mark = perf_counter()
+            self._process_boundaries(t_end)
+            now = perf_counter()
+            phases["budget_boundaries"] += now - mark
+            mark = now
+            self._process_reboots(t_end)
+            now = perf_counter()
+            phases["reboots"] += now - mark
+            mark = now
+            self._trigger_patch_wave(t_end)
+            self._drain_patches(k)
+            now = perf_counter()
+            phases["patches"] += now - mark
+            mark = now
+            while self._process_sends(t_end):
+                pass
+            now = perf_counter()
+            phases["sends"] += now - mark
+            mark = now
+            self._drain_deliveries(k)
+            now = perf_counter()
+            phases["deliveries"] += now - mark
+            mark = now
+            self._drain_installs(k)
+            now = perf_counter()
+            phases["installs"] += now - mark
+            mark = now
+            k = self._next_round(k, n_rounds)
+            phases["round_scheduling"] += perf_counter() - mark
+        return self.duration
+
     def _next_round(self, k: int, n_rounds: int) -> int:
         """Round index of the next scheduled activity (skips dead time)."""
-        time_candidates = [float(self.next_send_at.min())]
-        if self.uses_reboot:
-            time_candidates.append(float(self.next_reboot_at.min()))
-        if self.global_windows and bool(
-            np.any(
-                (self.state == INFECTED)
-                & ~self.propagation_stopped
-                & ~self.outgoing_blocked
-            )
-        ):
+        send_ids = self._send_ids
+        time_candidates = [
+            float(self.next_send_at[send_ids].min()) if send_ids.size else math.inf
+        ]
+        if self.uses_reboot and self._reboot_ids.size:
+            time_candidates.append(float(self.next_reboot_at[self._reboot_ids].min()))
+        if self.global_windows and send_ids.size:
             time_candidates.append(self.next_boundary)
         if self.immunization is not None and not self._patch_deployed:
             time_candidates.append(self.patch_ready_at)
@@ -389,6 +461,13 @@ class XLEngine:
         self.state[ids] = INFECTED
         self.sent_in_period[ids] = 0
         self.period_start[ids] = times
+        merged = np.concatenate((self._send_ids, ids))
+        merged.sort()
+        self._send_ids = merged
+        if self.uses_reboot:
+            chained = np.concatenate((self._reboot_ids, ids))
+            chained.sort()
+            self._reboot_ids = chained
         if self.global_windows:
             window = self.config.virus.limit_window
             boundary = np.floor(times / window) * window
@@ -430,13 +509,9 @@ class XLEngine:
             infected = self.state == INFECTED
             self.period_start[infected] = boundary
             self.sent_in_period[infected] = 0
-            resume = (
-                infected
-                & ~self.propagation_stopped
-                & ~self.outgoing_blocked
-                & np.isinf(self.next_send_at)
-            )
-            ids = np.nonzero(resume)[0]
+            candidates = self._send_ids
+            resume = np.isinf(self.next_send_at[candidates])
+            ids = candidates[resume]
             if ids.size:
                 self.next_send_at[ids] = boundary + self.interval_dist.sample_many(
                     self.rng_virus, ids.size
@@ -446,12 +521,16 @@ class XLEngine:
 
     def _process_reboots(self, t_end: float) -> None:
         """Reboot-reset budgets (V1): budget refresh + stalled-send resume."""
-        if not self.uses_reboot:
+        if not self.uses_reboot or self._reboot_ids.size == 0:
             return
+        fired = False
         while True:
-            ids = np.nonzero(self.next_reboot_at <= t_end)[0]
+            candidates = self._reboot_ids
+            due = self.next_reboot_at[candidates] <= t_end
+            ids = candidates[due]
             if ids.size == 0:
-                return
+                break
+            fired = True
             times = self.next_reboot_at[ids].copy()
             self.sent_in_period[ids] = 0
             self.period_start[ids] = times
@@ -478,6 +557,10 @@ class XLEngine:
             self.next_reboot_at[act] = act_times + self.rng_virus.exponential(
                 self.reboot_mean, act.size
             )
+        if fired:
+            # Chains that ended above left ``inf`` behind; drop those ids.
+            live = np.isfinite(self.next_reboot_at[self._reboot_ids])
+            self._reboot_ids = self._reboot_ids[live]
 
     # -- immunization ---------------------------------------------------------
 
@@ -522,6 +605,9 @@ class XLEngine:
         if quarantined.size:
             self.propagation_stopped[quarantined] = True
             self.next_send_at[quarantined] = np.inf
+            self._send_ids = self._send_ids[
+                ~np.isin(self._send_ids, quarantined, assume_unique=True)
+            ]
             self.phones_quarantined += int(quarantined.size)
             self.counters["phones_quarantined_by_patch"] = (
                 self.counters.get("phones_quarantined_by_patch", 0)
@@ -537,16 +623,14 @@ class XLEngine:
         the same round, so sweeps repeat until no send is due.
         """
         virus = self.config.virus
-        due = (
-            (self.state == INFECTED)
-            & ~self.propagation_stopped
-            & ~self.outgoing_blocked
-            & (self.next_send_at <= t_end)
-        )
-        ids = np.nonzero(due)[0]
+        candidates = self._send_ids
+        if candidates.size == 0:
+            return False
+        due = self.next_send_at[candidates] <= t_end
+        ids = candidates[due]
         if ids.size == 0:
             return False
-        send_times = self.next_send_at[ids].copy()
+        send_times = self.next_send_at[ids]
         counters = self.counters
         counters["events_fired"] += int(ids.size)
 
@@ -647,6 +731,9 @@ class XLEngine:
             if newly.size:
                 self.blacklisted[newly] = True
                 self.outgoing_blocked[newly] = True
+                self._send_ids = self._send_ids[
+                    ~np.isin(self._send_ids, newly, assume_unique=True)
+                ]
                 counters["phones_blacklisted"] = counters.get(
                     "phones_blacklisted", 0
                 ) + int(newly.size)

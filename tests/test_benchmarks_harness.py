@@ -182,3 +182,104 @@ class TestManifestEmission:
         assert document["manifest_schema"] == MANIFEST_SCHEMA_VERSION
         assert "python" in document["host"]
         assert "cpu_count" in document["host"]
+
+
+class TestCompareDocuments:
+    def _docs(self):
+        from repro.benchmarks.harness import compare_documents
+
+        baseline = _document("old", {"a": 1.0, "b": 2.0, "gone": 3.0})
+        current = _document("new", {"a": 1.05, "b": 2.5, "fresh": 0.5})
+        return compare_documents, baseline, current
+
+    def test_statuses_and_deltas(self):
+        compare_documents, baseline, current = self._docs()
+        rows = {r["name"]: r for r in compare_documents(baseline, current)}
+        assert rows["a"]["status"] == "ok"
+        assert rows["a"]["delta_pct"] == 5.0
+        assert rows["b"]["status"] == "regressed"  # +25% > default 10%
+        assert rows["b"]["delta_pct"] == 25.0
+        assert rows["fresh"]["status"] == "added"
+        assert rows["gone"]["status"] == "removed"
+
+    def test_threshold_configurable(self):
+        compare_documents, baseline, current = self._docs()
+        rows = {
+            r["name"]: r
+            for r in compare_documents(baseline, current, threshold_pct=40.0)
+        }
+        assert rows["b"]["status"] == "ok"  # +25% rides under a 40% gate
+
+    def test_negative_threshold_rejected(self):
+        from repro.benchmarks.harness import compare_documents
+
+        with pytest.raises(ValueError, match="threshold_pct"):
+            compare_documents(_document("a", {}), _document("b", {}), -1.0)
+
+    def test_format_renders_every_row(self):
+        from repro.benchmarks.harness import format_comparison
+
+        compare_documents, baseline, current = self._docs()
+        rows = compare_documents(baseline, current)
+        table = format_comparison(rows)
+        for row in rows:
+            assert row["name"] in table
+        assert "regressed" in table
+
+
+class TestCheckFloors:
+    def test_floor_held_and_violated(self):
+        from repro.benchmarks.harness import check_floors
+
+        document = _document("x", {"a": 1.0})
+        document["workloads"]["a"]["events_per_second"] = 500.0
+        assert check_floors(document, ["a:100"]) == []
+        failures = check_floors(document, ["a:1000"])
+        assert len(failures) == 1 and "below" in failures[0]
+
+    def test_missing_workload_fails_the_floor(self):
+        from repro.benchmarks.harness import check_floors
+
+        failures = check_floors(_document("x", {}), ["ghost:1"])
+        assert failures and "not present" in failures[0]
+
+    def test_malformed_floor_rejected(self):
+        from repro.benchmarks.harness import check_floors
+
+        with pytest.raises(ValueError, match="invalid floor"):
+            check_floors(_document("x", {}), ["a:not-a-number"])
+
+
+class TestCompareCLI:
+    def _write(self, tmp_path, name, walls, rates=None):
+        document = _document(name, walls)
+        for workload, rate in (rates or {}).items():
+            document["workloads"][workload]["events_per_second"] = rate
+        path = tmp_path / f"BENCH_{name}.json"
+        path.write_text(json.dumps(document))
+        return str(path)
+
+    def test_ok_exit_zero(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old", {"a": 1.0})
+        new = self._write(tmp_path, "new", {"a": 1.05})
+        assert bench_main(["compare", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "compare ok" in out
+
+    def test_regression_exit_one(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old", {"a": 1.0})
+        new = self._write(tmp_path, "new", {"a": 1.5})
+        assert bench_main(["compare", old, new, "--threshold", "20"]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION a" in captured.err
+
+    def test_floor_violation_exit_one(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old", {"a": 1.0})
+        new = self._write(tmp_path, "new", {"a": 1.0}, rates={"a": 50.0})
+        assert bench_main(["compare", old, new, "--floor", "a:100"]) == 1
+        assert "FLOOR a" in capsys.readouterr().err
+
+    def test_missing_document_exit_two(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old", {"a": 1.0})
+        assert bench_main(["compare", old, str(tmp_path / "nope.json")]) == 2
+        assert "not found" in capsys.readouterr().err

@@ -134,3 +134,41 @@ class TestProfileCommand:
         assert validate_manifest(record) == []
         assert record["kind"] == "profile"
         assert record["extra"]["hotspots"]
+
+
+class TestProfileXLCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.engine == "core"
+        assert args.preset == "xl-10k"
+
+    def test_xl_profile_prints_phase_breakdown(self, capsys):
+        assert main(
+            ["profile", "--engine", "xl", "--preset", "paper",
+             "--duration", "48", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "xl engine, preset paper" in out
+        assert "round phase" in out
+
+    def test_xl_profile_manifest(self, tmp_path, capsys):
+        from repro.obs.manifest import read_manifests, validate_manifest
+
+        path = tmp_path / "profile.jsonl"
+        assert main(
+            ["profile", "--engine", "xl", "--preset", "paper",
+             "--duration", "48", "--metrics", str(path)]
+        ) == 0
+        (record,) = read_manifests(path)
+        assert validate_manifest(record) == []
+        assert record["extra"]["engine"] == "xl"
+        assert record["extra"]["phases"]
+
+
+class TestAutoDegradeFlag:
+    def test_flag_parses(self):
+        args = build_parser().parse_args(
+            ["figure", "3", "--no-auto-degrade"]
+        )
+        assert args.no_auto_degrade is True
+        assert build_parser().parse_args(["figure", "3"]).no_auto_degrade is False

@@ -400,3 +400,66 @@ class TestInterruptCleanup:
             pass  # no work dispatched
         assert not pool.terminated
         assert not pool.closed  # externally owned: left running
+
+
+class TestAutoDegrade:
+    """Dispatch planning: small campaigns must not pay for a pool.
+
+    The cost model (pool startup + per-chunk dispatch vs. perfect work
+    division) projects a tiny 4-job campaign as losing to serial on any
+    machine — 4 x 0.05 s of work never amortises a 0.25 s pool spin-up —
+    so ``--processes 4`` on a tiny grid degrades to inline execution,
+    logs the decision, and stays bit-identical to the serial path.
+    """
+
+    def test_small_campaign_degrades_to_serial_and_logs(self, mini_spec):
+        with ReplicationScheduler(processes=4) as scheduler:
+            scheduler.run_experiment(mini_spec, replications=2, seed=11)
+            decisions = list(scheduler.dispatch_decisions)
+        assert decisions, "planned batch must log a dispatch decision"
+        decision = decisions[0]
+        assert decision["mode"] == "serial"
+        assert decision["auto_degrade"] is True
+        assert decision["projected_speedup"] < 1.0
+        assert decision["requested_processes"] == 4
+        assert decision["pending"] == 4  # 2 series x 2 replications
+        assert decision["estimate_source"] == "default"
+
+    @pytest.mark.parametrize("auto_degrade", [True, False])
+    def test_forced_processes_bit_identical_to_serial(
+        self, mini_spec, auto_degrade
+    ):
+        expected = run_experiment(mini_spec, replications=2, seed=11)
+        forced = run_experiment(
+            mini_spec,
+            replications=2,
+            seed=11,
+            processes=4,
+            auto_degrade=auto_degrade,
+        )
+        for label in expected.series_results:
+            _assert_sets_identical(
+                forced.series_results[label], expected.series_results[label]
+            )
+
+    def test_disabled_auto_degrade_keeps_pool(self, mini_spec):
+        with ReplicationScheduler(processes=4, auto_degrade=False) as scheduler:
+            scheduler.run_experiment(mini_spec, replications=1, seed=3)
+            decisions = list(scheduler.dispatch_decisions)
+        assert decisions
+        assert decisions[0]["mode"] == "parallel"
+        assert decisions[0]["auto_degrade"] is False
+
+    def test_decisions_surface_in_telemetry(self, mini_spec):
+        with ReplicationScheduler(processes=4) as scheduler:
+            scheduler.run_experiment(mini_spec, replications=1, seed=3)
+            tele = scheduler.telemetry()
+        assert tele["scheduler"]["auto_degrade"] is True
+        assert tele["scheduler"]["dispatch_decisions"] == (
+            scheduler.dispatch_decisions
+        )
+
+    def test_serial_and_external_pools_skip_planning(self, mini_spec):
+        with ReplicationScheduler(processes=1) as scheduler:
+            scheduler.run_experiment(mini_spec, replications=1, seed=3)
+            assert scheduler.dispatch_decisions == []
