@@ -21,6 +21,12 @@ Commands
     to append a schema-valid JSONL run manifest (see ``repro.obs``).
 ``repro-sim scenario my_scenario.json --replications 3``
     Simulate a scenario loaded from a JSON file.
+``repro-sim design show fig5`` / ``design compile my_design.toml`` /
+``design run fig4 --processes 4``
+    Work with declarative experiment designs (``repro.design``): show
+    the factor grid of a registry experiment or a TOML/JSON design
+    file, compile it to the deduplicated job list, or run it through
+    the cache-aware compiled path.
 """
 
 from __future__ import annotations
@@ -322,6 +328,37 @@ def build_parser() -> argparse.ArgumentParser:
     topology_parser.add_argument("--exponent", type=float, default=1.8)
     topology_parser.add_argument("--seed", type=int, default=0)
     topology_parser.add_argument("--out", required=True, help="output file path")
+
+    design_parser = subparsers.add_parser(
+        "design",
+        help="show/compile/run declarative experiment designs "
+        "(registry ids or TOML/JSON design files)",
+    )
+    design_sub = design_parser.add_subparsers(dest="design_command", required=True)
+    spec_help = (
+        "a registry experiment id (fig1 .. scaling2000) or a path to a "
+        ".toml/.json design document"
+    )
+    design_show = design_sub.add_parser(
+        "show", help="print a design's factor grid and the series it compiles to"
+    )
+    design_show.add_argument("spec", help=spec_help)
+    design_compile = design_sub.add_parser(
+        "compile",
+        help="compile a design to its deduplicated scheduler job list",
+    )
+    design_compile.add_argument("spec", help=spec_help)
+    design_compile.add_argument("--replications", type=int, default=None)
+    design_compile.add_argument("--seed", type=int, default=0)
+    design_run = design_sub.add_parser(
+        "run", help="run a design through the cache-deduplicated compiled path"
+    )
+    design_run.add_argument("spec", help=spec_help)
+    design_run.add_argument("--replications", type=int, default=None)
+    design_run.add_argument("--seed", type=int, default=0)
+    design_run.add_argument("--csv", default=None, help="export mean curves to CSV")
+    design_run.add_argument("--no-chart", action="store_true")
+    _add_scheduler_args(design_run)
     return parser
 
 
@@ -537,6 +574,78 @@ def _command_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_design(spec: str):
+    """A design from a registry id or a ``.toml``/``.json`` file path."""
+    from .design import load_design
+    from .experiments.registry import get_design
+
+    if spec.lower().endswith((".toml", ".json")) or Path(spec).is_file():
+        return load_design(spec)
+    return get_design(spec)
+
+
+def _command_design(args: argparse.Namespace) -> int:
+    from .design import DesignError, compile_design
+
+    try:
+        design = _resolve_design(args.spec)
+    except (KeyError, OSError, DesignError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    if args.design_command == "show":
+        spec = design.to_spec()
+        print(f"design {design.experiment_id}: {design.title}")
+        print(f"paper artifact: {design.paper_ref}")
+        for factor in design.design.factors():
+            labels = ", ".join(level.label or "<none>" for level in factor.levels)
+            print(f"factor {factor.name} ({factor.size}): {labels}")
+        if design.subsample_seed is not None:
+            print(
+                f"latin-square subsample: seed {design.subsample_seed}, "
+                f"{design.design.size} of {design.design.inner.size} grid points"
+            )
+        print(f"series ({len(spec.series)}):")
+        for series in spec.series:
+            print(f"  {series.label}: {series.scenario.name}")
+        if spec.checkpoints:
+            print("checkpoints: " + ", ".join(f"{c:g}h" for c in spec.checkpoints))
+        print(f"shape checks: {len(spec.shape_checks)}")
+        return 0
+
+    try:
+        compiled = compile_design(
+            design, replications=args.replications, seed=args.seed
+        )
+    except (ValueError, DesignError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    if args.design_command == "compile":
+        print(compiled.format())
+        return 0
+
+    label = f"design:{design.experiment_id}"
+    with _make_scheduler(args, label=label) as scheduler:
+        result = scheduler.run_compiled(compiled)
+        stats_line = scheduler.stats.format()
+    _write_cli_manifest(args, scheduler, label=label)
+    _report_resume(scheduler)
+    print(format_experiment_report(result, chart=not args.no_chart))
+    if args.csv:
+        path = export_csv(result, args.csv)
+        print(f"\nmean curves written to {path}")
+    print(
+        f"jobs: {compiled.requested_jobs} requested → {compiled.unique_jobs} "
+        f"unique (dedup ratio {compiled.dedup_ratio})"
+    )
+    print(f"scheduler: {stats_line}")
+    failure_code = _report_failures(scheduler)
+    if failure_code:
+        return failure_code
+    return 0 if result.all_checks_pass() else 1
+
+
 def _command_topology(args: argparse.Namespace) -> int:
     streams = StreamFactory(args.seed)
     graph = contact_network(
@@ -574,6 +683,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_sweep(args)
         if args.command == "scenario":
             return _command_scenario(args)
+        if args.command == "design":
+            return _command_design(args)
         if args.command == "validate":
             from .validation.cli import main as validation_main
 

@@ -472,6 +472,26 @@ class ScenarioConfig:
         """Copy of this scenario running on a different engine."""
         return replace(self, engine=engine)
 
+    def with_name(self, name: str) -> "ScenarioConfig":
+        """Copy of this scenario under a different name.
+
+        The name is part of the scenario's cache identity — renaming a
+        config deliberately forks its cached results.
+        """
+        return replace(self, name=name)
+
+    def with_acceptance_factor(self, acceptance_factor: float) -> "ScenarioConfig":
+        """Copy of this scenario with a different user acceptance factor.
+
+        This edits the *standing* user behaviour (the AF axis of an
+        experiment design), unlike :class:`UserEducationConfig`, which
+        models education as a response mechanism scaling the baseline.
+        """
+        return replace(
+            self,
+            user=replace(self.user, acceptance_factor=acceptance_factor),
+        )
+
 
 __all__ = [
     "Targeting",

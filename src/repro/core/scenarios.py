@@ -12,7 +12,7 @@ documented in DESIGN.md §6.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from .parameters import (
     LimitPeriod,
@@ -22,6 +22,10 @@ from .parameters import (
     VirusParameters,
 )
 from .units import DAYS, HOURS, MINUTES
+
+#: The paper's virus numbers, in presentation order (the canonical level
+#: set for a ``virus`` experiment-design factor).
+VIRUS_NUMBERS: Tuple[int, ...] = (1, 2, 3, 4)
 
 #: Paper horizons per virus (hours): V1/V4 18 days, V2 10 days, V3 24 h.
 VIRUS_HORIZONS: Dict[int, float] = {
@@ -147,6 +151,7 @@ def baseline_scenario(
 
 
 __all__ = [
+    "VIRUS_NUMBERS",
     "VIRUS_HORIZONS",
     "virus1",
     "virus2",

@@ -1,0 +1,450 @@
+"""Every paper experiment as a ~20-line declarative design.
+
+This replaces the hand-written per-figure builder code: each factory
+returns an :class:`~repro.design.compile.ExperimentDesign` whose
+compiled series are **job-for-job identical** to the legacy builders
+(the differential test ``tests/test_design_equivalence.py`` pins this
+against a frozen copy of the pre-DSL code).  The registry serves these
+through :mod:`repro.experiments.figures`, so ``repro-sim figure`` is
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..core.parameters import (
+    BlacklistConfig,
+    DetectionAlgorithmConfig,
+    GatewayScanConfig,
+    ImmunizationConfig,
+    MonitoringConfig,
+    UserEducationConfig,
+)
+from ..core.scenarios import VIRUS_NUMBERS
+from ..core.units import HOURS, MINUTES
+from ..experiments import checks
+from .compile import ExperimentDesign
+from .model import Factor, Level, Point, ablate, cross, derive_factor
+
+#: The paper's expected unconstrained plateau: 800 susceptible × 0.40.
+PAPER_PLATEAU = 320.0
+
+
+def virus_factor(numbers: Tuple[int, ...] = VIRUS_NUMBERS) -> Factor:
+    """The ``virus`` factor over paper virus numbers (labels ``virusN``)."""
+    return Factor.of("virus", numbers, fmt="virus{}")
+
+
+def response_factor(levels: Dict[str, object]) -> Factor:
+    """A ``response`` factor from ``{label: response config(s)}``."""
+    built = []
+    for label, configs in levels.items():
+        if not isinstance(configs, tuple):
+            configs = (configs,)
+        built.append(Level(label, configs))
+    return Factor("response", tuple(built))
+
+
+def design_fig1() -> ExperimentDesign:
+    """Figure 1: baseline infection curves for all four viruses."""
+    return ExperimentDesign(
+        experiment_id="fig1",
+        title="Baseline Infection Curves without Response Mechanisms",
+        paper_ref="Figure 1",
+        description=(
+            "All four viruses produce classic S-shaped infection curves that "
+            "plateau at ≈320 infected phones (800 susceptible × 0.40 total "
+            "acceptance). Virus 2 is step-like (daily bursts); Virus 3 "
+            "saturates within its 24-hour window; Viruses 1 and 4 take "
+            "one to two weeks."
+        ),
+        design=cross(virus_factor()),
+        label="{virus}",
+        checkpoints=(24.0, 48.0, 96.0, 240.0, 432.0),
+        shape_checks=(
+            checks.plateau_near("virus1", PAPER_PLATEAU),
+            checks.plateau_near("virus2", PAPER_PLATEAU),
+            checks.plateau_near("virus3", PAPER_PLATEAU),
+            checks.plateau_near("virus4", PAPER_PLATEAU),
+            checks.s_shaped("virus1"),
+            checks.s_shaped("virus4"),
+            checks.steppier_than("virus2", "virus1"),
+            checks.faster_saturation("virus3", "virus2"),
+            checks.faster_saturation("virus2", "virus1"),
+            checks.faster_saturation("virus1", "virus4"),
+        ),
+    )
+
+
+def design_fig2() -> ExperimentDesign:
+    """Figure 2: gateway virus scan on Virus 1, delay 6/12/24 h."""
+    scan = Factor(
+        "response",
+        tuple(
+            Level(f"{delay}h-delay", (GatewayScanConfig(delay * HOURS),))
+            for delay in (6, 12, 24)
+        ),
+    )
+    return ExperimentDesign(
+        experiment_id="fig2",
+        title="Virus Scan: Varying the Activation Time Delay (Virus 1)",
+        paper_ref="Figure 2",
+        description=(
+            "The signature scan halts propagation once deployed; prompter "
+            "deployment contains the infection earlier. Paper: with a 6-hour "
+            "delay the infection reaches only ~5% of the baseline level; "
+            "even 24 hours contains it to ~25%."
+        ),
+        design=cross(virus_factor((1,)), ablate(scan)),
+        label="{response}",
+        checkpoints=(24.0, 96.0, 432.0),
+        shape_checks=(
+            checks.final_ordering(["6h-delay", "12h-delay", "24h-delay", "baseline"]),
+            checks.containment_below("6h-delay", "baseline", 0.15),
+            checks.containment_below("24h-delay", "baseline", 0.45),
+        ),
+    )
+
+
+def design_fig3() -> ExperimentDesign:
+    """Figure 3: gateway detection algorithm on Virus 2, accuracy sweep."""
+    detector = Factor(
+        "response",
+        tuple(
+            Level(
+                f"acc-{accuracy:.2f}",
+                (DetectionAlgorithmConfig(accuracy=accuracy),),
+            )
+            for accuracy in (0.99, 0.95, 0.90, 0.85, 0.80)
+        ),
+    )
+    return ExperimentDesign(
+        experiment_id="fig3",
+        title="Virus Detection Algorithm: Varying Detection Accuracy (Virus 2)",
+        paper_ref="Figure 3",
+        description=(
+            "The heuristic detector blocks each infected message with "
+            "probability equal to its accuracy, slowing (not stopping) the "
+            "spread; higher accuracy slows more. Paper: at 0.95 accuracy, "
+            "reaching 135 infected phones takes ~9 days instead of ~2."
+        ),
+        design=cross(virus_factor((2,)), ablate(detector)),
+        label="{response}",
+        checkpoints=(48.0, 120.0, 240.0),
+        shape_checks=(
+            checks.final_ordering(
+                ["acc-0.99", "acc-0.95", "acc-0.90", "acc-0.85", "acc-0.80", "baseline"]
+            ),
+            checks.slower_to_level("acc-0.95", "baseline", level=135.0, min_delay=48.0),
+            checks.slower_to_level("acc-0.80", "baseline", level=135.0, min_delay=12.0),
+        ),
+    )
+
+
+def design_fig4() -> ExperimentDesign:
+    """Figure 4: phone user education across all four viruses."""
+    education = Factor(
+        "response",
+        (
+            Level("", ()),
+            Level(
+                "-usered",
+                (UserEducationConfig(acceptance_scale=0.5),),
+                suffix="usered",
+            ),
+        ),
+    )
+    return ExperimentDesign(
+        experiment_id="fig4",
+        title="Phone User Education: Effective for All Viruses",
+        paper_ref="Figure 4",
+        description=(
+            "Halving the acceptance factor reduces the total probability of "
+            "eventual acceptance from 0.40 to ≈0.20 and halves the plateau "
+            "for every virus — the only mechanism that is universally "
+            "effective, including against Virus 3."
+        ),
+        design=cross(virus_factor(), education),
+        label="{virus}{response}",
+        checkpoints=(96.0, 432.0),
+        shape_checks=tuple(
+            checks.containment_between(
+                f"virus{v}-usered",
+                f"virus{v}",
+                0.35,
+                0.70,
+                name=f"education halves virus{v} plateau",
+            )
+            for v in VIRUS_NUMBERS
+        ),
+    )
+
+
+def design_fig5() -> ExperimentDesign:
+    """Figure 5: immunization on Virus 4, (development, deployment) sweep."""
+
+    def immunization_level(point: Point) -> Level:
+        dev = point["dev"].value
+        deploy = point["deploy"].value
+        return Level(
+            f"hours-{dev:.0f}-{dev + deploy:.0f}",
+            (ImmunizationConfig(development_time=dev, deployment_window=deploy),),
+        )
+
+    grid = cross(Factor.of("dev", (24.0, 48.0)), Factor.of("deploy", (1.0, 6.0, 24.0)))
+    immunization = derive_factor("response", grid, immunization_level)
+    return ExperimentDesign(
+        experiment_id="fig5",
+        title="Immunization Using Patches: Varying the Deployment Times (Virus 4)",
+        paper_ref="Figure 5",
+        description=(
+            "Patch development time (24 vs 48 h after detectability) sets how "
+            "long the virus spreads unrestrained; the deployment window (1, "
+            "6, 24 h) sets how much more it spreads during rollout. Paper: "
+            "a 24-hour rollout admits ~60% more infections than a 1-hour "
+            "rollout (24-hour development case)."
+        ),
+        design=cross(virus_factor((4,)), ablate(immunization)),
+        label="{response}",
+        checkpoints=(48.0, 96.0, 432.0),
+        shape_checks=(
+            checks.final_ordering(["hours-24-25", "hours-24-30", "hours-24-48"]),
+            checks.final_ordering(["hours-48-49", "hours-48-54", "hours-48-72"]),
+            checks.final_ordering(["hours-24-25", "hours-48-49"]),
+            checks.final_ordering(["hours-24-48", "hours-48-72"]),
+            checks.containment_below("hours-24-25", "baseline", 0.6),
+        ),
+    )
+
+
+def design_fig6() -> ExperimentDesign:
+    """Figure 6: monitoring on Virus 3, forced wait 15/30/60 min."""
+    monitoring = Factor(
+        "response",
+        tuple(
+            Level(
+                f"{minutes}min-wait",
+                (MonitoringConfig(forced_wait=minutes * MINUTES),),
+            )
+            for minutes in (15, 30, 60)
+        ),
+    )
+    return ExperimentDesign(
+        experiment_id="fig6",
+        title="Monitoring: Varying the Wait Time for Suspicious Phones (Virus 3)",
+        paper_ref="Figure 6",
+        description=(
+            "Monitoring flags Virus 3's anomalous volume and throttles "
+            "flagged phones, buying hours for a secondary response; longer "
+            "forced waits slow the spread more. Paper: baseline reaches 150 "
+            "infections in ~2.5 h, while a 15-minute wait keeps the level "
+            "under 150 for many hours."
+        ),
+        design=cross(virus_factor((3,)), ablate(monitoring)),
+        label="{response}",
+        checkpoints=(5.0, 10.0, 20.0, 24.0),
+        shape_checks=(
+            checks.slower_to_level("15min-wait", "baseline", level=150.0, min_delay=3.0),
+            checks.slower_to_level("30min-wait", "baseline", level=150.0, min_delay=4.0),
+            checks.slower_to_level("60min-wait", "baseline", level=150.0, min_delay=6.0),
+        ),
+    )
+
+
+def blacklist_factor(fmt: str = "{}-messages") -> Factor:
+    """Blacklist thresholds 10/20/30/40 as a ``response`` factor."""
+    return Factor(
+        "response",
+        tuple(
+            Level(fmt.format(threshold), (BlacklistConfig(threshold=threshold),))
+            for threshold in (10, 20, 30, 40)
+        ),
+    )
+
+
+def design_fig7() -> ExperimentDesign:
+    """Figure 7: blacklisting on Virus 3, threshold 10/20/30/40."""
+    return ExperimentDesign(
+        experiment_id="fig7",
+        title="Blacklisting: Varying the Activation Threshold (Virus 3)",
+        paper_ref="Figure 7",
+        description=(
+            "Blacklisting counts suspected infected messages (invalid random "
+            "dials included) and cuts off MMS service at the threshold; it "
+            "is most effective against Virus 3 because invalid dials count "
+            "too. Lower thresholds contain the virus harder."
+        ),
+        design=cross(virus_factor((3,)), ablate(blacklist_factor())),
+        label="{response}",
+        checkpoints=(5.0, 10.0, 24.0),
+        shape_checks=(
+            checks.final_ordering(
+                ["10-messages", "20-messages", "30-messages", "40-messages", "baseline"]
+            ),
+            checks.containment_below("10-messages", "baseline", 0.35),
+        ),
+    )
+
+
+def design_blacklist_slow() -> ExperimentDesign:
+    """§5.2 text: blacklisting against the slow viruses (1 and 4) and V2."""
+    return ExperimentDesign(
+        experiment_id="blacklist-slow",
+        title="Blacklisting against Viruses 1, 2 and 4 (§5.2 text)",
+        paper_ref="Section 5.2 (text)",
+        description=(
+            "Paper: threshold 10 is somewhat effective for Viruses 1 and 4 "
+            "(penetration restricted versus baseline) but higher thresholds "
+            "are ineffective; blacklisting is completely ineffective against "
+            "Virus 2 at any threshold because each multi-recipient message "
+            "counts once."
+        ),
+        design=cross(virus_factor((1, 2, 4)), ablate(blacklist_factor("th{}"))),
+        label="{virus}-{response}",
+        checkpoints=(96.0, 432.0),
+        shape_checks=(
+            checks.containment_below("virus1-th10", "virus1-baseline", 0.70),
+            checks.containment_below("virus4-th10", "virus4-baseline", 0.70),
+            checks.final_ordering(
+                ["virus1-th10", "virus1-th20", "virus1-th30", "virus1-th40"]
+            ),
+            checks.ineffective("virus2-th10", "virus2-baseline"),
+            checks.ineffective("virus2-th40", "virus2-baseline"),
+        ),
+    )
+
+
+def design_combined_defenses() -> ExperimentDesign:
+    """Conclusion (future work): combinations of reaction mechanisms.
+
+    The paper: "This work can be extended with an evaluation of
+    combinations of reaction mechanisms, particularly when a response
+    mechanism that only slows virus propagation requires a secondary
+    mechanism to completely halt virus spread."  The design expresses
+    that study for the hardest case, Virus 3: monitoring alone slows,
+    the gateway scan alone is too late, and the combination contains.
+    """
+    monitoring = MonitoringConfig(forced_wait=15 * MINUTES)
+    scan = GatewayScanConfig(activation_delay=6 * HOURS)
+    combos = response_factor(
+        {
+            "baseline": (),
+            "monitoring-only": monitoring,
+            "scan-only": scan,
+            "monitoring+scan": (monitoring, scan),
+        }
+    )
+    return ExperimentDesign(
+        experiment_id="combo",
+        title="Combined Defenses against Virus 3 (conclusion, future work)",
+        paper_ref="Section 6 (proposed extension)",
+        description=(
+            "Layering a slowing mechanism (monitoring) under a stopping "
+            "mechanism (gateway scan) contains a rapid virus that defeats "
+            "either alone: the forced waits hold the infection level down "
+            "until the signature deploys."
+        ),
+        design=cross(
+            virus_factor((3,)),
+            Factor("duration", (Level("", 48 * HOURS),)),
+            combos,
+        ),
+        label="{response}",
+        checkpoints=(6.0, 12.0, 24.0, 48.0),
+        shape_checks=(
+            checks.ineffective("scan-only", "baseline", min_fraction=0.75),
+            checks.containment_below("monitoring+scan", "baseline", 0.5),
+            checks.containment_below(
+                "monitoring+scan", "monitoring-only", 0.75,
+                name="combination beats monitoring alone",
+            ),
+            checks.containment_below(
+                "monitoring+scan", "scan-only", 0.6,
+                name="combination beats scan alone",
+            ),
+        ),
+    )
+
+
+def design_scaling2000() -> ExperimentDesign:
+    """§5.3 text: results scale from 1000 to 2000 phones."""
+
+    def penetration_matches(results):
+        from ..experiments.spec import CheckResult
+
+        small_pen = results["n1000"].final_summary().mean / 800.0
+        big_pen = results["n2000"].final_summary().mean / 1600.0
+        return CheckResult(
+            name="penetration scales with population",
+            passed=abs(small_pen - big_pen) <= 0.08,
+            detail=f"n1000 penetration={small_pen:.1%}, n2000={big_pen:.1%}",
+        )
+
+    populations = Factor(
+        "population",
+        (Level("n1000", 1000), Level("n2000", 2000, suffix="-n2000")),
+    )
+    return ExperimentDesign(
+        experiment_id="scaling2000",
+        title="Population Scaling: 1000 vs 2000 Phones (§5.3 text)",
+        paper_ref="Section 5.3 (text)",
+        description=(
+            "Paper: additional experiments with a 2000-phone population "
+            "demonstrate that the results scale nicely — the penetration "
+            "fraction and curve shape are preserved."
+        ),
+        design=cross(virus_factor((1,)), populations),
+        label="{population}",
+        checkpoints=(96.0, 240.0, 432.0),
+        shape_checks=(penetration_matches,),
+    )
+
+
+#: Design factories for every reproduced paper artifact, in paper order.
+DESIGN_FACTORIES: Dict[str, Callable[[], ExperimentDesign]] = {
+    "fig1": design_fig1,
+    "fig2": design_fig2,
+    "fig3": design_fig3,
+    "fig4": design_fig4,
+    "fig5": design_fig5,
+    "fig6": design_fig6,
+    "fig7": design_fig7,
+    "blacklist-slow": design_blacklist_slow,
+    "combo": design_combined_defenses,
+    "scaling2000": design_scaling2000,
+}
+
+
+def design_ids() -> List[str]:
+    """All library design ids, in paper order."""
+    return list(DESIGN_FACTORIES)
+
+
+def get_design(experiment_id: str) -> ExperimentDesign:
+    """Build the declarative design for one experiment id."""
+    try:
+        factory = DESIGN_FACTORIES[experiment_id]
+    except KeyError:
+        known = ", ".join(DESIGN_FACTORIES)
+        raise KeyError(
+            f"unknown design {experiment_id!r}; known: {known}"
+        ) from None
+    return factory()
+
+
+def build(experiment_id: str):
+    """Compile one library design to its :class:`ExperimentSpec`."""
+    return get_design(experiment_id).to_spec()
+
+
+__all__ = [
+    "PAPER_PLATEAU",
+    "DESIGN_FACTORIES",
+    "design_ids",
+    "get_design",
+    "build",
+    "virus_factor",
+    "response_factor",
+    "blacklist_factor",
+]

@@ -5,10 +5,17 @@ One :class:`ExperimentSpec` per paper table/figure (see
 a runner that executes the series and renders paper-style reports.
 """
 
-from .registry import EXPERIMENT_FACTORIES, experiment_ids, get_experiment
+from .registry import (
+    EXPERIMENT_FACTORIES,
+    UnknownExperimentError,
+    experiment_ids,
+    get_design,
+    get_experiment,
+)
 from .runner import (
     export_csv,
     format_experiment_report,
+    run_design,
     run_experiment,
     run_experiment_batch,
 )
@@ -34,10 +41,13 @@ __all__ = [
     "CheckResult",
     "ShapeCheck",
     "EXPERIMENT_FACTORIES",
+    "UnknownExperimentError",
     "experiment_ids",
     "get_experiment",
+    "get_design",
     "run_experiment",
     "run_experiment_batch",
+    "run_design",
     "format_experiment_report",
     "export_csv",
     "ReplicationJob",

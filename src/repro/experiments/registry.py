@@ -22,6 +22,24 @@ EXPERIMENT_FACTORIES: Dict[str, Callable[[], ExperimentSpec]] = {
 }
 
 
+class UnknownExperimentError(KeyError):
+    """An experiment id that is not in the registry.
+
+    A ``KeyError`` subclass (callers catching ``KeyError`` keep working)
+    whose message lists the valid ids, the way ``load_golden`` reports
+    unknown fixtures — so a typo on the command line tells the user what
+    to type instead of just what failed.
+    """
+
+    def __init__(self, experiment_id: str) -> None:
+        super().__init__(experiment_id)
+        self.experiment_id = experiment_id
+
+    def __str__(self) -> str:
+        known = ", ".join(EXPERIMENT_FACTORIES)
+        return f"unknown experiment {self.experiment_id!r}; known: {known}"
+
+
 def experiment_ids() -> List[str]:
     """All registered experiment ids, in paper order."""
     return list(EXPERIMENT_FACTORIES)
@@ -32,11 +50,31 @@ def get_experiment(experiment_id: str) -> ExperimentSpec:
     try:
         factory = EXPERIMENT_FACTORIES[experiment_id]
     except KeyError:
-        known = ", ".join(EXPERIMENT_FACTORIES)
-        raise KeyError(
-            f"unknown experiment {experiment_id!r}; known: {known}"
-        ) from None
+        raise UnknownExperimentError(experiment_id) from None
     return factory()
 
 
-__all__ = ["EXPERIMENT_FACTORIES", "experiment_ids", "get_experiment"]
+def get_design(experiment_id: str):
+    """The declarative design behind one registry id.
+
+    Every registry experiment is compiled from ``repro.design.library``;
+    this returns that :class:`~repro.design.compile.ExperimentDesign`
+    (raising :class:`UnknownExperimentError` for unknown ids), which is
+    what ``repro-sim design show/compile/run`` operate on.
+    """
+    from ..design.library import DESIGN_FACTORIES
+
+    try:
+        factory = DESIGN_FACTORIES[experiment_id]
+    except KeyError:
+        raise UnknownExperimentError(experiment_id) from None
+    return factory()
+
+
+__all__ = [
+    "EXPERIMENT_FACTORIES",
+    "UnknownExperimentError",
+    "experiment_ids",
+    "get_experiment",
+    "get_design",
+]

@@ -72,6 +72,35 @@ def run_experiment_batch(
         return scheduler.run_batch(specs, replications=replications, seed=seed)
 
 
+def run_design(
+    design,
+    replications: Optional[int] = None,
+    seed: int = 0,
+    processes: int = 1,
+    cache: Optional[ResultCache] = None,
+    resilience: Optional[RetryPolicy] = None,
+    auto_degrade: bool = True,
+) -> ExperimentResult:
+    """Run one declarative design through the cache-deduplicated path.
+
+    Unlike :func:`run_experiment`, the job list comes from
+    :func:`repro.design.compile.compile_design`: design points whose
+    scenario/seed/replication cache keys coincide are simulated once and
+    fanned back out per series at collection.  The result is identical
+    to the undeduplicated run (job identity *is* the cache key).
+    """
+    from ..design.compile import compile_design
+
+    compiled = compile_design(design, replications=replications, seed=seed)
+    with ReplicationScheduler(
+        processes=processes,
+        cache=cache,
+        resilience=resilience,
+        auto_degrade=auto_degrade,
+    ) as scheduler:
+        return scheduler.run_compiled(compiled)
+
+
 def format_experiment_report(
     result: ExperimentResult,
     chart: bool = True,
@@ -155,6 +184,7 @@ def export_csv(
 __all__ = [
     "run_experiment",
     "run_experiment_batch",
+    "run_design",
     "format_experiment_report",
     "export_csv",
 ]

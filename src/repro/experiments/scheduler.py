@@ -210,6 +210,10 @@ class ReplicationScheduler:
         self._seeds: set = set()
         #: Distinct scenario configs seen, keyed by name, plus job counts.
         self._scenario_jobs: Dict[str, Tuple[ScenarioConfig, int]] = {}
+        #: One record per design-backed run: the factor grid, subsample
+        #: seed, and (on the compiled path) dedup accounting.  Lands in
+        #: the run manifest's ``design`` section.
+        self.design_sections: List[Dict[str, Any]] = []
 
     def __enter__(self) -> "ReplicationScheduler":
         return self
@@ -711,6 +715,7 @@ class ReplicationScheduler:
             replications=self.stats.scheduled,
             scenarios=scenarios,
             scheduler=tele["scheduler"],
+            design=self.design_sections or None,
             cache=tele["cache"],
             workers=tele["workers"],
             kernel=tele["kernel"],
@@ -740,6 +745,19 @@ class ReplicationScheduler:
         return ReplicationSet(config=config, results=survivors)
 
     # -- experiment orchestration -------------------------------------------
+
+    def run_compiled(self, compiled: Any) -> ExperimentResult:
+        """Run one cache-deduplicated compiled design.
+
+        ``compiled`` is a :class:`~repro.design.compile.CompiledDesign`
+        (duck-typed — this module must not import :mod:`repro.design`):
+        its ``jobs`` hold each distinct configuration once, and
+        ``collect()`` fans results back out to every series that
+        requested them.  The dedup accounting joins the run manifest's
+        ``design`` section.
+        """
+        self.design_sections.append(compiled.manifest_section())
+        return compiled.collect(self.run_jobs(compiled.jobs))
 
     def run_experiment(
         self,
@@ -782,6 +800,10 @@ class ReplicationScheduler:
                 )
                 slices.append((series.label, scenario, start, len(jobs)))
             layout.append((spec, reps, slices))
+            if spec.design is not None:
+                section = spec.design.grid_section()
+                section.update({"seed": seed, "replications": reps})
+                self.design_sections.append(section)
 
         results = self.run_jobs(jobs)
 

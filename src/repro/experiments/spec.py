@@ -11,7 +11,7 @@ outcomes, and EXPERIMENTS.md records paper-vs-measured.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.timeseries import StepCurve
 from ..core.parameters import ENGINES, ScenarioConfig
@@ -72,6 +72,11 @@ class ExperimentSpec:
     #: Stamped onto each scenario at job-build time, so the same spec can
     #: regenerate an artifact on either engine without redefining series.
     engine: str = "core"
+    #: The declarative :class:`~repro.design.compile.ExperimentDesign`
+    #: this spec was compiled from, when it came through ``repro.design``
+    #: (``None`` for ad-hoc specs).  Carried so run manifests can record
+    #: the factor grid; never part of the runtime identity.
+    design: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if not self.series:

@@ -23,7 +23,10 @@ optional sections
     ``kernel`` (events fired/cancelled, heap peak), ``resilience``
     (retry/quarantine counts, pool respawns, every failure event, and
     the checkpoint resume reconciliation — the durable record that a
-    campaign survived faults), ``metrics`` (a full
+    campaign survived faults), ``design`` (one record per design-backed
+    experiment: the factor grid, point count, Latin-square subsample
+    seed, and — on the compiled path — requested/unique job counts and
+    the dedup ratio), ``metrics`` (a full
     :meth:`repro.obs.metrics.Metrics.snapshot`), ``extra``.
 
 :func:`validate_manifest` returns a list of problems (empty = valid);
@@ -121,6 +124,7 @@ def build_manifest(
     replications: Optional[int] = None,
     scenarios: Optional[Sequence[Mapping[str, Any]]] = None,
     scheduler: Optional[Mapping[str, Any]] = None,
+    design: Optional[Sequence[Mapping[str, Any]]] = None,
     cache: Optional[Mapping[str, Any]] = None,
     workers: Optional[Sequence[Mapping[str, Any]]] = None,
     kernel: Optional[Mapping[str, Any]] = None,
@@ -161,6 +165,8 @@ def build_manifest(
         document["scenarios"] = [dict(s) for s in scenarios]
     if scheduler is not None:
         document["scheduler"] = dict(scheduler)
+    if design is not None:
+        document["design"] = [dict(d) for d in design]
     if cache is not None:
         document["cache"] = dict(cache)
     if workers is not None:
@@ -263,6 +269,47 @@ def validate_manifest(document: Mapping[str, Any]) -> List[str]:
                         problems.append(
                             f"resilience.events[{position}] lacks kind/action"
                         )
+
+    design = document.get("design")
+    if design is not None:
+        if not isinstance(design, Sequence) or isinstance(design, (str, bytes)):
+            problems.append("design section is not a list")
+        else:
+            for position, record in enumerate(design):
+                if not isinstance(record, Mapping):
+                    problems.append(f"design[{position}] is not an object")
+                    continue
+                if not isinstance(record.get("experiment"), str):
+                    problems.append(f"design[{position}] lacks an experiment id")
+                factors = record.get("factors")
+                if not isinstance(factors, Sequence) or isinstance(
+                    factors, (str, bytes)
+                ):
+                    problems.append(
+                        f"design[{position}].factors missing or not a list"
+                    )
+                else:
+                    for fpos, factor in enumerate(factors):
+                        if not isinstance(factor, Mapping) or not isinstance(
+                            factor.get("name"), str
+                        ) or not isinstance(factor.get("levels"), int):
+                            problems.append(
+                                f"design[{position}].factors[{fpos}] lacks "
+                                "name/levels"
+                            )
+                if not isinstance(record.get("points"), int):
+                    problems.append(
+                        f"design[{position}].points missing or not an int"
+                    )
+                ratio = record.get("dedup_ratio")
+                if ratio is not None and (
+                    not isinstance(ratio, (int, float))
+                    or isinstance(ratio, bool)
+                    or not 0.0 < ratio <= 1.0
+                ):
+                    problems.append(
+                        f"design[{position}].dedup_ratio outside (0, 1]"
+                    )
 
     scenarios = document.get("scenarios")
     if scenarios is not None:

@@ -1,0 +1,410 @@
+"""Frozen copy of the pre-DSL hand-written figure builders.
+
+This module is the *differential baseline* for
+``test_design_equivalence.py``: it is the last pre-``repro.design``
+version of ``src/repro/experiments/figures.py``, kept verbatim (only
+the imports are rewritten as absolute) so the declarative designs in
+``repro.design.library`` can be proven job-for-job identical to the
+code they replaced.  Do not edit the builder bodies; if an experiment
+legitimately changes, change the library design and regenerate this
+freeze from the old builder in the same commit.
+"""
+
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from repro.core.parameters import (
+    BlacklistConfig,
+    DetectionAlgorithmConfig,
+    GatewayScanConfig,
+    ImmunizationConfig,
+    MonitoringConfig,
+    NetworkParameters,
+    UserEducationConfig,
+)
+from repro.core.scenarios import baseline_scenario
+from repro.core.units import DAYS, HOURS, MINUTES
+from repro.experiments import checks
+from repro.experiments.spec import ExperimentSpec, SeriesSpec
+
+#: The paper's expected unconstrained plateau: 800 susceptible × 0.40.
+PAPER_PLATEAU = 320.0
+
+
+def fig1() -> ExperimentSpec:
+    """Figure 1: baseline infection curves for all four viruses."""
+    series = tuple(
+        SeriesSpec(f"virus{v}", baseline_scenario(v)) for v in (1, 2, 3, 4)
+    )
+    return ExperimentSpec(
+        experiment_id="fig1",
+        title="Baseline Infection Curves without Response Mechanisms",
+        paper_ref="Figure 1",
+        description=(
+            "All four viruses produce classic S-shaped infection curves that "
+            "plateau at ≈320 infected phones (800 susceptible × 0.40 total "
+            "acceptance). Virus 2 is step-like (daily bursts); Virus 3 "
+            "saturates within its 24-hour window; Viruses 1 and 4 take "
+            "one to two weeks."
+        ),
+        series=series,
+        checkpoints=(24.0, 48.0, 96.0, 240.0, 432.0),
+        shape_checks=(
+            checks.plateau_near("virus1", PAPER_PLATEAU),
+            checks.plateau_near("virus2", PAPER_PLATEAU),
+            checks.plateau_near("virus3", PAPER_PLATEAU),
+            checks.plateau_near("virus4", PAPER_PLATEAU),
+            checks.s_shaped("virus1"),
+            checks.s_shaped("virus4"),
+            checks.steppier_than("virus2", "virus1"),
+            checks.faster_saturation("virus3", "virus2"),
+            checks.faster_saturation("virus2", "virus1"),
+            checks.faster_saturation("virus1", "virus4"),
+        ),
+    )
+
+
+def fig2() -> ExperimentSpec:
+    """Figure 2: gateway virus scan on Virus 1, delay 6/12/24 h."""
+    base = baseline_scenario(1)
+    series = (
+        SeriesSpec("baseline", base),
+        SeriesSpec("6h-delay", base.with_responses(GatewayScanConfig(6 * HOURS))),
+        SeriesSpec("12h-delay", base.with_responses(GatewayScanConfig(12 * HOURS))),
+        SeriesSpec("24h-delay", base.with_responses(GatewayScanConfig(24 * HOURS))),
+    )
+    return ExperimentSpec(
+        experiment_id="fig2",
+        title="Virus Scan: Varying the Activation Time Delay (Virus 1)",
+        paper_ref="Figure 2",
+        description=(
+            "The signature scan halts propagation once deployed; prompter "
+            "deployment contains the infection earlier. Paper: with a 6-hour "
+            "delay the infection reaches only ~5% of the baseline level; "
+            "even 24 hours contains it to ~25%."
+        ),
+        series=series,
+        checkpoints=(24.0, 96.0, 432.0),
+        shape_checks=(
+            checks.final_ordering(["6h-delay", "12h-delay", "24h-delay", "baseline"]),
+            checks.containment_below("6h-delay", "baseline", 0.15),
+            checks.containment_below("24h-delay", "baseline", 0.45),
+        ),
+    )
+
+
+def fig3() -> ExperimentSpec:
+    """Figure 3: gateway detection algorithm on Virus 2, accuracy sweep."""
+    base = baseline_scenario(2)
+    series = [SeriesSpec("baseline", base)]
+    for accuracy in (0.99, 0.95, 0.90, 0.85, 0.80):
+        series.append(
+            SeriesSpec(
+                f"acc-{accuracy:.2f}",
+                base.with_responses(DetectionAlgorithmConfig(accuracy=accuracy)),
+            )
+        )
+    return ExperimentSpec(
+        experiment_id="fig3",
+        title="Virus Detection Algorithm: Varying Detection Accuracy (Virus 2)",
+        paper_ref="Figure 3",
+        description=(
+            "The heuristic detector blocks each infected message with "
+            "probability equal to its accuracy, slowing (not stopping) the "
+            "spread; higher accuracy slows more. Paper: at 0.95 accuracy, "
+            "reaching 135 infected phones takes ~9 days instead of ~2."
+        ),
+        series=tuple(series),
+        checkpoints=(48.0, 120.0, 240.0),
+        shape_checks=(
+            checks.final_ordering(
+                ["acc-0.99", "acc-0.95", "acc-0.90", "acc-0.85", "acc-0.80", "baseline"]
+            ),
+            checks.slower_to_level("acc-0.95", "baseline", level=135.0, min_delay=48.0),
+            checks.slower_to_level("acc-0.80", "baseline", level=135.0, min_delay=12.0),
+        ),
+    )
+
+
+def fig4() -> ExperimentSpec:
+    """Figure 4: phone user education across all four viruses."""
+    series = []
+    check_list = []
+    for v in (1, 2, 3, 4):
+        base = baseline_scenario(v)
+        educated = base.with_responses(
+            UserEducationConfig(acceptance_scale=0.5), suffix="usered"
+        )
+        series.append(SeriesSpec(f"virus{v}", base))
+        series.append(SeriesSpec(f"virus{v}-usered", educated))
+        check_list.append(
+            checks.containment_between(
+                f"virus{v}-usered",
+                f"virus{v}",
+                0.35,
+                0.70,
+                name=f"education halves virus{v} plateau",
+            )
+        )
+    return ExperimentSpec(
+        experiment_id="fig4",
+        title="Phone User Education: Effective for All Viruses",
+        paper_ref="Figure 4",
+        description=(
+            "Halving the acceptance factor reduces the total probability of "
+            "eventual acceptance from 0.40 to ≈0.20 and halves the plateau "
+            "for every virus — the only mechanism that is universally "
+            "effective, including against Virus 3."
+        ),
+        series=tuple(series),
+        checkpoints=(96.0, 432.0),
+        shape_checks=tuple(check_list),
+    )
+
+
+def fig5() -> ExperimentSpec:
+    """Figure 5: immunization on Virus 4, (development, deployment) sweep."""
+    base = baseline_scenario(4)
+    series = [SeriesSpec("baseline", base)]
+    for dev in (24.0, 48.0):
+        for deploy in (1.0, 6.0, 24.0):
+            label = f"hours-{dev:.0f}-{dev + deploy:.0f}"
+            series.append(
+                SeriesSpec(
+                    label,
+                    base.with_responses(
+                        ImmunizationConfig(
+                            development_time=dev, deployment_window=deploy
+                        )
+                    ),
+                )
+            )
+    return ExperimentSpec(
+        experiment_id="fig5",
+        title="Immunization Using Patches: Varying the Deployment Times (Virus 4)",
+        paper_ref="Figure 5",
+        description=(
+            "Patch development time (24 vs 48 h after detectability) sets how "
+            "long the virus spreads unrestrained; the deployment window (1, "
+            "6, 24 h) sets how much more it spreads during rollout. Paper: "
+            "a 24-hour rollout admits ~60% more infections than a 1-hour "
+            "rollout (24-hour development case)."
+        ),
+        series=tuple(series),
+        checkpoints=(48.0, 96.0, 432.0),
+        shape_checks=(
+            checks.final_ordering(["hours-24-25", "hours-24-30", "hours-24-48"]),
+            checks.final_ordering(["hours-48-49", "hours-48-54", "hours-48-72"]),
+            checks.final_ordering(["hours-24-25", "hours-48-49"]),
+            checks.final_ordering(["hours-24-48", "hours-48-72"]),
+            checks.containment_below("hours-24-25", "baseline", 0.6),
+        ),
+    )
+
+
+def fig6() -> ExperimentSpec:
+    """Figure 6: monitoring on Virus 3, forced wait 15/30/60 min."""
+    base = baseline_scenario(3)
+    series = (
+        SeriesSpec("baseline", base),
+        SeriesSpec(
+            "15min-wait", base.with_responses(MonitoringConfig(forced_wait=15 * MINUTES))
+        ),
+        SeriesSpec(
+            "30min-wait", base.with_responses(MonitoringConfig(forced_wait=30 * MINUTES))
+        ),
+        SeriesSpec(
+            "60min-wait", base.with_responses(MonitoringConfig(forced_wait=60 * MINUTES))
+        ),
+    )
+    return ExperimentSpec(
+        experiment_id="fig6",
+        title="Monitoring: Varying the Wait Time for Suspicious Phones (Virus 3)",
+        paper_ref="Figure 6",
+        description=(
+            "Monitoring flags Virus 3's anomalous volume and throttles "
+            "flagged phones, buying hours for a secondary response; longer "
+            "forced waits slow the spread more. Paper: baseline reaches 150 "
+            "infections in ~2.5 h, while a 15-minute wait keeps the level "
+            "under 150 for many hours."
+        ),
+        series=series,
+        checkpoints=(5.0, 10.0, 20.0, 24.0),
+        shape_checks=(
+            checks.slower_to_level("15min-wait", "baseline", level=150.0, min_delay=3.0),
+            checks.slower_to_level("30min-wait", "baseline", level=150.0, min_delay=4.0),
+            checks.slower_to_level("60min-wait", "baseline", level=150.0, min_delay=6.0),
+        ),
+    )
+
+
+def fig7() -> ExperimentSpec:
+    """Figure 7: blacklisting on Virus 3, threshold 10/20/30/40."""
+    base = baseline_scenario(3)
+    series = [SeriesSpec("baseline", base)]
+    for threshold in (10, 20, 30, 40):
+        series.append(
+            SeriesSpec(
+                f"{threshold}-messages",
+                base.with_responses(BlacklistConfig(threshold=threshold)),
+            )
+        )
+    return ExperimentSpec(
+        experiment_id="fig7",
+        title="Blacklisting: Varying the Activation Threshold (Virus 3)",
+        paper_ref="Figure 7",
+        description=(
+            "Blacklisting counts suspected infected messages (invalid random "
+            "dials included) and cuts off MMS service at the threshold; it "
+            "is most effective against Virus 3 because invalid dials count "
+            "too. Lower thresholds contain the virus harder."
+        ),
+        series=tuple(series),
+        checkpoints=(5.0, 10.0, 24.0),
+        shape_checks=(
+            checks.final_ordering(
+                ["10-messages", "20-messages", "30-messages", "40-messages", "baseline"]
+            ),
+            checks.containment_below("10-messages", "baseline", 0.35),
+        ),
+    )
+
+
+def text_blacklist_slow() -> ExperimentSpec:
+    """§5.2 text: blacklisting against the slow viruses (1 and 4) and V2."""
+    series = []
+    for v in (1, 2, 4):
+        base = baseline_scenario(v)
+        series.append(SeriesSpec(f"virus{v}-baseline", base))
+        for threshold in (10, 20, 30, 40):
+            series.append(
+                SeriesSpec(
+                    f"virus{v}-th{threshold}",
+                    base.with_responses(BlacklistConfig(threshold=threshold)),
+                )
+            )
+    return ExperimentSpec(
+        experiment_id="blacklist-slow",
+        title="Blacklisting against Viruses 1, 2 and 4 (§5.2 text)",
+        paper_ref="Section 5.2 (text)",
+        description=(
+            "Paper: threshold 10 is somewhat effective for Viruses 1 and 4 "
+            "(penetration restricted versus baseline) but higher thresholds "
+            "are ineffective; blacklisting is completely ineffective against "
+            "Virus 2 at any threshold because each multi-recipient message "
+            "counts once."
+        ),
+        series=tuple(series),
+        checkpoints=(96.0, 432.0),
+        shape_checks=(
+            checks.containment_below("virus1-th10", "virus1-baseline", 0.70),
+            checks.containment_below("virus4-th10", "virus4-baseline", 0.70),
+            checks.final_ordering(
+                ["virus1-th10", "virus1-th20", "virus1-th30", "virus1-th40"]
+            ),
+            checks.ineffective("virus2-th10", "virus2-baseline"),
+            checks.ineffective("virus2-th40", "virus2-baseline"),
+        ),
+    )
+
+
+def combined_defenses() -> ExperimentSpec:
+    """Conclusion (future work): combinations of reaction mechanisms.
+
+    The paper: "This work can be extended with an evaluation of
+    combinations of reaction mechanisms, particularly when a response
+    mechanism that only slows virus propagation requires a secondary
+    mechanism to completely halt virus spread."  We implement that study
+    for the hardest case, Virus 3: monitoring alone slows, the gateway
+    scan alone is too late, and the combination contains.
+    """
+    base = baseline_scenario(3).with_duration(48 * HOURS)
+    monitoring = MonitoringConfig(forced_wait=15 * MINUTES)
+    scan = GatewayScanConfig(activation_delay=6 * HOURS)
+    series = (
+        SeriesSpec("baseline", base),
+        SeriesSpec("monitoring-only", base.with_responses(monitoring)),
+        SeriesSpec("scan-only", base.with_responses(scan)),
+        SeriesSpec("monitoring+scan", base.with_responses(monitoring, scan)),
+    )
+    return ExperimentSpec(
+        experiment_id="combo",
+        title="Combined Defenses against Virus 3 (conclusion, future work)",
+        paper_ref="Section 6 (proposed extension)",
+        description=(
+            "Layering a slowing mechanism (monitoring) under a stopping "
+            "mechanism (gateway scan) contains a rapid virus that defeats "
+            "either alone: the forced waits hold the infection level down "
+            "until the signature deploys."
+        ),
+        series=series,
+        checkpoints=(6.0, 12.0, 24.0, 48.0),
+        shape_checks=(
+            checks.ineffective("scan-only", "baseline", min_fraction=0.75),
+            checks.containment_below("monitoring+scan", "baseline", 0.5),
+            checks.containment_below(
+                "monitoring+scan", "monitoring-only", 0.75,
+                name="combination beats monitoring alone",
+            ),
+            checks.containment_below(
+                "monitoring+scan", "scan-only", 0.6,
+                name="combination beats scan alone",
+            ),
+        ),
+    )
+
+
+def scaling2000() -> ExperimentSpec:
+    """§5.3 text: results scale from 1000 to 2000 phones."""
+    small = baseline_scenario(1)
+    big_network = NetworkParameters(population=2000)
+    big = dataclasses.replace(
+        baseline_scenario(1, network=big_network), name="virus1-baseline-n2000"
+    )
+    series = (
+        SeriesSpec("n1000", small),
+        SeriesSpec("n2000", big),
+    )
+
+    def penetration_matches(results):
+        from repro.experiments.spec import CheckResult
+
+        small_pen = results["n1000"].final_summary().mean / 800.0
+        big_pen = results["n2000"].final_summary().mean / 1600.0
+        return CheckResult(
+            name="penetration scales with population",
+            passed=abs(small_pen - big_pen) <= 0.08,
+            detail=f"n1000 penetration={small_pen:.1%}, n2000={big_pen:.1%}",
+        )
+
+    return ExperimentSpec(
+        experiment_id="scaling2000",
+        title="Population Scaling: 1000 vs 2000 Phones (§5.3 text)",
+        paper_ref="Section 5.3 (text)",
+        description=(
+            "Paper: additional experiments with a 2000-phone population "
+            "demonstrate that the results scale nicely — the penetration "
+            "fraction and curve shape are preserved."
+        ),
+        series=series,
+        checkpoints=(96.0, 240.0, 432.0),
+        shape_checks=(penetration_matches,),
+    )
+
+
+__all__ = [
+    "PAPER_PLATEAU",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "text_blacklist_slow",
+    "combined_defenses",
+    "scaling2000",
+]

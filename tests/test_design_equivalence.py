@@ -1,0 +1,133 @@
+"""Differential equivalence: DSL designs vs the frozen legacy builders.
+
+The declarative designs in ``repro.design.library`` replaced the
+hand-written figure builders; ``legacy_figures.py`` freezes the last
+pre-DSL version of those builders verbatim.  For every one of the ten
+registry experiments this suite proves the replacement is *exact*:
+
+- same series labels, in the same order;
+- same scenario configurations (dataclass equality AND canonical-JSON
+  cache identity);
+- same experiment metadata (title, paper ref, checkpoints, engine,
+  replication default, number of shape checks);
+- same flattened scheduler job list — same cache keys, same order (and
+  therefore the same multiset after a canonical sort);
+- the compiled (dedup-aware) job list requests exactly the legacy jobs.
+
+If one of these fails, ``repro-sim figure`` output is no longer
+byte-for-byte what it was before the DSL landed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import legacy_figures
+from repro.core.cache import result_key
+from repro.core.serialization import scenario_to_dict
+from repro.design.compile import compile_design
+from repro.design.library import DESIGN_FACTORIES, build, design_ids
+from repro.experiments.registry import experiment_ids, get_experiment
+from repro.experiments.scheduler import flatten_experiment
+
+#: Legacy (frozen) builder per experiment id.
+LEGACY_FACTORIES = {
+    "fig1": legacy_figures.fig1,
+    "fig2": legacy_figures.fig2,
+    "fig3": legacy_figures.fig3,
+    "fig4": legacy_figures.fig4,
+    "fig5": legacy_figures.fig5,
+    "fig6": legacy_figures.fig6,
+    "fig7": legacy_figures.fig7,
+    "blacklist-slow": legacy_figures.text_blacklist_slow,
+    "combo": legacy_figures.combined_defenses,
+    "scaling2000": legacy_figures.scaling2000,
+}
+
+ALL_IDS = sorted(LEGACY_FACTORIES)
+
+
+def canonical(config) -> str:
+    """The scenario's canonical JSON — its cache identity."""
+    return json.dumps(scenario_to_dict(config), sort_keys=True, separators=(",", ":"))
+
+
+def test_legacy_freeze_covers_the_whole_registry():
+    assert sorted(LEGACY_FACTORIES) == sorted(experiment_ids())
+    assert sorted(LEGACY_FACTORIES) == sorted(design_ids())
+
+
+@pytest.mark.parametrize("experiment_id", ALL_IDS)
+def test_series_labels_and_order_match(experiment_id):
+    legacy = LEGACY_FACTORIES[experiment_id]()
+    spec = build(experiment_id)
+    assert [s.label for s in spec.series] == [s.label for s in legacy.series]
+
+
+@pytest.mark.parametrize("experiment_id", ALL_IDS)
+def test_series_scenarios_match(experiment_id):
+    legacy = LEGACY_FACTORIES[experiment_id]()
+    spec = build(experiment_id)
+    for new_series, legacy_series in zip(spec.series, legacy.series):
+        assert new_series.scenario == legacy_series.scenario, new_series.label
+        assert canonical(new_series.scenario) == canonical(legacy_series.scenario)
+
+
+@pytest.mark.parametrize("experiment_id", ALL_IDS)
+def test_metadata_matches(experiment_id):
+    legacy = LEGACY_FACTORIES[experiment_id]()
+    spec = build(experiment_id)
+    assert spec.experiment_id == legacy.experiment_id
+    assert spec.title == legacy.title
+    assert spec.paper_ref == legacy.paper_ref
+    assert spec.description == legacy.description
+    assert spec.checkpoints == legacy.checkpoints
+    assert spec.default_replications == legacy.default_replications
+    assert spec.engine == legacy.engine
+    assert len(spec.shape_checks) == len(legacy.shape_checks)
+
+
+@pytest.mark.parametrize("experiment_id", ALL_IDS)
+@pytest.mark.parametrize("seed", (0, 11))
+def test_flattened_job_lists_match(experiment_id, seed):
+    legacy = LEGACY_FACTORIES[experiment_id]()
+    spec = get_experiment(experiment_id)
+    legacy_jobs = flatten_experiment(legacy, replications=2, seed=seed)
+    new_jobs = flatten_experiment(spec, replications=2, seed=seed)
+    legacy_keys = [result_key(j.config, j.seed, j.replication) for j in legacy_jobs]
+    new_keys = [result_key(j.config, j.seed, j.replication) for j in new_jobs]
+    assert new_keys == legacy_keys
+    assert sorted(new_keys) == sorted(legacy_keys)
+
+
+@pytest.mark.parametrize("experiment_id", ALL_IDS)
+def test_compiled_jobs_request_exactly_the_legacy_jobs(experiment_id):
+    legacy = LEGACY_FACTORIES[experiment_id]()
+    compiled = compile_design(DESIGN_FACTORIES[experiment_id](), replications=2, seed=3)
+    legacy_jobs = flatten_experiment(legacy, replications=2, seed=3)
+    legacy_keys = [result_key(j.config, j.seed, j.replication) for j in legacy_jobs]
+    compiled_keys = [
+        result_key(j.config, j.seed, j.replication) for j in compiled.jobs
+    ]
+    # The paper grids contain no duplicate configurations, so the
+    # deduplicated job list IS the legacy job list, key for key.
+    assert compiled_keys == legacy_keys
+    assert compiled.dedup_ratio == 1.0
+    # The fan-out slots reconstruct every (series, replication) request.
+    requested = [
+        compiled_keys[index]
+        for series in compiled.spec.series
+        for index in compiled.slots[series.label]
+    ]
+    assert requested == legacy_keys
+
+
+@pytest.mark.parametrize("experiment_id", ALL_IDS)
+def test_registry_serves_the_design_compiled_spec(experiment_id):
+    via_registry = get_experiment(experiment_id)
+    via_design = build(experiment_id)
+    assert via_registry.series == via_design.series
+    assert via_registry.design is not None
+    assert via_registry.design.experiment_id == experiment_id
