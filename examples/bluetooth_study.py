@@ -12,7 +12,16 @@ in two parts:
 2. **Mobility matters** — using the mobility substrate, the same worm is
    run under random mixing (fast movement) and spatially constrained
    random-waypoint movement at two densities, showing how locality slows
-   a proximity virus.
+   a proximity virus.  Consent here follows the corrected semantics:
+   *every* received offer advances a phone's ``AF/2^n`` decay counter,
+   even when the recipient is already infected or immune — exactly like
+   the core model's ``_receive``.
+3. **Same story at scale** — the identical comparison on the xl engine's
+   vectorized Bluetooth channel: random mixing vs the waypoint grid
+   (``MobilityParameters``), at 20x the population.
+
+Both mobility parts assert that locality slows the spread; the script
+exits non-zero if that ordering ever breaks.
 
 Run:  python examples/bluetooth_study.py          (~1 minute)
 """
@@ -25,6 +34,7 @@ from repro.analysis import format_table
 from repro.core import (
     GatewayScanConfig,
     ImmunizationConfig,
+    MobilityParameters,
     NetworkParameters,
     ScenarioConfig,
     UserEducationConfig,
@@ -91,19 +101,21 @@ def part_two_mobility() -> None:
     regimes["random mixing"] = RandomMixingEncounters(
         population, np.random.default_rng(seed)
     )
-    for label, arena in [("dense city (1 km²)", 1000.0), ("sparse town (3 km²)", 3000.0)]:
+    arenas = [("dense city (1 km²)", 1000.0), ("sparse town (3 km²)", 3000.0)]
+    for index, (label, arena) in enumerate(arenas):
         mobility = WaypointMobility(
             num_phones=population,
             arena_size=arena,
             speed_range=(1000.0, 5000.0),  # 1-5 km/h in metres/hour
             pause_range=(0.0, 1.0),
-            rng=np.random.default_rng(seed + hash(label) % 1000),
+            rng=np.random.default_rng(seed + 100 + index),
         )
         regimes[label] = ProximityEncounterProcess(
             mobility, bluetooth_radius=100.0, rng=np.random.default_rng(seed)
         )
 
     rows = []
+    finals = {}
     for label, encounters in regimes.items():
         times = simulate_proximity_outbreak(
             encounters,
@@ -119,6 +131,7 @@ def part_two_mobility() -> None:
             if isinstance(encounters, ProximityEncounterProcess)
             else "100%"
         )
+        finals[label] = len(times)
         rows.append([label, len(times), availability])
     print(
         format_table(
@@ -128,17 +141,84 @@ def part_two_mobility() -> None:
             f"({population} phones, Bluetooth range 100 m)",
         )
     )
+    assert finals["sparse town (3 km²)"] <= finals["random mixing"], (
+        "locality should slow the outbreak: sparse waypoint movement "
+        f"infected {finals['sparse town (3 km²)']} phones vs "
+        f"{finals['random mixing']} under random mixing"
+    )
     print(
         "Reading: random mixing is the worst case the core model's "
         "bluetooth_rate channel assumes; real spatial movement lowers the "
         "fraction of transfer attempts that find a partner and slows the "
-        "outbreak accordingly."
+        "outbreak accordingly.\n"
+    )
+
+
+def part_three_xl_channel() -> None:
+    population = 2500
+    seed = 37
+    worm = VirusParameters(
+        name="bluetooth-worm-xl",
+        min_send_interval=10_000.0,  # MMS channel effectively disabled
+        bluetooth_rate=2.0,
+    )
+    base = ScenarioConfig(
+        name="bluetooth-worm-xl",
+        virus=worm,
+        network=NetworkParameters(population=population),
+        duration=48.0,
+        engine="xl",
+    )
+    # Radius 20 m: the dense arena keeps ~3 phones in range (encounters
+    # almost never fizzle, so it tracks random mixing) while the sparse
+    # arena drops to ~0.3 — most attempts find nobody and the spread slows.
+    regimes = [
+        ("random mixing", base),
+        (
+            "dense grid (1 km²)",
+            base.with_mobility(
+                MobilityParameters(arena_size=1000.0, bluetooth_radius=20.0)
+            ),
+        ),
+        (
+            "sparse grid (3 km²)",
+            base.with_mobility(
+                MobilityParameters(arena_size=3000.0, bluetooth_radius=20.0)
+            ),
+        ),
+    ]
+    rows = []
+    finals = {}
+    for label, config in regimes:
+        result = run_scenario(config, seed=seed)
+        finals[label] = result.total_infected
+        rows.append([label, result.total_infected])
+    print(
+        format_table(
+            ["partner sampling", "infected by 48 h"],
+            rows,
+            title=f"Part 3 — the same comparison on the xl engine "
+            f"({population} phones, vectorized Bluetooth channel)",
+        )
+    )
+    assert finals["sparse grid (3 km²)"] <= finals["random mixing"], (
+        "locality should slow the outbreak on the xl engine too: "
+        f"sparse grid infected {finals['sparse grid (3 km²)']} phones vs "
+        f"{finals['random mixing']} under random mixing"
+    )
+    print(
+        "Reading: the xl engine reproduces the mobility story at scale — "
+        "without mobility parameters its Bluetooth channel is random "
+        "mixing (the core model's assumption); with the waypoint grid, "
+        "encounters that find nobody within Bluetooth radius fizzle, and "
+        "the sparser the arena the slower the spread."
     )
 
 
 def main() -> None:
     part_one_defense_blind_spots()
     part_two_mobility()
+    part_three_xl_channel()
 
 
 if __name__ == "__main__":

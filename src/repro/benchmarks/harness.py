@@ -147,6 +147,8 @@ def _xl_replication(
     virus: int,
     preset: str,
     duration: Optional[float] = None,
+    bluetooth_rate: float = 0.0,
+    mobility: bool = False,
 ) -> Callable[[int], WorkloadResult]:
     """One seeded replication on the array-backed xl engine.
 
@@ -154,16 +156,37 @@ def _xl_replication(
     :func:`~repro.xl.engine.run_scenario_xl` makes, so results are
     identical) to time topology/state construction separately from the
     round loop, and records the process's peak RSS after the run — the
-    memory-ceiling evidence for the large presets.
+    memory-ceiling evidence for the large presets.  ``bluetooth_rate``
+    (plus optionally density-matched waypoint ``mobility``) switches to
+    the hybrid MMS + Bluetooth scenario.
     """
 
     def runner(processes: int) -> WorkloadResult:
         import resource
 
         from ..xl.engine import XLEngine
-        from ..xl.presets import xl_scenario
+        from ..xl.presets import (
+            density_matched_mobility,
+            hybrid_scenario,
+            xl_network,
+            xl_scenario,
+        )
 
-        config = xl_scenario(virus, preset, duration=duration)
+        if bluetooth_rate > 0:
+            waypoints = (
+                density_matched_mobility(xl_network(preset).population)
+                if mobility
+                else None
+            )
+            config = hybrid_scenario(
+                virus,
+                preset,
+                duration=duration,
+                bluetooth_rate=bluetooth_rate,
+                mobility=waypoints,
+            )
+        else:
+            config = xl_scenario(virus, preset, duration=duration)
         start = time.perf_counter()
         engine = XLEngine(config, StreamFactory(BENCH_SEED).replication(0))
         built = time.perf_counter()
@@ -171,22 +194,29 @@ def _xl_replication(
         engine.run()
         finished = time.perf_counter()
         peak_rss_mib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+        detail = {
+            "kind": "xl_replication",
+            "virus": virus,
+            "preset": preset,
+            "population": config.network.population,
+            "duration_hours": config.duration,
+            "final_infected": len(engine.infection_times),
+            "rounds": int(engine.counters["xl_rounds"]),
+            "peak_rss_mib": round(peak_rss_mib, 1),
+        }
+        if bluetooth_rate > 0:
+            detail["bluetooth_rate"] = bluetooth_rate
+            detail["bluetooth_encounters"] = int(
+                engine.counters["bluetooth_encounters"]
+            )
+            detail["mobility"] = mobility
         return WorkloadResult(
             name=name,
             wall_seconds=finished - start,
             build_seconds=built - start,
             run_seconds=finished - built,
             events=int(engine.counters["events_fired"]),
-            detail={
-                "kind": "xl_replication",
-                "virus": virus,
-                "preset": preset,
-                "population": config.network.population,
-                "duration_hours": config.duration,
-                "final_infected": len(engine.infection_times),
-                "rounds": int(engine.counters["xl_rounds"]),
-                "peak_rss_mib": round(peak_rss_mib, 1),
-            },
+            detail=detail,
         )
 
     return runner
@@ -284,6 +314,22 @@ WORKLOADS: Dict[str, Workload] = {
             smoke=False,
             runner=_xl_replication(
                 "xl-100k-v1", virus=1, preset="xl-100k", duration=96.0
+            ),
+        ),
+        Workload(
+            name="xl-hybrid-100k",
+            description=(
+                "Virus 1 hybrid MMS + Bluetooth on the xl engine at 100k "
+                "phones (96 h), waypoint-grid partner sampling"
+            ),
+            smoke=False,
+            runner=_xl_replication(
+                "xl-hybrid-100k",
+                virus=1,
+                preset="xl-100k",
+                duration=96.0,
+                bluetooth_rate=1.0,
+                mobility=True,
             ),
         ),
         Workload(

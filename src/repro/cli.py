@@ -43,6 +43,7 @@ from .core.parameters import (
     DetectionAlgorithmConfig,
     GatewayScanConfig,
     ImmunizationConfig,
+    MobilityParameters,
     MonitoringConfig,
     NetworkParameters,
     ResponseConfig,
@@ -64,6 +65,47 @@ from .topology.contact_lists import write_contact_lists
 from .topology.generators import contact_network
 from .topology.metrics import DegreeStats
 from .xl.presets import XL_PRESETS, xl_network
+
+
+def _add_bluetooth_args(parser: argparse.ArgumentParser) -> None:
+    """Bluetooth/mobility flags shared by ``run`` and ``profile``."""
+    group = parser.add_argument_group("bluetooth / mobility")
+    group.add_argument(
+        "--bluetooth-rate", type=float, default=0.0,
+        help="proximity encounters per hour per infected phone "
+        "(0 = MMS only; core + xl engines)",
+    )
+    group.add_argument(
+        "--mobility", action="store_true",
+        help="draw Bluetooth partners from the random-waypoint grid "
+        "instead of random mixing (xl engine only)",
+    )
+    group.add_argument("--arena-size", type=float, default=1000.0,
+                       help="mobility arena side, metres")
+    group.add_argument("--bt-radius", type=float, default=10.0,
+                       help="Bluetooth radio radius, metres")
+    group.add_argument("--speed-min", type=float, default=500.0,
+                       help="waypoint speed minimum, metres/hour")
+    group.add_argument("--speed-max", type=float, default=5000.0,
+                       help="waypoint speed maximum, metres/hour")
+    group.add_argument("--pause-min", type=float, default=0.0,
+                       help="waypoint pause minimum, hours")
+    group.add_argument("--pause-max", type=float, default=0.5,
+                       help="waypoint pause maximum, hours")
+
+
+def _mobility_from_args(args: argparse.Namespace) -> Optional[MobilityParameters]:
+    """The waypoint-mobility config when ``--mobility`` was requested."""
+    if not getattr(args, "mobility", False):
+        return None
+    return MobilityParameters(
+        arena_size=args.arena_size,
+        speed_min=args.speed_min,
+        speed_max=args.speed_max,
+        pause_min=args.pause_min,
+        pause_max=args.pause_max,
+        bluetooth_radius=args.bt_radius,
+    )
 
 
 def _add_scheduler_args(parser: argparse.ArgumentParser) -> None:
@@ -235,6 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--replications", type=int, default=3)
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--no-chart", action="store_true")
+    _add_bluetooth_args(run_parser)
     _add_scheduler_args(run_parser)
 
     figure_parser = subparsers.add_parser(
@@ -314,6 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", default=None, metavar="PATH",
         help="append the profile's run-manifest record to PATH",
     )
+    _add_bluetooth_args(profile_parser)
 
     topology_parser = subparsers.add_parser(
         "topology", help="generate a contact-list network file"
@@ -399,6 +443,23 @@ def _command_run(args: argparse.Namespace) -> int:
     scenario = baseline_scenario(args.virus, network=network, duration=args.duration)
     if args.engine != "core":
         scenario = scenario.with_engine(args.engine)
+    if args.bluetooth_rate > 0:
+        scenario = dataclasses.replace(
+            scenario,
+            name=f"{scenario.name}-bt",
+            virus=dataclasses.replace(
+                scenario.virus, bluetooth_rate=args.bluetooth_rate
+            ),
+        )
+    mobility = _mobility_from_args(args)
+    if mobility is not None:
+        # ScenarioConfig rejects mobility on the core engine with a
+        # pointer at --engine xl; surface that as a CLI error.
+        try:
+            scenario = scenario.with_mobility(mobility)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     response = _build_response(args)
     if response is not None:
         scenario = scenario.with_responses(response, suffix=args.response)
@@ -554,6 +615,8 @@ def _command_profile(args: argparse.Namespace) -> int:
             preset=args.preset,
             duration=args.duration,
             seed=args.seed,
+            bluetooth_rate=args.bluetooth_rate,
+            mobility=_mobility_from_args(args),
         )
     else:
         report = run_profile(

@@ -24,6 +24,7 @@ from .parameters import (
     GatewayScanConfig,
     ImmunizationConfig,
     LimitPeriod,
+    MobilityParameters,
     MonitoringConfig,
     NetworkParameters,
     ResponseConfig,
@@ -81,6 +82,7 @@ __all__ = [
     "VirusParameters",
     "UserParameters",
     "NetworkParameters",
+    "MobilityParameters",
     "DetectionParameters",
     "Targeting",
     "LimitPeriod",

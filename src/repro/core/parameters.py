@@ -417,6 +417,54 @@ class BlacklistConfig:
             raise ValueError(f"threshold must be >= 1, got {self.threshold}")
 
 
+@dataclass(frozen=True)
+class MobilityParameters:
+    """Random-waypoint mobility for the proximity (Bluetooth) channel.
+
+    When a scenario carries mobility parameters, Bluetooth partners are
+    drawn from physical proximity — phones move on a square arena under
+    the random-waypoint model and an encounter can only reach a phone
+    within ``bluetooth_radius`` metres — instead of the default
+    random-mixing channel (uniform partner over the whole population).
+    Only the xl engine interprets mobility; spatial units are metres and
+    speeds metres/hour so the arena/radius ratio is dimensionless.
+    """
+
+    #: Side length of the square arena, in metres.
+    arena_size: float = 1000.0
+    #: Waypoint speed range (min, max), metres/hour, drawn uniformly per leg.
+    speed_min: float = 500.0
+    speed_max: float = 5000.0
+    #: Pause-time range (min, max) at each waypoint, in hours.
+    pause_min: float = 0.0
+    pause_max: float = 0.5
+    #: Bluetooth discovery radius, in metres (also the grid cell size).
+    bluetooth_radius: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.arena_size <= 0:
+            raise ValueError(f"arena_size must be > 0, got {self.arena_size}")
+        if not 0 < self.speed_min <= self.speed_max:
+            raise ValueError(
+                f"need 0 < speed_min <= speed_max, got ({self.speed_min}, {self.speed_max})"
+            )
+        if not 0 <= self.pause_min <= self.pause_max:
+            raise ValueError(
+                f"need 0 <= pause_min <= pause_max, got ({self.pause_min}, {self.pause_max})"
+            )
+        if self.bluetooth_radius <= 0:
+            raise ValueError(
+                f"bluetooth_radius must be > 0, got {self.bluetooth_radius}"
+            )
+
+    @property
+    def expected_contact_fraction(self) -> float:
+        """Fraction of the population inside one discovery disc."""
+        import math
+
+        return min(1.0, math.pi * self.bluetooth_radius**2 / self.arena_size**2)
+
+
 #: Union of all response-mechanism configurations.
 ResponseConfig = Union[
     GatewayScanConfig,
@@ -448,6 +496,12 @@ class ScenarioConfig:
     #: see :mod:`repro.xl`).  Part of the scenario identity: cached
     #: results, golden fixtures, and manifests all key on it.
     engine: str = "core"
+    #: Optional random-waypoint mobility for the Bluetooth channel.  When
+    #: ``None`` (the default, and the only value the core engine accepts),
+    #: Bluetooth encounters use random mixing; when set, the xl engine
+    #: draws partners from grid-bucketed physical proximity.  Part of the
+    #: scenario identity (cache keys, manifests) when set.
+    mobility: Optional[MobilityParameters] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -457,6 +511,12 @@ class ScenarioConfig:
         if self.engine not in ENGINES:
             raise ValueError(
                 f"engine must be one of {sorted(ENGINES)}, got {self.engine!r}"
+            )
+        if self.mobility is not None and self.engine != "xl":
+            raise ValueError(
+                "mobility parameters require the xl engine "
+                f"(got engine={self.engine!r}); the core engine models "
+                "Bluetooth as random mixing only"
             )
 
     def with_responses(self, *responses: ResponseConfig, suffix: str = "") -> "ScenarioConfig":
@@ -471,6 +531,14 @@ class ScenarioConfig:
     def with_engine(self, engine: str) -> "ScenarioConfig":
         """Copy of this scenario running on a different engine."""
         return replace(self, engine=engine)
+
+    def with_mobility(self, mobility: Optional[MobilityParameters]) -> "ScenarioConfig":
+        """Copy of this scenario with proximity mobility attached (or removed).
+
+        Mobility is part of the scenario's cache identity, so attaching it
+        deliberately forks cached results.
+        """
+        return replace(self, mobility=mobility)
 
     def with_name(self, name: str) -> "ScenarioConfig":
         """Copy of this scenario under a different name.
@@ -506,6 +574,7 @@ __all__ = [
     "ImmunizationConfig",
     "MonitoringConfig",
     "BlacklistConfig",
+    "MobilityParameters",
     "ResponseConfig",
     "ScenarioConfig",
     "ENGINES",

@@ -21,6 +21,7 @@ from .parameters import (
     GatewayScanConfig,
     ImmunizationConfig,
     LimitPeriod,
+    MobilityParameters,
     MonitoringConfig,
     NetworkParameters,
     ResponseConfig,
@@ -126,9 +127,10 @@ def response_from_dict(data: Dict[str, Any]) -> ResponseConfig:
 def scenario_to_dict(scenario: ScenarioConfig) -> Dict[str, Any]:
     """Serialize a scenario to a plain dict.
 
-    The ``engine`` key is emitted only for non-default engines so that
-    documents produced before the engine axis existed (cache entries,
-    golden fixtures) remain byte-identical for core-engine scenarios.
+    The ``engine`` key is emitted only for non-default engines, and the
+    ``mobility`` key only when mobility is attached, so that documents
+    produced before those axes existed (cache entries, golden fixtures)
+    remain byte-identical for core-engine / non-proximity scenarios.
     """
     document = {
         "format_version": FORMAT_VERSION,
@@ -142,6 +144,8 @@ def scenario_to_dict(scenario: ScenarioConfig) -> Dict[str, Any]:
     }
     if scenario.engine != "core":
         document["engine"] = scenario.engine
+    if scenario.mobility is not None:
+        document["mobility"] = _dataclass_to_dict(scenario.mobility)
     return document
 
 
@@ -172,6 +176,11 @@ def scenario_from_dict(data: Dict[str, Any]) -> ScenarioConfig:
         ),
         responses=tuple(responses),
         engine=data.get("engine", "core"),
+        mobility=(
+            _dict_to_dataclass(MobilityParameters, data["mobility"], "mobility")
+            if data.get("mobility") is not None
+            else None
+        ),
     )
 
 

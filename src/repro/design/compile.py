@@ -37,6 +37,7 @@ KNOWN_FACTORS = (
     "topology",
     "duration",
     "af",
+    "channel",
     "response",
     "engine",
     "seed",
@@ -115,6 +116,22 @@ def build_scenario(point: Point) -> ScenarioConfig:
         scenario = scenario.with_name(scenario.name + name_suffix)
     if "af" in point:
         scenario = scenario.with_acceptance_factor(float(point["af"].value))
+    if "channel" in point:
+        # Propagation-channel axis: a dict of VirusParameters overrides
+        # (e.g. ``{"bluetooth_rate": 2.0}`` for hybrid, or additionally
+        # ``{"dormancy": <past horizon>}`` to silence MMS for BT-only).
+        level = point["channel"]
+        if not isinstance(level.value, dict):
+            raise DesignError(
+                f"channel level {level.label!r} must carry a dict of "
+                "VirusParameters overrides"
+            )
+        if level.value:
+            scenario = replace(
+                scenario, virus=replace(scenario.virus, **level.value)
+            )
+        if level.suffix:
+            scenario = scenario.with_name(scenario.name + level.suffix)
     if "response" in point:
         level = point["response"]
         responses = tuple(level.value)

@@ -401,6 +401,90 @@ def design_scaling2000() -> ExperimentDesign:
     )
 
 
+def design_hybrid() -> ExperimentDesign:
+    """Hybrid MMS + Bluetooth spreading under each response mechanism.
+
+    The extension family beyond the paper (ROADMAP; Wang et al., Science
+    2009): the ``channel`` factor switches the propagation pathway —
+    MMS-only (the paper's regime), Bluetooth-only (MMS silenced by
+    pushing dormancy past the horizon), and hybrid (both) — crossed with
+    one representative configuration of every response mechanism.  Runs
+    on the xl engine, whose vectorised per-round encounter phase is what
+    makes the Bluetooth channel tractable (and, via presets, scales this
+    same design to N=100k+).  The headline shapes: a hybrid virus spreads
+    at least as far as either channel alone, the provider-side gateway
+    scan — decisive against MMS — is blind to the Bluetooth pathway, and
+    user education is the one mechanism that holds against all three
+    channels because consent guards every transfer.
+    """
+    horizon = 96 * HOURS
+    bt = {"bluetooth_rate": 1.0}
+    bt_only = {"bluetooth_rate": 1.0, "dormancy": 10.0 * horizon}
+    channel = Factor(
+        "channel",
+        (
+            Level("mms", {}),
+            Level("bt", bt_only, suffix="-bt"),
+            Level("hybrid", bt, suffix="-hybrid"),
+        ),
+    )
+    responses = response_factor(
+        {
+            "baseline": (),
+            "scan": GatewayScanConfig(activation_delay=6 * HOURS),
+            "detect": DetectionAlgorithmConfig(accuracy=0.95),
+            "education": UserEducationConfig(acceptance_scale=0.5),
+            "immunize": ImmunizationConfig(
+                development_time=24 * HOURS, deployment_window=6 * HOURS
+            ),
+            "monitor": MonitoringConfig(forced_wait=15 * MINUTES),
+            "blacklist": BlacklistConfig(threshold=10),
+        }
+    )
+    return ExperimentDesign(
+        experiment_id="hybrid",
+        title="Hybrid MMS + Bluetooth Spreading under Each Response Mechanism",
+        paper_ref="ROADMAP extension (Wang et al., Science 2009)",
+        description=(
+            "MMS-only vs Bluetooth-only vs hybrid spreading for Virus 1, "
+            "crossed with every response mechanism, on the xl engine. "
+            "Gateway-side responses cannot see Bluetooth transfers, so the "
+            "hybrid virus escapes the scan that contains its MMS-only twin; "
+            "only consent-side mechanisms (user education) bite on every "
+            "channel."
+        ),
+        design=cross(
+            virus_factor((1,)),
+            Factor("duration", (Level("", horizon),)),
+            channel,
+            responses,
+        ),
+        label="{channel}-{response}",
+        checkpoints=(24.0, 48.0, 96.0),
+        shape_checks=(
+            checks.final_ordering(
+                ["mms-baseline", "hybrid-baseline"],
+                name="hybrid spreads at least as far as MMS alone",
+            ),
+            checks.containment_below("mms-scan", "mms-baseline", 0.5),
+            checks.ineffective(
+                "bt-scan", "bt-baseline",
+                name="gateway scan is blind to Bluetooth",
+            ),
+            checks.containment_below(
+                "hybrid-education", "hybrid-baseline", 0.75,
+                name="education bites on the hybrid channel",
+            ),
+            checks.containment_below(
+                "bt-education", "bt-baseline", 0.75,
+                name="education bites on the Bluetooth channel",
+            ),
+        ),
+        default_replications=3,
+        engine="xl",
+    )
+
+
 #: Design factories for every reproduced paper artifact, in paper order.
 DESIGN_FACTORIES: Dict[str, Callable[[], ExperimentDesign]] = {
     "fig1": design_fig1,
@@ -413,7 +497,13 @@ DESIGN_FACTORIES: Dict[str, Callable[[], ExperimentDesign]] = {
     "blacklist-slow": design_blacklist_slow,
     "combo": design_combined_defenses,
     "scaling2000": design_scaling2000,
+    "hybrid": design_hybrid,
 }
+
+#: Ids beyond the paper's artifact set (ROADMAP extensions).  The legacy
+#: differential-equivalence freeze covers everything *except* these — an
+#: extension has no pre-DSL hand-written builder to compare against.
+EXTENSION_IDS = frozenset({"hybrid"})
 
 
 def design_ids() -> List[str]:
@@ -441,6 +531,7 @@ def build(experiment_id: str):
 __all__ = [
     "PAPER_PLATEAU",
     "DESIGN_FACTORIES",
+    "EXTENSION_IDS",
     "design_ids",
     "get_design",
     "build",

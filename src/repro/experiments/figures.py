@@ -66,6 +66,11 @@ def scaling2000() -> ExperimentSpec:
     return build("scaling2000")
 
 
+def hybrid() -> ExperimentSpec:
+    """Extension: hybrid MMS + Bluetooth spreading vs each response (xl)."""
+    return build("hybrid")
+
+
 __all__ = [
     "PAPER_PLATEAU",
     "fig1",
@@ -78,4 +83,5 @@ __all__ = [
     "text_blacklist_slow",
     "combined_defenses",
     "scaling2000",
+    "hybrid",
 ]

@@ -19,6 +19,7 @@ EXPERIMENT_FACTORIES: Dict[str, Callable[[], ExperimentSpec]] = {
     "blacklist-slow": figures.text_blacklist_slow,
     "combo": figures.combined_defenses,
     "scaling2000": figures.scaling2000,
+    "hybrid": figures.hybrid,
 }
 
 

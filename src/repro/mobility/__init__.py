@@ -13,11 +13,15 @@ from .encounters import (
     RandomMixingEncounters,
     simulate_proximity_outbreak,
 )
+from .grid import GridSnapshot, GridWaypointField, brute_force_neighbors
 from .waypoint import Leg, WaypointMobility
 
 __all__ = [
     "WaypointMobility",
     "Leg",
+    "GridSnapshot",
+    "GridWaypointField",
+    "brute_force_neighbors",
     "ProximityEncounterProcess",
     "RandomMixingEncounters",
     "simulate_proximity_outbreak",

@@ -91,6 +91,7 @@ def simulate_proximity_outbreak(
     acceptance_probability_fn,
     horizon: float,
     rng: np.random.Generator,
+    offers_received: Optional[List[int]] = None,
 ) -> List[float]:
     """Minimal proximity-epidemic driver used by the Bluetooth example.
 
@@ -99,6 +100,13 @@ def simulate_proximity_outbreak(
     ``encounters.partner``; the partner accepts with
     ``acceptance_probability_fn(times_offered)``.  Returns the sorted
     infection times (patient zero at 0.0).
+
+    Consent follows the core model's semantics: *every* delivered offer
+    advances the recipient's counter — including offers to phones that
+    are already infected or were never susceptible — and the acceptance
+    draw happens only for susceptible, uninfected recipients.  Pass a
+    zeroed list as ``offers_received`` to observe the per-phone counters
+    after the run.
 
     This driver is deliberately self-contained (heap of next-attempt
     times) so the example can compare mobility regimes without building a
@@ -114,7 +122,13 @@ def simulate_proximity_outbreak(
         raise ValueError(f"attempt_rate must be > 0, got {attempt_rate}")
 
     infected = [False] * len(susceptible)
-    offers_received = [0] * len(susceptible)
+    if offers_received is None:
+        offers_received = [0] * len(susceptible)
+    elif len(offers_received) != len(susceptible):
+        raise ValueError(
+            f"offers_received has {len(offers_received)} entries for "
+            f"{len(susceptible)} phones"
+        )
     infected[patient_zero] = True
     infection_times = [0.0]
     heap = [(float(rng.exponential(1.0 / attempt_rate)), patient_zero)]
@@ -123,15 +137,19 @@ def simulate_proximity_outbreak(
         if time > horizon:
             break
         partner = encounters.partner(phone, time)
-        if partner is not None and susceptible[partner] and not infected[partner]:
+        if partner is not None:
+            # Every delivered offer advances the partner's AF/2^n consent
+            # counter — infected/immune recipients still receive the file
+            # (it sits in the inbox), exactly like core's ``_receive``.
             offers_received[partner] += 1
-            if rng.random() < acceptance_probability_fn(offers_received[partner]):
-                infected[partner] = True
-                infection_times.append(time)
-                heapq.heappush(
-                    heap,
-                    (time + float(rng.exponential(1.0 / attempt_rate)), partner),
-                )
+            if susceptible[partner] and not infected[partner]:
+                if rng.random() < acceptance_probability_fn(offers_received[partner]):
+                    infected[partner] = True
+                    infection_times.append(time)
+                    heapq.heappush(
+                        heap,
+                        (time + float(rng.exponential(1.0 / attempt_rate)), partner),
+                    )
         heapq.heappush(
             heap, (time + float(rng.exponential(1.0 / attempt_rate)), phone)
         )

@@ -19,7 +19,7 @@ from time import perf_counter
 from typing import Any, Dict, List, Optional
 
 from ..core.model import PhoneNetworkModel
-from ..core.parameters import NetworkParameters
+from ..core.parameters import MobilityParameters, NetworkParameters
 from ..core.scenarios import baseline_scenario
 from ..des.random import StreamFactory
 from .metrics import Metrics
@@ -173,18 +173,32 @@ def run_profile_xl(
     preset: str = "xl-10k",
     duration: Optional[float] = None,
     seed: int = 0,
+    bluetooth_rate: float = 0.0,
+    mobility: Optional[MobilityParameters] = None,
 ) -> XLProfileReport:
     """Run one phase-instrumented xl replication and assemble its breakdown.
 
     Mirrors the benchmark harness's xl runner (same construction order,
     same seeding) but with ``profile_phases=True``, so per-round phase
-    wall time accumulates in :attr:`XLEngine.phase_seconds`.
+    wall time accumulates in :attr:`XLEngine.phase_seconds`.  A non-zero
+    ``bluetooth_rate`` (optionally with waypoint ``mobility``) switches
+    the scenario to the hybrid preset, adding the ``bt_encounters``
+    phase to the breakdown.
     """
     from ..des.random import StreamFactory as _StreamFactory
     from ..xl.engine import XLEngine
-    from ..xl.presets import xl_scenario
+    from ..xl.presets import hybrid_scenario, xl_scenario
 
-    config = xl_scenario(virus, preset, duration=duration)
+    if bluetooth_rate > 0:
+        config = hybrid_scenario(
+            virus,
+            preset,
+            duration=duration,
+            bluetooth_rate=bluetooth_rate,
+            mobility=mobility,
+        )
+    else:
+        config = xl_scenario(virus, preset, duration=duration)
     wall_start = perf_counter()
     engine = XLEngine(
         config, _StreamFactory(seed).replication(0), profile_phases=True

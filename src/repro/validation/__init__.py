@@ -24,6 +24,7 @@ from .differential import (
     CampaignResult,
     ScenarioVerdict,
     Tolerances,
+    run_bluetooth_differential,
     run_campaign,
     run_differential_scenario,
 )
@@ -49,6 +50,7 @@ from .scenarios import (
     VALIDATION_SEED,
     DifferentialScenario,
     baseline_differential_scenarios,
+    bluetooth_differential_scenario,
     golden_scenarios,
     matched_scenario,
 )
@@ -63,6 +65,7 @@ __all__ = [
     "VALIDATION_SEED",
     "all_pass",
     "baseline_differential_scenarios",
+    "bluetooth_differential_scenario",
     "check_golden",
     "failures",
     "golden_scenarios",
@@ -74,6 +77,7 @@ __all__ = [
     "rank_gate",
     "ratio_gate",
     "record_golden",
+    "run_bluetooth_differential",
     "run_campaign",
     "run_differential_scenario",
     "save_golden",

@@ -281,6 +281,94 @@ def run_differential_scenario(
     )
 
 
+def run_bluetooth_differential(
+    scenario: Optional[DifferentialScenario] = None,
+    seed: int = VALIDATION_SEED,
+    replications: Optional[int] = None,
+    tolerances: Tolerances = Tolerances(),
+) -> ScenarioVerdict:
+    """Gate xl's Bluetooth channel against core's at small N.
+
+    The SAN composition and the mean-field ODE cannot express the
+    proximity channel, so this runs the two simulation engines only:
+    core's event-scheduled random-mixing channel is the reference, xl's
+    vectorised per-round encounter phase the candidate.  Both spread by
+    Bluetooth alone (the scenario silences MMS via dormancy), and the
+    same three statistical gates used for core-vs-xl elsewhere apply —
+    plus a plateau prediction: under random mixing every phone is offered
+    the file until the consent series resolves, so the expected final
+    count is ``1 + (population - 1) x P(ever accept)``.
+    """
+    from ..core.user import total_acceptance_probability
+    from .scenarios import bluetooth_differential_scenario
+
+    if scenario is None:
+        scenario = bluetooth_differential_scenario()
+    config = scenario.config
+    if config.virus.bluetooth_rate <= 0:
+        raise ValueError("bluetooth differential needs virus.bluetooth_rate > 0")
+    reps = replications if replications is not None else scenario.replications
+    if reps < 2:
+        raise ValueError(f"differential gates need >= 2 replications, got {reps}")
+
+    patient_zero = 0  # every phone is susceptible in matched scenarios
+    core_finals = [
+        float(
+            run_scenario(
+                config, seed=seed, replication=rep, patient_zero=patient_zero
+            ).total_infected
+        )
+        for rep in range(reps)
+    ]
+    xl_config = config.with_engine("xl")
+    xl_finals = [
+        float(
+            run_scenario(
+                xl_config, seed=seed, replication=rep, patient_zero=patient_zero
+            ).total_infected
+        )
+        for rep in range(reps)
+    ]
+
+    ever_accept = total_acceptance_probability(config.user.acceptance_factor)
+    plateau = 1.0 + (config.network.population - 1) * ever_accept
+    gates = [
+        mean_equivalence_gate(
+            core_finals,
+            xl_finals,
+            absolute_margin=tolerances.mean_absolute_floor,
+            se_multiplier=tolerances.mean_se_multiplier,
+            name="core-vs-xl mean",
+        ),
+        welch_gate(
+            core_finals, xl_finals, alpha=tolerances.welch_alpha,
+            name="core-vs-xl welch",
+        ),
+        rank_gate(
+            core_finals, xl_finals, alpha=tolerances.rank_alpha,
+            name="core-vs-xl rank",
+        ),
+        prediction_gate(
+            core_finals, plateau, rel_tolerance=tolerances.plateau_rel_tolerance,
+            name="core-vs-consent plateau",
+        ),
+        prediction_gate(
+            xl_finals, plateau, rel_tolerance=tolerances.plateau_rel_tolerance,
+            name="xl-vs-consent plateau",
+        ),
+    ]
+    return ScenarioVerdict(
+        scenario=scenario,
+        core_finals=core_finals,
+        san_finals=[],
+        xl_finals=xl_finals,
+        plateau_prediction=plateau,
+        meanfield_half_time=None,
+        core_half_time=None,
+        gates=gates,
+    )
+
+
 @dataclass
 class CampaignResult:
     """Outcome of a whole differential campaign."""
@@ -385,6 +473,7 @@ __all__ = [
     "CampaignResult",
     "ScenarioVerdict",
     "Tolerances",
+    "run_bluetooth_differential",
     "run_campaign",
     "run_differential_scenario",
 ]

@@ -107,6 +107,56 @@ def baseline_differential_scenarios() -> List[DifferentialScenario]:
     return [matched_scenario(number) for number in (1, 2, 3, 4)]
 
 
+def bluetooth_differential_scenario(
+    population: int = 60,
+    bluetooth_rate: float = 2.0,
+    horizon: float = 24.0,
+    replications: int = 12,
+) -> DifferentialScenario:
+    """BT-only matched scenario: core's random-mixing channel vs xl's.
+
+    The MMS channel is silenced by pushing dormancy past the horizon (the
+    first send never lands), so every infection travels over Bluetooth.
+    Random dialing targeting skips contact-list generation entirely — the
+    proximity channel never consults the topology — and the read delay is
+    zeroed so the consent decay is the only stochastic slack.  The SAN
+    and mean-field engines cannot express the channel; the gates for this
+    scenario compare core vs xl only (see
+    :func:`repro.validation.differential.run_bluetooth_differential`).
+    """
+    virus = virus_parameters(1)
+    bt_virus = replace(
+        virus,
+        name=f"{virus.name}-bt-only",
+        targeting=Targeting.RANDOM_DIALING,
+        message_limit=None,
+        limit_counts_recipients=False,
+        limit_period=LimitPeriod.NONE,
+        global_limit_windows=False,
+        dormancy=10.0 * horizon,
+        valid_number_fraction=1.0,
+        bluetooth_rate=bluetooth_rate,
+    )
+    config = ScenarioConfig(
+        name="bluetooth-matched",
+        virus=bt_virus,
+        network=NetworkParameters(
+            population=population,
+            susceptible_fraction=1.0,
+            mean_contact_list_size=8.0,
+            gateway_delay_mean=0.0,
+        ),
+        user=UserParameters(read_delay_mean=0.0),
+        duration=horizon,
+    )
+    return DifferentialScenario(
+        name=config.name,
+        virus_number=1,
+        config=config,
+        replications=replications,
+    )
+
+
 def _small_network(population: int = 100) -> NetworkParameters:
     """A fast golden-trace network: small power-law population."""
     return NetworkParameters(
@@ -180,6 +230,7 @@ __all__ = [
     "VALIDATION_SEED",
     "DifferentialScenario",
     "baseline_differential_scenarios",
+    "bluetooth_differential_scenario",
     "golden_scenarios",
     "matched_scenario",
 ]

@@ -14,6 +14,9 @@ Entry points:
   on the scenario.)
 - :func:`xl_scenario` / :data:`XL_PRESETS` — paper viruses scaled to
   populations of 10k/100k/1M.
+- :func:`hybrid_scenario` — a preset scenario with the Bluetooth
+  proximity channel added (random mixing, or the waypoint grid with
+  :func:`density_matched_mobility`).
 
 Small-N equivalence with the core DES is enforced by the differential
 gates in :mod:`repro.validation` (the xl engine is the third engine of
@@ -33,7 +36,13 @@ from .engine import (
     round_width,
     run_scenario_xl,
 )
-from .presets import XL_PRESETS, xl_network, xl_scenario
+from .presets import (
+    XL_PRESETS,
+    density_matched_mobility,
+    hybrid_scenario,
+    xl_network,
+    xl_scenario,
+)
 
 __all__ = [
     "XLEngine",
@@ -44,6 +53,8 @@ __all__ = [
     "XL_PRESETS",
     "xl_network",
     "xl_scenario",
+    "hybrid_scenario",
+    "density_matched_mobility",
     "acceptance_probabilities",
     "batch_message_indices",
     "decide_batch",

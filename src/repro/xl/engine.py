@@ -27,11 +27,15 @@ the same *named* streams but in vectorised batches, so equivalence with
 the core engine is statistical (enforced by the differential gates in
 :mod:`repro.validation`), not per-event.
 
-Supported responses: all six mechanisms.  Unsupported scenario features
-(they raise :class:`UnsupportedFeatureError`): the Bluetooth proximity
-channel and finite gateway capacity, both of which are queue-shaped and
-gain nothing from batching; event tracing (``tracer``) is likewise
-rejected at the dispatch layer.
+Supported responses: all six mechanisms.  The Bluetooth proximity
+channel (``virus.bluetooth_rate > 0``) runs as a vectorised per-round
+encounter phase: random-mixing partners by default (statistically
+matching the core model's channel), or grid-bucketed physical proximity
+when the scenario carries :class:`~repro.core.parameters.MobilityParameters`
+(see :mod:`repro.mobility.grid`).  Unsupported scenario features (they
+raise :class:`UnsupportedFeatureError`): finite gateway capacity, which
+is queue-shaped and gains nothing from batching; event tracing
+(``tracer``) is likewise rejected at the dispatch layer.
 """
 
 from __future__ import annotations
@@ -90,6 +94,11 @@ def round_width(config: ScenarioConfig) -> float:
         base = virus.extra_send_delay_mean
     else:
         base = config.duration / 1000.0
+    if virus.bluetooth_rate > 0:
+        # Bluetooth encounters have no minimum spacing; bound the round by
+        # the mean inter-encounter gap so per-round encounter counts stay
+        # small and proximity infection chains cross round boundaries.
+        base = min(base, 1.0 / virus.bluetooth_rate)
     dt = base / 2.0
     dt = max(dt, config.duration / MAX_ROUNDS)
     return min(dt, config.duration)
@@ -107,11 +116,6 @@ class XLEngine:
     ) -> None:
         virus = config.virus
         network = config.network
-        if virus.bluetooth_rate > 0:
-            raise UnsupportedFeatureError(
-                "the xl engine does not support the Bluetooth proximity channel "
-                "(virus.bluetooth_rate > 0); use engine='core'"
-            )
         if network.gateway_capacity_per_hour is not None:
             raise UnsupportedFeatureError(
                 "the xl engine does not support finite gateway capacity "
@@ -237,6 +241,24 @@ class XLEngine:
         self.read_delay_mean = config.user.read_delay_mean
         self.gateway_delay_mean = network.gateway_delay_mean
 
+        # -- Bluetooth proximity channel ------------------------------------
+        # Encounters are a Poisson process per actively spreading infected
+        # phone (blacklisting does NOT silence it — the transfer bypasses
+        # the MMS provider, matching core's ``_bluetooth_encounter``).
+        # ``_bt_from`` tracks, per phone, the time up to which encounters
+        # have been sampled, so mid-round infections lose no coverage.
+        self.bt_rate = virus.bluetooth_rate
+        self._bt_ids = np.empty(0, dtype=np.int64)
+        self.field = None
+        if self.bt_rate > 0:
+            self._bt_from = np.zeros(n, dtype=np.float64)
+            if config.mobility is not None:
+                from ..mobility.grid import GridWaypointField
+
+                self.field = GridWaypointField(
+                    n, config.mobility, streams.stream("mobility")
+                )
+
         # -- response runtime state -----------------------------------------
         self.detection_time: Optional[float] = None
         self.detectable = config.detection.detectable_infections
@@ -336,6 +358,7 @@ class XLEngine:
             self._drain_patches(k)
             while self._process_sends(t_end):
                 pass
+            self._process_bt_encounters(t_end)
             self._drain_deliveries(k)
             self._drain_installs(k)
             k = self._next_round(k, n_rounds)
@@ -350,11 +373,13 @@ class XLEngine:
         path pays nothing.
         """
         phases = self.phase_seconds
+        bt_active = self.bt_rate > 0
         for name in (
             "budget_boundaries",
             "reboots",
             "patches",
             "sends",
+            *(("bt_encounters",) if bt_active else ()),
             "deliveries",
             "installs",
             "round_scheduling",
@@ -384,6 +409,11 @@ class XLEngine:
             now = perf_counter()
             phases["sends"] += now - mark
             mark = now
+            if bt_active:
+                self._process_bt_encounters(t_end)
+                now = perf_counter()
+                phases["bt_encounters"] += now - mark
+                mark = now
             self._drain_deliveries(k)
             now = perf_counter()
             phases["deliveries"] += now - mark
@@ -398,6 +428,11 @@ class XLEngine:
 
     def _next_round(self, k: int, n_rounds: int) -> int:
         """Round index of the next scheduled activity (skips dead time)."""
+        if self.bt_rate > 0 and self._bt_ids.size:
+            # Bluetooth encounters fire continuously while any infected
+            # phone spreads: every round has expected activity, so dead
+            # time cannot be skipped.
+            return k + 1
         send_ids = self._send_ids
         time_candidates = [
             float(self.next_send_at[send_ids].min()) if send_ids.size else math.inf
@@ -464,6 +499,11 @@ class XLEngine:
         merged = np.concatenate((self._send_ids, ids))
         merged.sort()
         self._send_ids = merged
+        if self.bt_rate > 0:
+            spreading = np.concatenate((self._bt_ids, ids))
+            spreading.sort()
+            self._bt_ids = spreading
+            self._bt_from[ids] = times
         if self.uses_reboot:
             chained = np.concatenate((self._reboot_ids, ids))
             chained.sort()
@@ -608,6 +648,11 @@ class XLEngine:
             self._send_ids = self._send_ids[
                 ~np.isin(self._send_ids, quarantined, assume_unique=True)
             ]
+            if self._bt_ids.size:
+                # A patched phone no longer offers the file over Bluetooth.
+                self._bt_ids = self._bt_ids[
+                    ~np.isin(self._bt_ids, quarantined, assume_unique=True)
+                ]
             self.phones_quarantined += int(quarantined.size)
             self.counters["phones_quarantined_by_patch"] = (
                 self.counters.get("phones_quarantined_by_patch", 0)
@@ -830,6 +875,60 @@ class XLEngine:
             self.counters["phones_flagged_by_monitoring"] = self.counters.get(
                 "phones_flagged_by_monitoring", 0
             ) + int(flagged.size)
+
+    # -- Bluetooth proximity channel -------------------------------------------
+
+    def _process_bt_encounters(self, t_end: float) -> None:
+        """One round of vectorised Bluetooth encounters.
+
+        Each actively spreading infected phone fires encounters as a
+        Poisson process at ``bluetooth_rate``; per round we draw the
+        encounter count over the phone's uncovered window (Poisson counts
+        over disjoint windows ≡ exponential inter-arrivals), place the
+        encounter times uniformly within it, and pick a partner — a
+        uniformly random other phone (random mixing), or a uniform
+        in-range phone from the grid snapshot when mobility is attached.
+        Offers land in the delivery buckets at their exact times, so the
+        shared consent drain applies the ``AF/2^n`` decay to MMS and
+        Bluetooth receptions alike, in one time-ordered pass per phone.
+        The transfer bypasses the MMS gateway entirely: no filters, no
+        transit delay, and blacklisted phones still spread.
+        """
+        ids = self._bt_ids
+        if self.bt_rate <= 0 or ids.size == 0:
+            return
+        widths = t_end - self._bt_from[ids]
+        counts = self.rng_virus.poisson(self.bt_rate * widths)
+        self._bt_from[ids] = t_end
+        total = int(counts.sum())
+        if total == 0:
+            return
+        counters = self.counters
+        counters["bluetooth_encounters"] = (
+            counters.get("bluetooth_encounters", 0) + total
+        )
+        counters["events_fired"] += total
+        sources = np.repeat(ids, counts)
+        window = np.repeat(widths, counts)
+        times = t_end - window * self.rng_virus.random(total)
+        if self.field is not None:
+            snapshot = self.field.snapshot(t_end)
+            partners = snapshot.sample_partners(sources, self.rng_virus)
+            reached = partners >= 0
+            fizzled = total - int(reached.sum())
+            if fizzled:
+                # Nobody in Bluetooth range: the attempt fizzles.
+                counters["bluetooth_fizzled"] = (
+                    counters.get("bluetooth_fizzled", 0) + fizzled
+                )
+            recipients = partners[reached]
+            times = times[reached]
+        else:
+            targets = self.rng_virus.integers(0, self.population - 1, size=total)
+            # Shift past the source so a phone never meets itself.
+            recipients = targets + (targets >= sources)
+        if recipients.size:
+            self._push_bucket(self._delivery_buckets, recipients, times)
 
     # -- delivery, consent, installation --------------------------------------
 

@@ -11,7 +11,11 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, Optional
 
-from ..core.parameters import NetworkParameters, ScenarioConfig
+from ..core.parameters import (
+    MobilityParameters,
+    NetworkParameters,
+    ScenarioConfig,
+)
 from ..core.scenarios import baseline_scenario
 
 #: Named population presets runnable via ``repro-sim run --engine xl``.
@@ -43,4 +47,54 @@ def xl_scenario(
     return replace(base, name=f"{base.name}-{preset}", engine="xl")
 
 
-__all__ = ["XL_PRESETS", "xl_network", "xl_scenario"]
+def hybrid_scenario(
+    virus_number: int = 1,
+    preset: str = "paper",
+    duration: Optional[float] = 96.0,
+    bluetooth_rate: float = 1.0,
+    mobility: Optional[MobilityParameters] = None,
+) -> ScenarioConfig:
+    """Hybrid MMS + Bluetooth variant of a preset scenario.
+
+    Adds the proximity channel (``bluetooth_rate`` encounters/hour per
+    infected phone) on top of the paper virus's MMS behaviour.  When
+    ``mobility`` is given, encounters come from the random-waypoint grid
+    (partner = a uniform phone within Bluetooth radius); otherwise the
+    channel is random-mixing, matching the core engine's semantics.  The
+    arena scales with the preset population so contact density — and
+    therefore the per-encounter fizzle rate — stays comparable across
+    sizes.
+    """
+    base = xl_scenario(virus_number, preset, duration=duration)
+    scenario = replace(
+        base,
+        name=f"{base.name}-hybrid",
+        virus=replace(base.virus, bluetooth_rate=bluetooth_rate),
+    )
+    if mobility is not None:
+        scenario = scenario.with_mobility(mobility)
+    return scenario
+
+
+def density_matched_mobility(
+    population: int, per_phone_area: float = 1000.0, **overrides: float
+) -> MobilityParameters:
+    """Mobility parameters whose arena scales with the population.
+
+    Keeps ``population / arena_size**2`` constant (one phone per
+    ``per_phone_area`` square metres by default) so the expected number
+    of phones within Bluetooth radius is preset-independent.
+    """
+    import math
+
+    arena = math.sqrt(population * per_phone_area)
+    return MobilityParameters(arena_size=arena, **overrides)
+
+
+__all__ = [
+    "XL_PRESETS",
+    "xl_network",
+    "xl_scenario",
+    "hybrid_scenario",
+    "density_matched_mobility",
+]

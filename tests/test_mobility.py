@@ -142,6 +142,44 @@ class TestEncounters:
             )
 
 
+class TestZeroSpeedLeg:
+    """Pin the degenerate zero-speed leg: parked forever, never negative."""
+
+    def test_zero_speed_leg_never_arrives(self):
+        leg = Leg(0.0, (2.0, 3.0), (9.0, 9.0), pause=0.5, speed=0.0)
+        assert leg.arrival_time == np.inf
+        # The phone sits at its origin for any finite query time.
+        for time in (0.0, 0.5, 1.0, 1e9):
+            assert leg.position(time) == (2.0, 3.0)
+
+    def test_zero_distance_leg_arrives_instantly(self):
+        leg = Leg(0.0, (4.0, 4.0), (4.0, 4.0), pause=0.25, speed=10.0)
+        assert leg.arrival_time == pytest.approx(0.25)
+        assert leg.position(1.0) == (4.0, 4.0)
+
+
+class TestSelfExclusion:
+    """Pin self-exclusion in both partner paths (satellite audit)."""
+
+    def test_neighbors_within_excludes_self_even_when_colocated(self):
+        # A tiny arena forces co-location; the querying phone must still
+        # never report itself as its own neighbor.
+        mobility = make_mobility(n=10, arena=0.5, seed=13)
+        for phone in range(10):
+            neighbors = mobility.neighbors_within(phone, 1.0, radius=5.0)
+            assert phone not in neighbors
+            assert len(neighbors) == 9
+
+    def test_proximity_partner_never_self(self):
+        mobility = make_mobility(n=10, arena=0.5, seed=14)
+        process = ProximityEncounterProcess(
+            mobility, bluetooth_radius=5.0, rng=np.random.default_rng(15)
+        )
+        for step in range(1, 200):
+            partner = process.partner(3, step * 0.01)
+            assert partner != 3
+
+
 class TestProximityOutbreak:
     @staticmethod
     def always_accept(times_offered: int) -> float:
@@ -209,3 +247,59 @@ class TestProximityOutbreak:
             simulate_proximity_outbreak(
                 encounters, [True] * 5, 0, 0.0, self.always_accept, 1.0, rng
             )
+        with pytest.raises(ValueError):
+            simulate_proximity_outbreak(
+                encounters, [True] * 5, 0, 1.0, self.always_accept, 1.0, rng,
+                offers_received=[0, 0],
+            )
+
+
+class _AlwaysPartnerOne:
+    """Scripted encounter process: every attempt finds phone 1."""
+
+    def partner(self, phone_id: int, time: float) -> int:
+        return 1 if phone_id != 1 else 0
+
+
+class TestConsentCounterSemantics:
+    """Regression: every received offer advances the AF/2^n counter.
+
+    The pre-fix driver only counted offers delivered to susceptible,
+    uninfected recipients, which diverges from ``repro.core``'s
+    ``_receive`` — there, an infected or immune phone still receives the
+    file (it lands in the inbox) and the consent series keeps decaying.
+    """
+
+    def test_insusceptible_recipient_still_advances_counter(self):
+        offers = [0, 0, 0]
+        times = simulate_proximity_outbreak(
+            _AlwaysPartnerOne(),
+            susceptible=[True, False, True],
+            patient_zero=0,
+            attempt_rate=2.0,
+            acceptance_probability_fn=lambda n: 1.0,
+            horizon=24.0,
+            rng=np.random.default_rng(16),
+            offers_received=offers,
+        )
+        assert times == [0.0]          # the immune phone never converts
+        assert offers[1] > 0           # ... but its consent series advanced
+        assert offers[0] == offers[2] == 0
+
+    def test_infected_recipient_still_advances_counter(self):
+        # Accept only on the exact 3rd offer: infection happens then, and
+        # the counter must keep advancing for offers 4, 5, ... delivered
+        # to the now-infected phone.
+        offers = [0, 0]
+        times = simulate_proximity_outbreak(
+            _AlwaysPartnerOne(),
+            susceptible=[True, True],
+            patient_zero=0,
+            attempt_rate=4.0,
+            acceptance_probability_fn=lambda n: 1.0 if n == 3 else 0.0,
+            horizon=48.0,
+            rng=np.random.default_rng(17),
+            offers_received=offers,
+        )
+        assert len(times) == 2         # phone 1 converted on offer 3
+        assert offers[1] > 3           # offers after infection still count

@@ -1,0 +1,165 @@
+"""Tests for the vectorized waypoint field + spatial-hash grid.
+
+The grid is the xl Bluetooth channel's partner source, so its one hard
+contract — ``neighbors_within`` returns exactly the brute-force
+within-radius set — is pinned both by seeded sweeps and by a Hypothesis
+property over random positions and radii.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import MobilityParameters
+from repro.mobility import (
+    GridSnapshot,
+    GridWaypointField,
+    brute_force_neighbors,
+)
+
+
+def make_field(n=200, arena=100.0, radius=8.0, seed=0) -> GridWaypointField:
+    params = MobilityParameters(
+        arena_size=arena,
+        speed_min=10.0,
+        speed_max=40.0,
+        pause_min=0.0,
+        pause_max=0.5,
+        bluetooth_radius=radius,
+    )
+    return GridWaypointField(n, params, np.random.default_rng(seed))
+
+
+class TestGridSnapshot:
+    def test_neighbors_match_brute_force_seeded_sweep(self):
+        rng = np.random.default_rng(42)
+        for _ in range(50):
+            n = int(rng.integers(2, 120))
+            arena = float(rng.uniform(5.0, 500.0))
+            radius = float(rng.uniform(0.5, arena))
+            positions = rng.uniform(0.0, arena, size=(n, 2))
+            snapshot = GridSnapshot(positions, arena, radius)
+            for phone in rng.integers(0, n, size=5):
+                expected = np.sort(brute_force_neighbors(positions, int(phone), radius))
+                actual = snapshot.neighbors_within(int(phone))
+                np.testing.assert_array_equal(actual, expected)
+
+    def test_sampled_partner_always_in_range(self):
+        rng = np.random.default_rng(1)
+        positions = rng.uniform(0.0, 50.0, size=(300, 2))
+        snapshot = GridSnapshot(positions, 50.0, 5.0)
+        sources = rng.integers(0, 300, size=500)
+        partners = snapshot.sample_partners(sources, rng)
+        for source, partner in zip(sources, partners):
+            if partner < 0:
+                assert brute_force_neighbors(positions, int(source), 5.0).size == 0
+            else:
+                assert partner != source
+                assert partner in brute_force_neighbors(positions, int(source), 5.0)
+
+    def test_sampled_partner_roughly_uniform(self):
+        # Phone 0 with exactly two equidistant neighbors: each should win
+        # about half of many independent encounters.
+        positions = np.array([[10.0, 10.0], [11.0, 10.0], [9.0, 10.0], [90.0, 90.0]])
+        snapshot = GridSnapshot(positions, 100.0, 5.0)
+        rng = np.random.default_rng(2)
+        sources = np.zeros(2000, dtype=np.int64)
+        partners = snapshot.sample_partners(sources, rng)
+        counts = np.bincount(partners, minlength=4)
+        assert counts[0] == counts[3] == 0
+        assert abs(counts[1] - counts[2]) < 200  # ~1000 each
+
+    def test_isolated_source_fizzles(self):
+        positions = np.array([[1.0, 1.0], [99.0, 99.0]])
+        snapshot = GridSnapshot(positions, 100.0, 5.0)
+        partners = snapshot.sample_partners(
+            np.array([0, 1]), np.random.default_rng(3)
+        )
+        assert partners.tolist() == [-1, -1]
+
+    def test_validation(self):
+        positions = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            GridSnapshot(positions, 10.0, 0.0)
+        with pytest.raises(ValueError):
+            GridSnapshot(positions, 0.0, 1.0)
+
+    def test_radius_larger_than_arena_single_cell(self):
+        # ncells clamps to 1: the whole arena is one cell and every other
+        # phone is a candidate.
+        rng = np.random.default_rng(4)
+        positions = rng.uniform(0.0, 10.0, size=(20, 2))
+        snapshot = GridSnapshot(positions, 10.0, 50.0)
+        assert snapshot.ncells == 1
+        assert snapshot.neighbors_within(0).size == 19
+
+
+class TestGridWaypointField:
+    def test_positions_stay_in_arena_over_long_horizon(self):
+        field = make_field()
+        for time in (0.0, 1.0, 10.0, 100.0, 1000.0):
+            points = field.positions(time)
+            assert np.all(points >= 0.0)
+            assert np.all(points <= 100.0)
+
+    def test_positions_continuous_in_time(self):
+        field = make_field(n=20)
+        previous = field.positions(0.0)
+        for step in range(1, 100):
+            current = field.positions(step * 0.05)
+            jump = np.hypot(*(current - previous).T)
+            # Max speed 40 units/h x 0.05 h = 2 units per step.
+            assert np.all(jump <= 2.0 + 1e-9)
+            previous = current
+
+    def test_time_monotonicity_enforced(self):
+        field = make_field(n=5)
+        field.positions(10.0)
+        with pytest.raises(ValueError, match="monotone"):
+            field.positions(5.0)
+
+    def test_snapshot_defaults_to_bluetooth_radius(self):
+        field = make_field(radius=8.0)
+        snapshot = field.snapshot(1.0)
+        assert snapshot.radius == 8.0
+        assert field.snapshot(2.0, radius=3.0).radius == 3.0
+
+    def test_deterministic_given_seed(self):
+        a = make_field(seed=7).positions(25.0)
+        b = make_field(seed=7).positions(25.0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        params = MobilityParameters()
+        with pytest.raises(ValueError):
+            GridWaypointField(0, params, np.random.default_rng(0))
+
+
+# -- Hypothesis property: grid == brute force --------------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+@st.composite
+def grid_cases(draw):
+    n = draw(st.integers(min_value=2, max_value=60))
+    arena = draw(st.floats(min_value=1.0, max_value=1000.0,
+                           allow_nan=False, allow_infinity=False))
+    radius = draw(st.floats(min_value=0.01, max_value=2.0,
+                            allow_nan=False, allow_infinity=False)) * arena
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    positions = np.random.default_rng(seed).uniform(0.0, arena, size=(n, 2))
+    phone = draw(st.integers(min_value=0, max_value=n - 1))
+    return positions, arena, radius, phone
+
+
+@settings(max_examples=200, deadline=None)
+@given(grid_cases())
+def test_property_grid_equals_brute_force(case):
+    positions, arena, radius, phone = case
+    snapshot = GridSnapshot(positions, arena, radius)
+    expected = np.sort(brute_force_neighbors(positions, phone, radius))
+    np.testing.assert_array_equal(snapshot.neighbors_within(phone), expected)

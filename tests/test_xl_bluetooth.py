@@ -1,0 +1,211 @@
+"""Tier-1 tests for the xl engine's hybrid MMS + Bluetooth channel.
+
+Fast checks: parameter plumbing (mobility config, serialization, cache
+identity, CLI-facing presets), seeded determinism of the hybrid round
+loop, channel semantics (blacklist blind spot, patch quarantine, grid
+fizzles), and a BT-only sanity run against the core engine's
+random-mixing channel.  The full statistical differential lives behind
+the ``validation`` marker (see ``run_bluetooth_differential``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+import numpy as np
+import pytest
+
+from repro.core.cache import result_key
+from repro.core.parameters import (
+    BlacklistConfig,
+    ImmunizationConfig,
+    MobilityParameters,
+    NetworkParameters,
+    ScenarioConfig,
+)
+from repro.core.scenarios import baseline_scenario
+from repro.core.serialization import scenario_from_dict, scenario_to_dict
+from repro.core.simulation import run_scenario
+from repro.xl import round_width, run_scenario_xl
+from repro.xl.presets import density_matched_mobility, hybrid_scenario
+
+
+def _bt_scenario(
+    bluetooth_rate: float = 2.0,
+    population: int = 200,
+    duration: float = 48.0,
+    mobility: Optional[MobilityParameters] = None,
+    **virus_overrides,
+) -> ScenarioConfig:
+    base = baseline_scenario(
+        1, network=NetworkParameters(population=population), duration=duration
+    )
+    config = replace(
+        base,
+        engine="xl",
+        virus=replace(base.virus, bluetooth_rate=bluetooth_rate, **virus_overrides),
+    )
+    if mobility is not None:
+        config = config.with_mobility(mobility)
+    return config
+
+
+DENSE = MobilityParameters(arena_size=500.0, bluetooth_radius=50.0)
+
+
+# -- parameter plumbing -------------------------------------------------------
+
+
+def test_mobility_parameters_validate():
+    with pytest.raises(ValueError):
+        MobilityParameters(arena_size=0.0)
+    with pytest.raises(ValueError):
+        MobilityParameters(speed_min=0.0)
+    with pytest.raises(ValueError):
+        MobilityParameters(speed_min=10.0, speed_max=5.0)
+    with pytest.raises(ValueError):
+        MobilityParameters(pause_min=-1.0)
+    with pytest.raises(ValueError):
+        MobilityParameters(bluetooth_radius=0.0)
+    params = MobilityParameters(arena_size=100.0, bluetooth_radius=10.0)
+    assert params.expected_contact_fraction == pytest.approx(np.pi / 100.0)
+
+
+def test_mobility_requires_xl_engine():
+    config = baseline_scenario(1)
+    with pytest.raises(ValueError, match="xl engine"):
+        replace(config, mobility=MobilityParameters())
+    hybrid = config.with_engine("xl").with_mobility(MobilityParameters())
+    assert hybrid.mobility is not None
+
+
+def test_mobility_round_trips_through_serialization():
+    config = _bt_scenario(mobility=DENSE)
+    document = scenario_to_dict(config)
+    assert document["mobility"]["arena_size"] == 500.0
+    assert scenario_from_dict(document).mobility == DENSE
+    # Scenarios without mobility stay byte-stable: no key at all.
+    assert "mobility" not in scenario_to_dict(_bt_scenario())
+
+
+def test_mobility_is_part_of_cache_identity():
+    plain = _bt_scenario()
+    assert result_key(plain, 0, 0) != result_key(plain.with_mobility(DENSE), 0, 0)
+
+
+def test_round_width_shrinks_for_fast_bluetooth():
+    # A Bluetooth rate faster than the MMS pacing must tighten the round
+    # so multiple encounter generations can't collapse into one round.
+    plain = _bt_scenario(bluetooth_rate=0.0)
+    fast = _bt_scenario(bluetooth_rate=50.0)
+    assert round_width(fast) <= 1.0 / 50.0 / 2.0
+    assert round_width(fast) < round_width(plain)
+
+
+def test_hybrid_preset_builds():
+    config = hybrid_scenario(1, "paper", bluetooth_rate=1.5)
+    assert config.engine == "xl"
+    assert config.virus.bluetooth_rate == 1.5
+    assert config.name.endswith("-hybrid")
+    mobility = density_matched_mobility(100_000)
+    assert mobility.arena_size == pytest.approx(10_000.0)
+    with_grid = hybrid_scenario(1, "paper", mobility=density_matched_mobility(1000))
+    assert with_grid.mobility is not None
+
+
+# -- hybrid round loop --------------------------------------------------------
+
+
+def test_hybrid_deterministic_per_seed():
+    config = _bt_scenario(mobility=DENSE, population=150, duration=24.0)
+    a = run_scenario_xl(config, seed=11)
+    b = run_scenario_xl(config, seed=11)
+    assert a.infection_times == b.infection_times
+    assert a.counters["bluetooth_encounters"] == b.counters["bluetooth_encounters"]
+    c = run_scenario_xl(config, seed=12)
+    assert a.infection_times != c.infection_times
+
+
+def test_hybrid_spreads_at_least_as_much_as_mms_only():
+    mms = run_scenario_xl(_bt_scenario(bluetooth_rate=0.0), seed=5)
+    hybrid = run_scenario_xl(_bt_scenario(bluetooth_rate=2.0), seed=5)
+    assert hybrid.total_infected >= mms.total_infected
+    assert hybrid.counters["bluetooth_encounters"] > 0
+
+
+def test_bt_only_infects_without_any_mms():
+    # Dormancy pushed past the horizon: the first MMS send never lands,
+    # so every infection after patient zero travelled over Bluetooth.
+    config = _bt_scenario(bluetooth_rate=3.0, dormancy=1000.0)
+    result = run_scenario_xl(config, seed=7)
+    assert result.counters.get("sends", 0) == 0
+    assert result.total_infected > 1
+
+
+def test_bt_only_close_to_core_random_mixing():
+    # Single-seed sanity bound (the statistical gates live in the
+    # validation campaign): both engines describe the same BT-only
+    # process, so a 3x mean-ratio window is generous.
+    xl_config = _bt_scenario(
+        bluetooth_rate=2.0, population=300, duration=24.0, dormancy=1000.0
+    )
+    core_config = xl_config.with_engine("core")
+    xl_total = np.mean(
+        [run_scenario_xl(xl_config, seed=s).total_infected for s in range(4)]
+    )
+    core_total = np.mean(
+        [run_scenario(core_config, seed=s).total_infected for s in range(4)]
+    )
+    assert xl_total / core_total < 3.0
+    assert core_total / xl_total < 3.0
+
+
+def test_sparse_grid_fizzles_and_slows_spread():
+    sparse = MobilityParameters(arena_size=100_000.0, bluetooth_radius=1.0)
+    mixing = run_scenario_xl(
+        _bt_scenario(bluetooth_rate=3.0, dormancy=1000.0), seed=9
+    )
+    grid = run_scenario_xl(
+        _bt_scenario(bluetooth_rate=3.0, dormancy=1000.0, mobility=sparse), seed=9
+    )
+    assert grid.counters.get("bluetooth_fizzled", 0) > 0
+    assert grid.total_infected <= mixing.total_infected
+
+
+def test_blacklist_does_not_stop_bluetooth():
+    # The blacklist acts at the MMS gateway; Bluetooth transfers never
+    # cross it, so a blacklisted phone keeps spreading over proximity.
+    config = _bt_scenario(bluetooth_rate=3.0, dormancy=1000.0, population=300)
+    baseline = run_scenario_xl(config, seed=3)
+    blacklisted = run_scenario_xl(
+        replace(config, responses=(BlacklistConfig(threshold=1),)), seed=3
+    )
+    assert blacklisted.total_infected >= 0.5 * baseline.total_infected
+
+
+def test_patch_quarantine_stops_bluetooth():
+    config = _bt_scenario(bluetooth_rate=3.0, dormancy=1000.0, population=300)
+    baseline = run_scenario_xl(config, seed=3)
+    patched = run_scenario_xl(
+        replace(
+            config,
+            responses=(
+                ImmunizationConfig(development_time=2.0, deployment_window=1.0),
+            ),
+        ),
+        seed=3,
+    )
+    assert patched.total_infected < baseline.total_infected
+
+
+# -- statistical differential (validation marker) -----------------------------
+
+
+@pytest.mark.validation
+def test_bluetooth_differential_gates_pass():
+    from repro.validation import run_bluetooth_differential
+
+    verdict = run_bluetooth_differential()
+    failed = [gate for gate in verdict.gates if not gate.passed]
+    assert not failed, "\n".join(gate.detail for gate in failed)

@@ -119,12 +119,8 @@ def test_xl_rejects_tracer():
         run_scenario(_small_scenario(), seed=0, tracer=Tracer())
 
 
-def test_xl_rejects_bluetooth_and_gateway_capacity():
+def test_xl_rejects_gateway_capacity():
     config = _small_scenario()
-    with pytest.raises(UnsupportedFeatureError, match="Bluetooth"):
-        run_scenario_xl(
-            replace(config, virus=replace(config.virus, bluetooth_rate=1.0))
-        )
     with pytest.raises(UnsupportedFeatureError, match="capacity"):
         run_scenario_xl(
             replace(
@@ -132,6 +128,16 @@ def test_xl_rejects_bluetooth_and_gateway_capacity():
                 network=replace(config.network, gateway_capacity_per_hour=100.0),
             )
         )
+
+
+def test_xl_accepts_bluetooth():
+    # Bluetooth was an UnsupportedFeatureError until the hybrid channel
+    # landed; dedicated coverage lives in test_xl_bluetooth.py.
+    config = _small_scenario()
+    result = run_scenario_xl(
+        replace(config, virus=replace(config.virus, bluetooth_rate=1.0)), seed=0
+    )
+    assert result.counters["bluetooth_encounters"] > 0
 
 
 # -- behaviour ----------------------------------------------------------------
