@@ -27,6 +27,11 @@ Commands
     the factor grid of a registry experiment or a TOML/JSON design
     file, compile it to the deduplicated job list, or run it through
     the cache-aware compiled path.
+``repro-sim serve --spool spool/`` / ``submit my_design.toml`` /
+``status``
+    Campaign service (``repro.service``): run the always-on daemon,
+    submit a design to it over its Unix socket (streams results back),
+    or inspect queue depth, shard health, and campaign states.
 """
 
 from __future__ import annotations
@@ -403,6 +408,58 @@ def build_parser() -> argparse.ArgumentParser:
     design_run.add_argument("--csv", default=None, help="export mean curves to CSV")
     design_run.add_argument("--no-chart", action="store_true")
     _add_scheduler_args(design_run)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the campaign daemon (durable queue, sharded execution, "
+        "Unix-socket job API; see repro.service)",
+    )
+    serve_parser.add_argument(
+        "--spool", required=True,
+        help="spool directory (journal, cache, checkpoints, results, logs)",
+    )
+    serve_parser.add_argument(
+        "--socket", default=None,
+        help="Unix socket path (default: <spool>/daemon.sock)",
+    )
+    serve_parser.add_argument("--shards", type=int, default=2,
+                              help="shard worker processes")
+    serve_parser.add_argument(
+        "--max-queue-depth", type=int, default=8,
+        help="queued campaigns before submissions are shed with retry_after",
+    )
+    serve_parser.add_argument(
+        "--heartbeat-timeout", type=float, default=30.0,
+        help="seconds of shard heartbeat silence before a respawn",
+    )
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="submit a design document to a running campaign daemon"
+    )
+    submit_parser.add_argument(
+        "design", help="path to a .toml/.json design document"
+    )
+    submit_parser.add_argument(
+        "--socket", required=True, help="the daemon's Unix socket path"
+    )
+    submit_parser.add_argument("--replications", type=int, default=None)
+    submit_parser.add_argument("--seed", type=int, default=0)
+    submit_parser.add_argument("--priority", type=int, default=0,
+                               help="lower runs first (default 0)")
+    submit_parser.add_argument(
+        "--no-wait", action="store_true",
+        help="return after admission instead of streaming results",
+    )
+
+    status_parser = subparsers.add_parser(
+        "status", help="inspect a running campaign daemon"
+    )
+    status_parser.add_argument(
+        "--socket", required=True, help="the daemon's Unix socket path"
+    )
+    status_parser.add_argument(
+        "--id", default=None, help="show one campaign instead of the daemon"
+    )
     return parser
 
 
@@ -709,6 +766,130 @@ def _command_design(args: argparse.Namespace) -> int:
     return 0 if result.all_checks_pass() else 1
 
 
+def _load_design_document(path: str) -> dict:
+    """Parse a design file to its raw document (what the daemon accepts)."""
+    import json
+
+    text = Path(path).read_text(encoding="utf-8")
+    if path.lower().endswith(".toml"):
+        try:
+            import tomllib
+        except ImportError:
+            raise SystemExit(
+                "TOML designs need Python 3.11+; re-export as JSON"
+            ) from None
+        return tomllib.loads(text)
+    return json.loads(text)
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from .service import CampaignDaemon
+
+    daemon = CampaignDaemon(
+        spool=args.spool,
+        shards=args.shards,
+        max_queue_depth=args.max_queue_depth,
+        heartbeat_timeout=args.heartbeat_timeout,
+    )
+    socket_path = args.socket or str(daemon.spool / "daemon.sock")
+    print(f"serving on {socket_path} (spool {daemon.spool})")
+    sys.stdout.flush()
+    daemon.serve(socket_path)
+    return 0
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    from .service import ServiceClient, ServiceError
+
+    try:
+        document = _load_design_document(args.design)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load design: {exc}", file=sys.stderr)
+        return 2
+    client = ServiceClient(args.socket)
+    try:
+        response = client.submit(
+            document,
+            replications=args.replications,
+            seed=args.seed,
+            priority=args.priority,
+        )
+        if not response.get("ok"):
+            print(
+                f"submission shed ({response.get('error')}); retry after "
+                f"{response.get('retry_after')}s",
+                file=sys.stderr,
+            )
+            return 4
+        campaign_id = response["id"]
+        print(
+            f"admitted campaign {campaign_id}: {response['jobs']} job(s), "
+            f"queue position {response['position']}"
+        )
+        if args.no_wait:
+            return 0
+        count = 0
+        for _ in client.results(campaign_id):
+            count += 1
+        print(f"campaign {campaign_id} done: {count} result(s) streamed")
+        return 0
+    except (OSError, ServiceError) as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _command_status(args: argparse.Namespace) -> int:
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.socket)
+    try:
+        status = client.status(args.id)
+    except (OSError, ServiceError) as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 2
+    if args.id is not None:
+        record = status["campaign"]
+        print(
+            f"campaign {record['id']}: {record['state']} "
+            f"({record.get('completed', '?')}/{record.get('total', '?')})"
+        )
+        if record.get("error"):
+            print(f"  error: {record['error']}")
+        return 0
+    queue = status["queue"]
+    print(
+        f"daemon pid {status['pid']} (up {status['uptime_seconds']:.0f}s, "
+        f"protocol {status['protocol']})"
+    )
+    print(
+        f"queue: {queue['pending']} pending / {queue['depth']} open "
+        f"(max depth {queue['max_depth']}); draining: {status['draining']}"
+    )
+    recovery = queue["recovery"]
+    if recovery["replayed_records"]:
+        print(
+            f"recovery: {recovery['pending']} pending + "
+            f"{recovery['in_flight']} in-flight replayed "
+            f"({recovery['torn_lines']} torn line(s))"
+        )
+    for shard in status["shards"]:
+        state = (
+            "quarantined" if shard["quarantined"]
+            else "alive" if shard["alive"] else "dead"
+        )
+        print(
+            f"shard {shard['shard']}: {state}, {shard['completed']} task(s), "
+            f"{shard['respawns']} respawn(s), heartbeat "
+            f"{shard['heartbeat_age']:.1f}s ago"
+        )
+    for campaign in status["campaigns"]:
+        print(
+            f"campaign {campaign['id']}: {campaign['state']} "
+            f"({campaign['completed']}/{campaign['total']})"
+        )
+    return 0
+
+
 def _command_topology(args: argparse.Namespace) -> int:
     streams = StreamFactory(args.seed)
     graph = contact_network(
@@ -748,6 +929,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_scenario(args)
         if args.command == "design":
             return _command_design(args)
+        if args.command == "serve":
+            return _command_serve(args)
+        if args.command == "submit":
+            return _command_submit(args)
+        if args.command == "status":
+            return _command_status(args)
         if args.command == "validate":
             from .validation.cli import main as validation_main
 

@@ -267,6 +267,19 @@ class CompiledDesign:
         requested = self.requested_jobs
         return round(self.unique_jobs / requested, 4) if requested else 1.0
 
+    def job_keys(self) -> List[str]:
+        """The result-cache key of each scheduled job, in job order.
+
+        These keys are the currency shared with the checkpoint layer and
+        the campaign daemon: :class:`~repro.resilience.CampaignCheckpoint`
+        records them, and :mod:`repro.service` routes each job to the
+        shard owning that slice of the key space.
+        """
+        return [
+            result_key(job.config, job.seed, job.replication)
+            for job in self.jobs
+        ]
+
     def collect(self, results: Sequence[Optional[Any]]) -> ExperimentResult:
         """Fan deduplicated results back out into per-series sets."""
         from ..core.simulation import ReplicationSet

@@ -20,6 +20,7 @@ from .runner import (
     run_experiment_batch,
 )
 from .scheduler import (
+    JobSecondsEstimator,
     ReplicationJob,
     ReplicationScheduler,
     SchedulerStats,
@@ -50,6 +51,7 @@ __all__ = [
     "run_design",
     "format_experiment_report",
     "export_csv",
+    "JobSecondsEstimator",
     "ReplicationJob",
     "ReplicationScheduler",
     "SchedulerStats",

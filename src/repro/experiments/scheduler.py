@@ -74,6 +74,44 @@ from .spec import ExperimentResult, ExperimentSpec
 DEFAULT_JOB_SECONDS = 0.05
 
 
+@dataclass
+class JobSecondsEstimator:
+    """Running estimate of one replication's wall seconds.
+
+    Shared by the dispatch planner (``projected_speedup`` inputs) and
+    the campaign daemon's admission control (``retry_after`` hints).
+    Each observed batch folds in as ``wall * workers / executed`` —
+    exact for inline batches, an upper bound for pooled ones (startup
+    and imbalance inflate it), which only biases consumers toward
+    conservative projections.  Blended 50/50 with the prior estimate so
+    one outlier batch cannot swing the schedule.
+    """
+
+    default: float = DEFAULT_JOB_SECONDS
+    _estimate: Optional[float] = None
+
+    @property
+    def calibrated(self) -> bool:
+        """True once at least one batch has been observed."""
+        return self._estimate is not None
+
+    @property
+    def estimate(self) -> float:
+        """Current per-job estimate (the prior until calibrated)."""
+        return self._estimate if self._estimate is not None else self.default
+
+    def note(self, executed: int, workers: int, wall: float) -> None:
+        """Fold one batch's measured wall time into the estimate."""
+        if executed <= 0 or wall <= 0.0:
+            return
+        observed = wall * max(1, workers) / executed
+        self._estimate = (
+            observed
+            if self._estimate is None
+            else 0.5 * self._estimate + 0.5 * observed
+        )
+
+
 @dataclass(frozen=True)
 class ReplicationJob:
     """One schedulable replication."""
@@ -180,7 +218,9 @@ class ReplicationScheduler:
         #: One record per planned batch (see :meth:`_plan_dispatch`);
         #: surfaces through :meth:`telemetry` into the run manifest.
         self.dispatch_decisions: List[Dict[str, Any]] = []
-        self._job_seconds_estimate: Optional[float] = None
+        #: Shared per-job runtime model (also consumed by repro.service
+        #: for queue-drain / retry-after estimates).
+        self.job_seconds = JobSecondsEstimator()
         self._inline_pool: Optional[WorkerPool] = None
         self.stats = SchedulerStats()
         #: Retry/timeout/quarantine policy; ``None`` = plain unsupervised
@@ -362,10 +402,8 @@ class ReplicationScheduler:
         """
         if self.processes == 1 or not self._owns_pool:
             return self._pool
-        estimate = self._job_seconds_estimate
-        source = "calibrated" if estimate is not None else "default"
-        if estimate is None:
-            estimate = DEFAULT_JOB_SECONDS
+        estimate = self.job_seconds.estimate
+        source = "calibrated" if self.job_seconds.calibrated else "default"
         speedup = projected_speedup(
             pending_count,
             self.processes,
@@ -401,20 +439,8 @@ class ReplicationScheduler:
         return self._inline_pool
 
     def _note_job_seconds(self, executed: int, workers: int, wall: float) -> None:
-        """Fold one batch's measured wall time into the per-job estimate.
-
-        Approximates per-job compute as ``wall * workers / executed`` —
-        exact for inline batches, an upper bound for pooled ones (startup
-        and imbalance inflate it), which only biases later projections
-        toward keeping the pool they already paid for.
-        """
-        if executed <= 0 or wall <= 0.0:
-            return
-        estimate = wall * workers / executed
-        prior = self._job_seconds_estimate
-        self._job_seconds_estimate = (
-            estimate if prior is None else 0.5 * prior + 0.5 * estimate
-        )
+        """Fold one batch's measured wall time into the shared estimator."""
+        self.job_seconds.note(executed, workers, wall)
 
     def run_jobs(
         self, jobs: Sequence[ReplicationJob]
@@ -836,6 +862,7 @@ class ReplicationScheduler:
 
 __all__ = [
     "DEFAULT_JOB_SECONDS",
+    "JobSecondsEstimator",
     "ReplicationJob",
     "ReplicationScheduler",
     "SchedulerStats",

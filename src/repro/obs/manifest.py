@@ -26,7 +26,10 @@ optional sections
     campaign survived faults), ``design`` (one record per design-backed
     experiment: the factor grid, point count, Latin-square subsample
     seed, and — on the compiled path — requested/unique job counts and
-    the dedup ratio), ``metrics`` (a full
+    the dedup ratio), ``service`` (required for ``kind == "service"``
+    records: the campaign id, the journal recovery report, the shard
+    fleet accounting, and per-op request counts from the daemon's
+    request log), ``metrics`` (a full
     :meth:`repro.obs.metrics.Metrics.snapshot`), ``extra``.
 
 :func:`validate_manifest` returns a list of problems (empty = valid);
@@ -51,8 +54,26 @@ from ..core.serialization import scenario_to_dict
 #: Bump when the required core or the meaning of a section changes.
 MANIFEST_SCHEMA_VERSION = 1
 
-#: The record kinds a manifest file may contain.
-MANIFEST_KINDS = ("run", "benchmark", "profile")
+#: The record kinds a manifest file may contain.  ``service`` records
+#: are appended by the campaign daemon (:mod:`repro.service`) — one per
+#: completed campaign, carrying the queue recovery report, the shard
+#: fleet accounting, and the request-log counters.
+MANIFEST_KINDS = ("run", "benchmark", "profile", "service")
+
+#: Required integer fields in the ``service`` section's sub-objects.
+_SERVICE_QUEUE_FIELDS = (
+    "pending",
+    "in_flight",
+    "torn_lines",
+    "segments_swept",
+)
+_SERVICE_SHARD_FIELDS = (
+    "executed",
+    "cache_hits",
+    "respawns",
+    "inline_fallback",
+    "reassigned_tasks",
+)
 
 #: Required top-level fields and their accepted types.
 _REQUIRED_FIELDS: Dict[str, tuple] = {
@@ -129,6 +150,7 @@ def build_manifest(
     workers: Optional[Sequence[Mapping[str, Any]]] = None,
     kernel: Optional[Mapping[str, Any]] = None,
     resilience: Optional[Mapping[str, Any]] = None,
+    service: Optional[Mapping[str, Any]] = None,
     metrics: Optional[Mapping[str, Any]] = None,
     extra: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
@@ -175,6 +197,8 @@ def build_manifest(
         document["kernel"] = dict(kernel)
     if resilience is not None:
         document["resilience"] = dict(resilience)
+    if service is not None:
+        document["service"] = dict(service)
     if metrics is not None:
         document["metrics"] = dict(metrics)
     if extra is not None:
@@ -268,6 +292,45 @@ def validate_manifest(document: Mapping[str, Any]) -> List[str]:
                     ) or not isinstance(event.get("action"), str):
                         problems.append(
                             f"resilience.events[{position}] lacks kind/action"
+                        )
+
+    service = document.get("service")
+    if service is None and document.get("kind") == "service":
+        problems.append("kind 'service' requires a service section")
+    if service is not None:
+        if not isinstance(service, Mapping):
+            problems.append("service section is not an object")
+        else:
+            if not isinstance(service.get("campaign"), str):
+                problems.append("service.campaign missing or not a string")
+            queue = service.get("queue")
+            if not isinstance(queue, Mapping):
+                problems.append("service.queue missing or not an object")
+            else:
+                for field in _SERVICE_QUEUE_FIELDS:
+                    value = queue.get(field)
+                    if not isinstance(value, int) or isinstance(value, bool):
+                        problems.append(
+                            f"service.queue.{field} missing or not an int"
+                        )
+            shards = service.get("shards")
+            if not isinstance(shards, Mapping):
+                problems.append("service.shards missing or not an object")
+            else:
+                for field in _SERVICE_SHARD_FIELDS:
+                    value = shards.get(field)
+                    if not isinstance(value, int) or isinstance(value, bool):
+                        problems.append(
+                            f"service.shards.{field} missing or not an int"
+                        )
+            requests = service.get("requests")
+            if not isinstance(requests, Mapping):
+                problems.append("service.requests missing or not an object")
+            else:
+                for op, count in requests.items():
+                    if not isinstance(count, int) or isinstance(count, bool):
+                        problems.append(
+                            f"service.requests[{op!r}] is not an int"
                         )
 
     design = document.get("design")

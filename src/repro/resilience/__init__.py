@@ -28,9 +28,12 @@ Every failure, retry, and quarantine event flows into
 from .checkpoint import (
     CHECKPOINT_SCHEMA_VERSION,
     CampaignCheckpoint,
+    CheckpointLoad,
     ResumeReport,
     default_checkpoint_path,
+    fsync_directory,
     load_checkpoint,
+    load_checkpoint_report,
 )
 from .policy import RetryPolicy
 from .supervisor import (
@@ -42,11 +45,14 @@ from .supervisor import (
 __all__ = [
     "CHECKPOINT_SCHEMA_VERSION",
     "CampaignCheckpoint",
+    "CheckpointLoad",
     "FailureEvent",
     "ResumeReport",
     "RetryPolicy",
     "SupervisedWorkerPool",
     "SupervisionReport",
     "default_checkpoint_path",
+    "fsync_directory",
     "load_checkpoint",
+    "load_checkpoint_report",
 ]

@@ -1,11 +1,11 @@
 """Campaign checkpoint/resume.
 
-A *campaign checkpoint* is a small atomic JSON snapshot of which
-replication keys (see :func:`repro.core.cache.result_key`) a campaign
-has completed so far.  The scheduler records every completion and
-flushes the file every ``interval`` completions plus once at the end —
-and, crucially, on abort — so a killed campaign leaves a fresh record
-of its progress behind.
+A *campaign checkpoint* is a small durable record of which replication
+keys (see :func:`repro.core.cache.result_key`) a campaign has completed
+so far.  The scheduler records every completion and flushes the file
+every ``interval`` completions plus once at the end — and, crucially, on
+abort — so a killed campaign leaves a fresh record of its progress
+behind.
 
 On ``--resume`` the checkpoint is *reconciled* against the
 :class:`~repro.core.cache.ResultCache`: a key recorded as completed is
@@ -15,8 +15,15 @@ The checkpoint never stores results — the cache is the single source of
 truth for data, the checkpoint only for progress accounting (and for
 reporting ``resumed / lost / fresh`` splits in the run manifest).
 
-Writes are atomic (tmp file + ``os.replace``), so a crash mid-flush
-leaves the previous snapshot intact, never a truncated one.
+Durability (format v2): the file is JSONL — a header line followed by
+``{"completed": [...]}`` batch lines.  The first flush is an atomic
+rewrite (tmp file + fsync + ``os.replace`` + **directory fsync**, so the
+rename itself survives a power cut); subsequent flushes append one
+fsync'd batch line, which is what lets the campaign service checkpoint
+thousands of completions without rewriting the whole snapshot each time.
+A crash mid-append leaves at most one torn trailing line, which
+:func:`load_checkpoint` skips (and reports) instead of discarding the
+file.  Legacy v1 single-document snapshots are still readable.
 """
 
 from __future__ import annotations
@@ -29,7 +36,28 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Set, Union
 
 #: Bump when the checkpoint document layout changes.
-CHECKPOINT_SCHEMA_VERSION = 1
+#: v2: JSONL (header line + appended completion batches), fsync'd writes.
+CHECKPOINT_SCHEMA_VERSION = 2
+
+
+def fsync_directory(path: Union[str, Path]) -> None:
+    """fsync a directory so a rename/create inside it is durable.
+
+    ``os.replace`` makes a write atomic but not durable — the directory
+    entry itself lives in the parent, which must be fsync'd separately
+    for the rename to survive a power cut.  Best-effort: platforms that
+    cannot open directories (or refuse to fsync them) are skipped.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic platforms
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - e.g. some network filesystems
+        pass
+    finally:
+        os.close(fd)
 
 
 @dataclass(frozen=True)
@@ -61,8 +89,27 @@ class ResumeReport:
         )
 
 
+@dataclass(frozen=True)
+class CheckpointLoad:
+    """Outcome of reading one checkpoint file.
+
+    ``keys`` is ``None`` when the file is missing or unusable (resuming
+    then just means re-checking the cache for everything).  ``torn_line``
+    reports that a trailing partial batch line — the footprint of a crash
+    mid-append — was skipped; everything before it was recovered.
+    """
+
+    keys: Optional[List[str]]
+    torn_line: bool = False
+    legacy: bool = False
+
+    @property
+    def usable(self) -> bool:
+        return self.keys is not None
+
+
 class CampaignCheckpoint:
-    """Periodic atomic record of completed replication keys.
+    """Periodic durable record of completed replication keys.
 
     ``resume=True`` loads any existing snapshot at ``path`` (tolerating a
     corrupt/truncated file — it is treated as empty, since the cache, not
@@ -85,31 +132,41 @@ class CampaignCheckpoint:
         self.completed: Set[str] = set()
         #: Keys the loaded (pre-resume) snapshot reported as completed.
         self.previously_completed: Set[str] = frozenset()
+        #: True when the loaded snapshot carried a torn trailing line
+        #: (crash mid-append); surfaced so run manifests can record it.
+        self.load_torn_line = False
         self.flushes = 0
         self._dirty = 0
+        #: Keys recorded since the last flush, in record order — the next
+        #: appended batch.
+        self._pending: List[str] = []
+        #: The next flush must atomically rewrite the whole file instead
+        #: of appending (fresh campaign, legacy v1 file, or a loaded file
+        #: whose tail is torn and would corrupt appended lines).
+        self._rewrite_needed = True
         if resume:
-            loaded = load_checkpoint(self.path)
-            if loaded is not None:
-                self.previously_completed = frozenset(loaded)
-                self.completed.update(loaded)
+            loaded = load_checkpoint_report(self.path)
+            self.load_torn_line = loaded.torn_line
+            if loaded.usable:
+                self.previously_completed = frozenset(loaded.keys)
+                self.completed.update(loaded.keys)
+                self._rewrite_needed = loaded.legacy or loaded.torn_line
 
     def record(self, key: str) -> None:
         """Mark one replication key completed; flush every ``interval``."""
         if key in self.completed:
             return
         self.completed.add(key)
+        self._pending.append(key)
         self._dirty += 1
         if self._dirty >= self.interval:
             self.flush()
 
-    def flush(self) -> Optional[Path]:
-        """Atomically write the current snapshot (no-op when unchanged)."""
-        if self._dirty == 0 and self.flushes > 0:
-            return None
-        document = {
+    def _rewrite(self) -> None:
+        """Atomically replace the file with a header + one full batch."""
+        header = {
             "checkpoint_schema": CHECKPOINT_SCHEMA_VERSION,
             "label": self.label,
-            "completed": sorted(self.completed),
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
         handle, tmp_name = tempfile.mkstemp(
@@ -117,7 +174,17 @@ class CampaignCheckpoint:
         )
         try:
             with os.fdopen(handle, "w", encoding="utf-8") as tmp:
-                json.dump(document, tmp, sort_keys=True)
+                tmp.write(json.dumps(header, sort_keys=True) + "\n")
+                if self.completed:
+                    tmp.write(
+                        json.dumps(
+                            {"completed": sorted(self.completed)},
+                            sort_keys=True,
+                        )
+                        + "\n"
+                    )
+                tmp.flush()
+                os.fsync(tmp.fileno())
             os.replace(tmp_name, self.path)
         except BaseException:
             try:
@@ -125,7 +192,27 @@ class CampaignCheckpoint:
             except OSError:
                 pass
             raise
+        fsync_directory(self.path.parent)
+        self._rewrite_needed = False
+
+    def _append_batch(self) -> None:
+        """Append one fsync'd batch line with the keys pending flush."""
+        line = json.dumps({"completed": list(self._pending)}, sort_keys=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def flush(self) -> Optional[Path]:
+        """Durably persist progress (no-op when unchanged)."""
+        if self._dirty == 0 and self.flushes > 0:
+            return None
+        if self._rewrite_needed or not self.path.exists():
+            self._rewrite()
+        elif self._pending:
+            self._append_batch()
         self._dirty = 0
+        self._pending = []
         self.flushes += 1
         return self.path
 
@@ -155,28 +242,77 @@ class CampaignCheckpoint:
         )
 
 
-def load_checkpoint(path: Union[str, Path]) -> Optional[List[str]]:
-    """Completed keys of the snapshot at ``path``; ``None`` when unusable.
-
-    A missing file, truncated JSON, wrong schema version, or malformed
-    document all return ``None`` — resuming from a damaged checkpoint
-    just means re-checking the cache for everything, never crashing.
-    """
-    path = Path(path)
-    try:
-        document = json.loads(path.read_text(encoding="utf-8"))
-    except (OSError, ValueError):
-        return None
-    if not isinstance(document, dict):
-        return None
-    if document.get("checkpoint_schema") != CHECKPOINT_SCHEMA_VERSION:
-        return None
-    completed = document.get("completed")
+def _valid_keys(completed: Any) -> Optional[List[str]]:
+    """``completed`` as a list of key strings, or ``None`` when malformed."""
     if not isinstance(completed, list) or not all(
         isinstance(key, str) for key in completed
     ):
         return None
     return completed
+
+
+def load_checkpoint_report(path: Union[str, Path]) -> CheckpointLoad:
+    """Read one checkpoint file, tolerating a torn trailing line.
+
+    A missing file, torn/malformed header, wrong schema version, or a
+    malformed batch *before* the final line all make the file unusable
+    (``keys=None``) — resuming from a damaged checkpoint just means
+    re-checking the cache for everything, never crashing.  A torn *final*
+    line — the only damage a crashed append can cause — is skipped and
+    reported while every earlier batch is recovered.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return CheckpointLoad(keys=None)
+    lines = [line for line in text.split("\n") if line.strip()]
+    if not lines:
+        return CheckpointLoad(keys=None)
+    try:
+        header = json.loads(lines[0])
+    except ValueError:
+        return CheckpointLoad(keys=None)
+    if not isinstance(header, dict):
+        return CheckpointLoad(keys=None)
+    schema = header.get("checkpoint_schema")
+    if schema == 1:
+        # Legacy v1: the whole file is one JSON document.
+        return CheckpointLoad(keys=_valid_keys(header.get("completed")), legacy=True)
+    if schema != CHECKPOINT_SCHEMA_VERSION:
+        return CheckpointLoad(keys=None)
+    keys: List[str] = []
+    seen: Set[str] = set()
+    torn = False
+    for number, line in enumerate(lines[1:], start=2):
+        try:
+            batch = json.loads(line)
+        except ValueError:
+            if number == len(lines):
+                torn = True  # crash mid-append: skip and report
+                break
+            return CheckpointLoad(keys=None)
+        batch_keys = (
+            _valid_keys(batch.get("completed"))
+            if isinstance(batch, dict)
+            else None
+        )
+        if batch_keys is None:
+            return CheckpointLoad(keys=None)
+        for key in batch_keys:
+            if key not in seen:
+                seen.add(key)
+                keys.append(key)
+    return CheckpointLoad(keys=keys, torn_line=torn)
+
+
+def load_checkpoint(path: Union[str, Path]) -> Optional[List[str]]:
+    """Completed keys of the snapshot at ``path``; ``None`` when unusable.
+
+    Convenience wrapper over :func:`load_checkpoint_report` (which also
+    says whether a torn trailing line was skipped).
+    """
+    return load_checkpoint_report(path).keys
 
 
 def default_checkpoint_path(cache_root: Union[str, Path], label: str) -> Path:
@@ -188,7 +324,10 @@ def default_checkpoint_path(cache_root: Union[str, Path], label: str) -> Path:
 __all__ = [
     "CHECKPOINT_SCHEMA_VERSION",
     "CampaignCheckpoint",
+    "CheckpointLoad",
     "ResumeReport",
     "default_checkpoint_path",
+    "fsync_directory",
     "load_checkpoint",
+    "load_checkpoint_report",
 ]

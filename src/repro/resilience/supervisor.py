@@ -260,16 +260,37 @@ class SupervisedWorkerPool:
         process.start()
         return _WorkerSlot(process, task_queue)
 
+    @staticmethod
+    def _dispose_slot(slot: _WorkerSlot) -> None:
+        """Fully reap one slot: no zombie process, no leaked queue.
+
+        Escalates ``terminate`` → ``kill`` so a worker ignoring SIGTERM
+        (stuck in uninterruptible I/O, masked signals) cannot survive as
+        a zombie, then releases the ``Process`` object's pipe/sentinel
+        resources with ``close()`` — without it every respawn leaks the
+        dead worker's file descriptors until garbage collection.
+        """
+        process = slot.process
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=_SHUTDOWN_GRACE)
+        if process.is_alive():  # pragma: no cover - SIGTERM ignored
+            process.kill()
+            process.join(timeout=_SHUTDOWN_GRACE)
+        slot.task_queue.cancel_join_thread()
+        slot.task_queue.close()
+        try:
+            process.close()
+        except ValueError:  # pragma: no cover - still running after kill
+            pass
+
     def _respawn_slot(
         self, slots: List[_WorkerSlot], position: int, ctx, result_queue,
         report: SupervisionReport,
     ) -> None:
         slot = slots[position]
-        if slot.process.is_alive():  # pragma: no cover - defensive
-            slot.process.terminate()
         slot.process.join(timeout=_SHUTDOWN_GRACE)
-        slot.task_queue.cancel_join_thread()
-        slot.task_queue.close()
+        self._dispose_slot(slot)
         slots[position] = self._spawn_slot(ctx, result_queue)
         report.respawns += 1
         self.metrics.inc("resilience.pool_respawns")
@@ -284,11 +305,7 @@ class SupervisedWorkerPool:
         deadline = time.monotonic() + _SHUTDOWN_GRACE
         for slot in slots:
             slot.process.join(timeout=max(0.0, deadline - time.monotonic()))
-            if slot.process.is_alive():
-                slot.process.terminate()
-                slot.process.join(timeout=_SHUTDOWN_GRACE)
-            slot.task_queue.cancel_join_thread()
-            slot.task_queue.close()
+            self._dispose_slot(slot)
 
     def run(self, jobs: Sequence[IndexedJob]) -> SupervisionReport:
         """Execute ``jobs`` to completion or quarantine; see module doc."""

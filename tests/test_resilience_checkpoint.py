@@ -20,6 +20,7 @@ from repro.resilience import (
     CampaignCheckpoint,
     default_checkpoint_path,
     load_checkpoint,
+    load_checkpoint_report,
 )
 
 
@@ -44,9 +45,75 @@ class TestCheckpointFile:
             checkpoint.record(key)
         checkpoint.flush()
         assert load_checkpoint(path) == ["a", "b", "c"]
-        document = json.loads(path.read_text())
-        assert document["checkpoint_schema"] == CHECKPOINT_SCHEMA_VERSION
-        assert document["label"] == "demo"
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["checkpoint_schema"] == CHECKPOINT_SCHEMA_VERSION
+        assert header["label"] == "demo"
+
+    def test_later_flushes_append_batches(self, tmp_path):
+        path = tmp_path / "ck.json"
+        checkpoint = CampaignCheckpoint(path, label="demo")
+        checkpoint.record("a")
+        checkpoint.flush()
+        checkpoint.record("b")
+        checkpoint.record("c")
+        checkpoint.flush()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3  # header + first batch + appended batch
+        assert json.loads(lines[2])["completed"] == ["b", "c"]
+        assert load_checkpoint(path) == ["a", "b", "c"]
+
+    def test_legacy_v1_snapshot_still_loads(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(
+            json.dumps({"checkpoint_schema": 1, "label": "old",
+                        "completed": ["a", "b"]})
+        )
+        assert load_checkpoint(path) == ["a", "b"]
+        report = load_checkpoint_report(path)
+        assert report.legacy and not report.torn_line
+        # A resume from the legacy file rewrites in the current format.
+        resumed = CampaignCheckpoint(path, label="old", resume=True)
+        resumed.record("c")
+        resumed.flush()
+        assert load_checkpoint(path) == ["a", "b", "c"]
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["checkpoint_schema"] == CHECKPOINT_SCHEMA_VERSION
+
+    def test_torn_trailing_line_skipped_and_reported(self, tmp_path):
+        path = tmp_path / "ck.json"
+        checkpoint = CampaignCheckpoint(path)
+        checkpoint.record("a")
+        checkpoint.flush()
+        checkpoint.record("b")
+        checkpoint.flush()
+        # Crash mid-append: the final batch line is truncated.
+        torn = path.read_text()[:-5]
+        path.write_text(torn)
+        report = load_checkpoint_report(path)
+        assert report.torn_line
+        assert report.keys == ["a"]  # everything before the tear survives
+        resumed = CampaignCheckpoint(path, resume=True)
+        assert resumed.load_torn_line
+        assert resumed.previously_completed == {"a"}
+        # The resumed campaign must not append after the torn tail — the
+        # next flush rewrites the file whole, healing it.
+        resumed.record("c")
+        resumed.flush()
+        healed = load_checkpoint_report(path)
+        assert not healed.torn_line
+        assert set(healed.keys) == {"a", "c"}
+
+    def test_mid_file_garbage_is_unusable(self, tmp_path):
+        path = tmp_path / "ck.json"
+        header = json.dumps(
+            {"checkpoint_schema": CHECKPOINT_SCHEMA_VERSION, "label": ""}
+        )
+        path.write_text(
+            header + "\n" + '{"completed": ["a"'
+            + "\n" + json.dumps({"completed": ["b"]}) + "\n"
+        )
+        # The damaged line is NOT the tail, so the file is untrustworthy.
+        assert load_checkpoint(path) is None
 
     def test_interval_flushes_periodically(self, tmp_path):
         path = tmp_path / "ck.json"
@@ -102,6 +169,73 @@ class TestCheckpointFile:
         assert "1 lost" in report.format()
         with pytest.raises(ValueError):
             resumed.reconcile(["a"], [True, False])
+
+    def test_reconcile_empty_cache_marks_everything_lost(self, tmp_path):
+        """Every checkpointed key whose cache entry vanished is 'lost'."""
+        path = tmp_path / "ck.json"
+        checkpoint = CampaignCheckpoint(path, interval=1)
+        for key in ("a", "b", "c"):
+            checkpoint.record(key)
+        checkpoint.flush()
+        resumed = CampaignCheckpoint(path, resume=True)
+        report = resumed.reconcile(["a", "b", "c"], [False, False, False])
+        assert report.previously_completed == 3
+        assert report.resumed_from_cache == 0
+        assert report.lost_entries == 3
+        assert report.fresh == 0
+
+    def test_reconcile_duplicate_job_keys_counted_per_occurrence(self, tmp_path):
+        """A key requested twice (shared-config series) counts twice."""
+        path = tmp_path / "ck.json"
+        checkpoint = CampaignCheckpoint(path, interval=1)
+        checkpoint.record("a")
+        checkpoint.flush()
+        resumed = CampaignCheckpoint(path, resume=True)
+        report = resumed.reconcile(
+            ["a", "a", "b", "b"], [True, True, False, False]
+        )
+        assert report.previously_completed == 2
+        assert report.resumed_from_cache == 2
+        assert report.lost_entries == 0
+        assert report.fresh == 2
+
+    def test_reconcile_swept_entries_split_exactly(self, tmp_path):
+        """A mixed sweep: some entries present, some gone, some fresh."""
+        path = tmp_path / "ck.json"
+        checkpoint = CampaignCheckpoint(path, interval=1)
+        for key in ("a", "b", "c", "d"):
+            checkpoint.record(key)
+        checkpoint.flush()
+        resumed = CampaignCheckpoint(path, resume=True)
+        # b and d were swept from the cache; e/f were never completed.
+        report = resumed.reconcile(
+            ["a", "b", "c", "d", "e", "f"],
+            [True, False, True, False, False, False],
+        )
+        assert report.previously_completed == 4
+        assert report.resumed_from_cache == 2
+        assert report.lost_entries == 2
+        assert report.fresh == 2
+        assert report.to_dict() == {
+            "previously_completed": 4,
+            "resumed_from_cache": 2,
+            "lost_entries": 2,
+            "fresh": 2,
+        }
+
+    def test_reconcile_empty_job_list(self, tmp_path):
+        path = tmp_path / "ck.json"
+        checkpoint = CampaignCheckpoint(path, interval=1)
+        checkpoint.record("a")
+        checkpoint.flush()
+        resumed = CampaignCheckpoint(path, resume=True)
+        report = resumed.reconcile([], [])
+        assert report.to_dict() == {
+            "previously_completed": 0,
+            "resumed_from_cache": 0,
+            "lost_entries": 0,
+            "fresh": 0,
+        }
 
     def test_default_path_sanitizes_label(self, tmp_path):
         path = default_checkpoint_path(tmp_path, "figure:fig1,fig2")

@@ -121,6 +121,52 @@ class TestFaultInjection:
             (e.kind, e.action) for e in scheduler.failures
         ]
 
+    def test_no_zombies_or_fd_leaks_after_repeated_respawns(self, mini_scenario):
+        """Shutdown hygiene: 3 forced respawns leak nothing.
+
+        After a campaign whose fault plan hard-crashes three workers
+        (three respawn cycles), the parent must be left with zero live
+        child processes and the same number of open file descriptors it
+        had after a clean warm-up run — a dead worker's Process object
+        and its task queue both hold pipe FDs until explicitly closed.
+        """
+        import multiprocessing
+        import os
+
+        def open_fds() -> int:
+            fd_dir = "/proc/self/fd"
+            if not os.path.isdir(fd_dir):  # pragma: no cover - non-Linux
+                pytest.skip("needs /proc to count file descriptors")
+            return len(os.listdir(fd_dir))
+
+        def reap_stragglers() -> None:
+            for child in multiprocessing.active_children():
+                child.join(timeout=5.0)
+
+        # Warm-up run: pays one-time interpreter costs (resource tracker,
+        # mp context) so the baseline FD count is stable.
+        with ReplicationScheduler(processes=2, resilience=FAST_POLICY) as s:
+            s.replicate(mini_scenario, replications=4, seed=9)
+        reap_stragglers()
+        assert multiprocessing.active_children() == []
+        baseline = open_fds()
+
+        plan = FaultPlan(
+            {
+                0: FaultSpec(crash_attempts=(0,)),
+                1: FaultSpec(crash_attempts=(0,)),
+                2: FaultSpec(crash_attempts=(0,)),
+            }
+        )
+        with ReplicationScheduler(
+            processes=2, resilience=FAST_POLICY, fault_plan=plan
+        ) as scheduler:
+            scheduler.replicate(mini_scenario, replications=4, seed=9)
+        assert scheduler.pool_respawns >= 3
+        reap_stragglers()
+        assert multiprocessing.active_children() == []
+        assert open_fds() <= baseline
+
     def test_repeated_pool_death_degrades_to_serial(self, mini_scenario):
         expected = replicate_scenario(mini_scenario, replications=4, seed=9)
         policy = RetryPolicy(
