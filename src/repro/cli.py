@@ -11,6 +11,12 @@ Commands
     shape checks.  ``--processes`` fans replications across a worker
     pool; results are cached on disk so reruns skip finished work
     (``--no-cache`` disables).
+``repro-sim frontier --virus 1 --response blacklist``
+    Bisect the response-time frontier: the largest deployment latency
+    (or slowest rollout, ``--axis rollout``) the mechanism affords
+    before the outbreak escapes containment, gated against the
+    delayed-response mean-field ODE on a matched well-mixed scenario
+    (``repro.frontier``).
 ``repro-sim topology --nodes 1000 --mean-degree 80 --out contacts.txt``
     Generate a contact-list network file.
 ``repro-sim sweep scan_delay``
@@ -321,6 +327,72 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_parser.add_argument("--seed", type=int, default=0)
     scenario_parser.add_argument("--no-chart", action="store_true")
 
+    frontier_parser = subparsers.add_parser(
+        "frontier",
+        help="bisect the response-time frontier: how much deployment "
+        "latency (or how slow a rollout) a mechanism affords before the "
+        "outbreak escapes containment — gated against the delayed-response "
+        "mean-field ODE on a matched well-mixed scenario",
+    )
+    frontier_parser.add_argument(
+        "--virus", type=int, choices=(1, 2, 3, 4), required=True
+    )
+    frontier_parser.add_argument(
+        "--response",
+        choices=("scan", "detection", "immunization", "blacklist"),
+        required=True,
+        help="deployable mechanism to bisect (monitoring/education are "
+        "standing policies — deployment timing does not apply)",
+    )
+    frontier_parser.add_argument("--delay", type=float, default=6.0,
+                                 help="scan activation delay, hours")
+    frontier_parser.add_argument("--accuracy", type=float, default=0.95,
+                                 help="detection algorithm accuracy")
+    frontier_parser.add_argument("--dev-time", type=float, default=24.0,
+                                 help="patch development time, hours")
+    frontier_parser.add_argument("--deploy-window", type=float, default=6.0,
+                                 help="patch deployment window, hours")
+    frontier_parser.add_argument("--threshold", type=int, default=10,
+                                 help="blacklist threshold, messages")
+    frontier_parser.add_argument(
+        "--axis", choices=("latency", "rollout"), default="latency",
+        help="bisect deployment latency (hours) or the rollout window "
+        "(hours to full coverage; the rate is its reciprocal)",
+    )
+    frontier_parser.add_argument(
+        "--low", type=float, default=0.0,
+        help="bracket lower bound, hours (rollout axis: must be > 0)",
+    )
+    frontier_parser.add_argument("--high", type=float, default=168.0,
+                                 help="bracket upper bound, hours")
+    frontier_parser.add_argument(
+        "--tolerance", type=float, default=4.0,
+        help="stop when the bracket is narrower than this, hours",
+    )
+    frontier_parser.add_argument(
+        "--fraction", type=float, default=0.5,
+        help="containment = mean final infections <= this fraction of "
+        "the analytic mean-field plateau",
+    )
+    frontier_parser.add_argument(
+        "--slack", type=float, default=6.0,
+        help="hours of slack around the simulated confidence bracket "
+        "when judging the mean-field critical latency",
+    )
+    frontier_parser.add_argument(
+        "--no-crosscheck", action="store_true",
+        help="skip the matched-scenario mean-field gate (report the "
+        "production frontier only)",
+    )
+    frontier_parser.add_argument("--population", type=int, default=1000)
+    frontier_parser.add_argument("--duration", type=float, default=None,
+                                 help="override horizon, hours")
+    frontier_parser.add_argument("--engine", choices=("core", "xl"),
+                                 default="core")
+    frontier_parser.add_argument("--replications", type=int, default=3)
+    frontier_parser.add_argument("--seed", type=int, default=0)
+    _add_scheduler_args(frontier_parser)
+
     validate_parser = subparsers.add_parser(
         "validate",
         help="differential validation: golden-trace replay and cross-engine "
@@ -549,6 +621,79 @@ def _command_run(args: argparse.Namespace) -> int:
             )
         )
     return _report_failures(scheduler)
+
+
+def _command_frontier(args: argparse.Namespace) -> int:
+    from .frontier import FrontierSolver, run_crosscheck
+
+    response = _build_response(args)
+    scenario = baseline_scenario(
+        args.virus,
+        network=NetworkParameters(population=args.population),
+        duration=args.duration,
+    )
+    if args.engine != "core":
+        scenario = scenario.with_engine(args.engine)
+    scenario = scenario.with_responses(response, suffix=args.response)
+    label = f"frontier:{scenario.name}:{args.axis}"
+    crosscheck = None
+    with _make_scheduler(args, label=label) as scheduler:
+        solver = FrontierSolver(
+            scheduler,
+            replications=args.replications,
+            seed=args.seed,
+            fraction=args.fraction,
+            tolerance=args.tolerance,
+        )
+        try:
+            production = solver.solve(
+                scenario, low=args.low, high=args.high, axis=args.axis
+            )
+            if not args.no_crosscheck:
+                # The analytic gate runs on the matched well-mixed
+                # variant at the shared validation seed — the production
+                # config above keeps the user's exact parameters.
+                crosscheck = run_crosscheck(
+                    args.virus,
+                    response,
+                    scheduler,
+                    low=args.low,
+                    high=args.high,
+                    axis=args.axis,
+                    fraction=args.fraction,
+                    tolerance=args.tolerance,
+                    replications=args.replications,
+                    engine=args.engine,
+                    slack=args.slack,
+                )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    print(production.format())
+    if crosscheck is not None:
+        print()
+        print("matched-scenario mean-field gate:")
+        print(crosscheck.format())
+    if getattr(args, "metrics", None):
+        section = {"production": production.manifest_section()}
+        if crosscheck is not None:
+            section["crosscheck"] = crosscheck.manifest_section()
+        path = scheduler.write_manifest(
+            args.metrics, label=label, frontier=section
+        )
+        print(f"run manifest appended to {path}")
+    _report_resume(scheduler)
+    failures = _report_failures(scheduler)
+    if failures:
+        return failures
+    if crosscheck is not None and not crosscheck.passed:
+        print(
+            "frontier cross-check FAILED: the mean-field critical "
+            "estimate falls outside the simulated confidence bracket",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _per_figure_path(template: str, experiment_id: str, multiple: bool) -> Path:
@@ -919,6 +1064,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_run(args)
         if args.command == "figure":
             return _command_figure(args)
+        if args.command == "frontier":
+            return _command_frontier(args)
         if args.command == "profile":
             return _command_profile(args)
         if args.command == "topology":

@@ -28,6 +28,7 @@ from .parameters import (
     MonitoringConfig,
     NetworkParameters,
     ResponseConfig,
+    ResponseDeployment,
     ScenarioConfig,
     Targeting,
     UserEducationConfig,
@@ -93,6 +94,7 @@ __all__ = [
     "MonitoringConfig",
     "BlacklistConfig",
     "ResponseConfig",
+    "ResponseDeployment",
     "ResponseMechanism",
     "GatewayScan",
     "DetectionAlgorithm",

@@ -99,7 +99,8 @@ class PhoneNetworkModel:
         # Response mechanisms attach before any event fires so that
         # detection subscriptions and acceptance scaling are in place.
         self.mechanisms: Tuple[ResponseMechanism, ...] = tuple(
-            build_mechanism(response) for response in config.responses
+            build_mechanism(response, deployment=config.deployment)
+            for response in config.responses
         )
         for mechanism in self.mechanisms:
             mechanism.attach(self)

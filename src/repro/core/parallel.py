@@ -242,6 +242,9 @@ class WorkerPool:
             for job in jobs:
                 yield _run_indexed(job)
             return
+        if job_count == 0:
+            # A known-empty batch must never pay pool startup.
+            return
         count = job_count if job_count is not None else 0
         chunk = chunk_size_for(count, self.processes)
         pool = self._ensure_pool()
@@ -263,6 +266,9 @@ class WorkerPool:
         if self.processes == 1:
             for job in jobs:
                 yield _run_indexed_timed(job)
+            return
+        if job_count == 0:
+            # A known-empty batch must never pay pool startup.
             return
         count = job_count if job_count is not None else 0
         chunk = chunk_size_for(count, self.processes)

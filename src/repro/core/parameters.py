@@ -465,6 +465,52 @@ class MobilityParameters:
         return min(1.0, math.pi * self.bluetooth_radius**2 / self.arena_size**2)
 
 
+@dataclass(frozen=True)
+class ResponseDeployment:
+    """Operational deployment assumptions shared by the *triggered*
+    response mechanisms (the response-time-bounds axis).
+
+    The paper evaluates each mechanism at fixed deployment assumptions;
+    this axis asks *how fast* the defense must act.  ``latency_hours``
+    is extra provider-side reaction time added on top of each
+    mechanism's own delay (signature distribution, patch sign-off,
+    blacklist activation), counted from the detection event.
+    ``rollout_rate`` is the fraction of full coverage brought online per
+    hour once a mechanism activates: gateway filters ramp linearly from
+    0 to full blocking over ``1/rollout_rate`` hours, patches roll out
+    over an effective window of ``1/rollout_rate`` hours, and blacklist
+    counting ramps the same way.  ``None`` (the default) keeps the
+    paper's instantaneous-coverage assumption.
+
+    Deployment applies to the detection-triggered mechanisms (gateway
+    scan, detection algorithm, immunization, blacklisting).  The two
+    standing mechanisms — user education and monitoring — are always-on
+    policies with no trigger, so deployment does not affect them.
+    """
+
+    latency_hours: float = 0.0
+    rollout_rate: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.latency_hours < 0:
+            raise ValueError(
+                f"latency_hours must be >= 0, got {self.latency_hours}"
+            )
+        if self.rollout_rate is not None and self.rollout_rate <= 0:
+            raise ValueError(
+                f"rollout_rate must be > 0 or None, got {self.rollout_rate}"
+            )
+
+    def coverage_at(self, time: float, activation_time: float) -> float:
+        """Deployed coverage fraction at ``time`` for a mechanism that
+        activated at ``activation_time`` (already latency-adjusted)."""
+        if time < activation_time:
+            return 0.0
+        if self.rollout_rate is None:
+            return 1.0
+        return min(1.0, (time - activation_time) * self.rollout_rate)
+
+
 #: Union of all response-mechanism configurations.
 ResponseConfig = Union[
     GatewayScanConfig,
@@ -502,6 +548,14 @@ class ScenarioConfig:
     #: draws partners from grid-bucketed physical proximity.  Part of the
     #: scenario identity (cache keys, manifests) when set.
     mobility: Optional[MobilityParameters] = None
+    #: Optional response-deployment assumptions (reaction latency +
+    #: rollout ramp) applied to every detection-triggered mechanism in
+    #: ``responses``.  ``None`` (the default) keeps the paper's
+    #: instantaneous-deployment assumption and — like ``mobility`` — is
+    #: omitted from serialized documents, so pre-existing cache keys and
+    #: golden fixtures stay byte-identical.  Part of the scenario
+    #: identity when set.
+    deployment: Optional[ResponseDeployment] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -540,6 +594,17 @@ class ScenarioConfig:
         """
         return replace(self, mobility=mobility)
 
+    def with_deployment(
+        self, deployment: Optional[ResponseDeployment]
+    ) -> "ScenarioConfig":
+        """Copy of this scenario with deployment assumptions attached
+        (or removed).
+
+        Deployment is part of the scenario's cache identity, so
+        attaching it deliberately forks cached results.
+        """
+        return replace(self, deployment=deployment)
+
     def with_name(self, name: str) -> "ScenarioConfig":
         """Copy of this scenario under a different name.
 
@@ -575,6 +640,7 @@ __all__ = [
     "MonitoringConfig",
     "BlacklistConfig",
     "MobilityParameters",
+    "ResponseDeployment",
     "ResponseConfig",
     "ScenarioConfig",
     "ENGINES",

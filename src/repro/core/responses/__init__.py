@@ -9,6 +9,8 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..parameters import (
     BlacklistConfig,
     DetectionAlgorithmConfig,
@@ -16,6 +18,7 @@ from ..parameters import (
     ImmunizationConfig,
     MonitoringConfig,
     ResponseConfig,
+    ResponseDeployment,
     UserEducationConfig,
 )
 from .base import ResponseMechanism
@@ -36,12 +39,25 @@ _CONFIG_TO_MECHANISM = {
 }
 
 
-def build_mechanism(config: ResponseConfig) -> ResponseMechanism:
+#: Mechanisms whose activation is detection-triggered, and therefore
+#: subject to :class:`ResponseDeployment` latency/rollout assumptions.
+#: User education and monitoring are standing policies with no trigger.
+DEPLOYABLE_MECHANISMS = frozenset(
+    {GatewayScan, DetectionAlgorithm, Immunization, Blacklist}
+)
+
+
+def build_mechanism(
+    config: ResponseConfig,
+    deployment: Optional[ResponseDeployment] = None,
+) -> ResponseMechanism:
     """Instantiate the runtime mechanism for a response config."""
     try:
         mechanism_class = _CONFIG_TO_MECHANISM[type(config)]
     except KeyError:
         raise TypeError(f"unknown response config type {type(config)!r}") from None
+    if deployment is not None and mechanism_class in DEPLOYABLE_MECHANISMS:
+        return mechanism_class(config, deployment=deployment)
     return mechanism_class(config)
 
 
@@ -53,5 +69,6 @@ __all__ = [
     "Immunization",
     "Monitoring",
     "Blacklist",
+    "DEPLOYABLE_MECHANISMS",
     "build_mechanism",
 ]

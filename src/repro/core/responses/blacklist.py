@@ -17,8 +17,10 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set
 
+import numpy as np
+
 from ..messages import MMSMessage
-from ..parameters import BlacklistConfig
+from ..parameters import BlacklistConfig, ResponseDeployment
 from ..phone import Phone
 from .base import ResponseMechanism
 
@@ -28,19 +30,30 @@ class Blacklist(ResponseMechanism):
 
     name = "blacklist"
 
-    def __init__(self, config: BlacklistConfig) -> None:
+    def __init__(
+        self,
+        config: BlacklistConfig,
+        deployment: Optional[ResponseDeployment] = None,
+    ) -> None:
         super().__init__()
         self.config = config
+        self.deployment = deployment
         self._suspected_counts: Dict[int, int] = {}
         self._blacklisted: Set[int] = set()
         self._counting_since: Optional[float] = None
+        self._rollout_rng: Optional[np.random.Generator] = None
 
     def attach(self, model) -> None:
         super().attach(model)
+        if self.deployment is not None and self.deployment.rollout_rate is not None:
+            self._rollout_rng = model.streams.stream("response.blacklist.rollout")
         model.detection.subscribe(self._on_detection)
 
     def _on_detection(self, detection_time: float) -> None:
-        self._counting_since = detection_time
+        counting_from = detection_time
+        if self.deployment is not None:
+            counting_from += self.deployment.latency_hours
+        self._counting_since = counting_from
 
     @property
     def counting(self) -> bool:
@@ -59,8 +72,16 @@ class Blacklist(ResponseMechanism):
     def on_message_sent(self, phone: Phone, message: MMSMessage, now: float) -> None:
         if self._counting_since is None or not message.infected:
             return
+        if now < self._counting_since:
+            # Counting has been announced but the (latency-delayed)
+            # activation hasn't arrived yet; sends before it are unseen.
+            return
         if phone.phone_id in self._blacklisted:
             return
+        if self._rollout_rng is not None:
+            coverage = self.deployment.coverage_at(now, self._counting_since)
+            if coverage < 1.0 and self._rollout_rng.random() >= coverage:
+                return
         count = self._suspected_counts.get(phone.phone_id, 0) + 1
         self._suspected_counts[phone.phone_id] = count
         if count >= self.config.threshold:

@@ -14,7 +14,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..messages import MMSMessage
-from ..parameters import DetectionAlgorithmConfig
+from ..parameters import DetectionAlgorithmConfig, ResponseDeployment
 from .base import ResponseMechanism
 
 
@@ -23,9 +23,14 @@ class DetectionAlgorithm(ResponseMechanism):
 
     name = "detection_algorithm"
 
-    def __init__(self, config: DetectionAlgorithmConfig) -> None:
+    def __init__(
+        self,
+        config: DetectionAlgorithmConfig,
+        deployment: Optional[ResponseDeployment] = None,
+    ) -> None:
         super().__init__()
         self.config = config
+        self.deployment = deployment
         self.activation_time: Optional[float] = None
         self.blocked_messages = 0
         self.missed_messages = 0
@@ -37,7 +42,10 @@ class DetectionAlgorithm(ResponseMechanism):
         model.detection.subscribe(self._on_detection)
 
     def _on_detection(self, detection_time: float) -> None:
-        self.activation_time = detection_time + self.config.analysis_period
+        delay = self.config.analysis_period
+        if self.deployment is not None:
+            delay += self.deployment.latency_hours
+        self.activation_time = detection_time + delay
 
     def installs_gateway_filter(self) -> bool:
         return True
@@ -48,7 +56,13 @@ class DetectionAlgorithm(ResponseMechanism):
         if not message.infected:
             return False
         assert self._rng is not None
-        if self._rng.random() < self.config.accuracy:
+        # A partial rollout scales the effective blocking probability;
+        # the single uniform draw per message is unchanged, so scenarios
+        # without a deployment consume the exact historical stream.
+        threshold = self.config.accuracy
+        if self.deployment is not None:
+            threshold *= self.deployment.coverage_at(now, self.activation_time)
+        if self._rng.random() < threshold:
             self.blocked_messages += 1
             return True
         self.missed_messages += 1

@@ -10,8 +10,10 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+import numpy as np
+
 from ..messages import MMSMessage
-from ..parameters import GatewayScanConfig
+from ..parameters import GatewayScanConfig, ResponseDeployment
 from .base import ResponseMechanism
 
 
@@ -20,19 +22,32 @@ class GatewayScan(ResponseMechanism):
 
     name = "gateway_scan"
 
-    def __init__(self, config: GatewayScanConfig) -> None:
+    def __init__(
+        self,
+        config: GatewayScanConfig,
+        deployment: Optional[ResponseDeployment] = None,
+    ) -> None:
         super().__init__()
         self.config = config
+        self.deployment = deployment
         self.activation_time: Optional[float] = None
         self.blocked_messages = 0
+        self._rollout_rng: Optional[np.random.Generator] = None
 
     def attach(self, model) -> None:
         super().attach(model)
+        # The rollout ramp makes blocking probabilistic, so it needs its
+        # own stream — created only when the axis is in play, keeping
+        # deployment-free scenarios on the exact historical stream set.
+        if self.deployment is not None and self.deployment.rollout_rate is not None:
+            self._rollout_rng = model.streams.stream("response.gateway_scan.rollout")
         model.detection.subscribe(self._on_detection)
 
     def _on_detection(self, detection_time: float) -> None:
         assert self.model is not None
         delay = self.config.activation_delay
+        if self.deployment is not None:
+            delay += self.deployment.latency_hours
         # Record when the scan becomes active; the filter compares against
         # this time, so no separate activation event is needed.
         self.activation_time = detection_time + delay
@@ -53,6 +68,10 @@ class GatewayScan(ResponseMechanism):
             return False
         if not message.infected:
             return False
+        if self._rollout_rng is not None:
+            coverage = self.deployment.coverage_at(now, self.activation_time)
+            if coverage < 1.0 and self._rollout_rng.random() >= coverage:
+                return False
         self.blocked_messages += 1
         return True
 

@@ -17,7 +17,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ..parameters import ImmunizationConfig
+from ..parameters import ImmunizationConfig, ResponseDeployment
 from .base import ResponseMechanism
 
 
@@ -26,9 +26,14 @@ class Immunization(ResponseMechanism):
 
     name = "immunization"
 
-    def __init__(self, config: ImmunizationConfig) -> None:
+    def __init__(
+        self,
+        config: ImmunizationConfig,
+        deployment: Optional[ResponseDeployment] = None,
+    ) -> None:
         super().__init__()
         self.config = config
+        self.deployment = deployment
         self.patch_ready_time: Optional[float] = None
         self.phones_immunized = 0
         self.phones_quarantined = 0
@@ -42,6 +47,8 @@ class Immunization(ResponseMechanism):
     def _on_detection(self, detection_time: float) -> None:
         assert self.model is not None
         ready = detection_time + self.config.development_time
+        if self.deployment is not None:
+            ready += self.deployment.latency_hours
         self.patch_ready_time = ready
         delay_until_ready = ready - self.model.sim.now
         self.model.sim.schedule(delay_until_ready, self._begin_deployment, label="patch_ready")
@@ -56,6 +63,10 @@ class Immunization(ResponseMechanism):
         """
         assert self.model is not None and self._rng is not None
         window = self.config.deployment_window
+        if self.deployment is not None and self.deployment.rollout_rate is not None:
+            # The rollout rate overrides the paper's fixed window: full
+            # coverage takes 1/rate hours, same uniform arrival shape.
+            window = 1.0 / self.deployment.rollout_rate
         for phone in self.model.phones:
             if not phone.susceptible:
                 continue

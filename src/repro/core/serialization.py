@@ -25,6 +25,7 @@ from .parameters import (
     MonitoringConfig,
     NetworkParameters,
     ResponseConfig,
+    ResponseDeployment,
     ScenarioConfig,
     Targeting,
     UserEducationConfig,
@@ -128,9 +129,10 @@ def scenario_to_dict(scenario: ScenarioConfig) -> Dict[str, Any]:
     """Serialize a scenario to a plain dict.
 
     The ``engine`` key is emitted only for non-default engines, and the
-    ``mobility`` key only when mobility is attached, so that documents
-    produced before those axes existed (cache entries, golden fixtures)
-    remain byte-identical for core-engine / non-proximity scenarios.
+    ``mobility``/``deployment`` keys only when those axes are attached,
+    so that documents produced before the axes existed (cache entries,
+    golden fixtures) remain byte-identical for core-engine /
+    non-proximity / instantaneous-deployment scenarios.
     """
     document = {
         "format_version": FORMAT_VERSION,
@@ -146,6 +148,8 @@ def scenario_to_dict(scenario: ScenarioConfig) -> Dict[str, Any]:
         document["engine"] = scenario.engine
     if scenario.mobility is not None:
         document["mobility"] = _dataclass_to_dict(scenario.mobility)
+    if scenario.deployment is not None:
+        document["deployment"] = _dataclass_to_dict(scenario.deployment)
     return document
 
 
@@ -179,6 +183,13 @@ def scenario_from_dict(data: Dict[str, Any]) -> ScenarioConfig:
         mobility=(
             _dict_to_dataclass(MobilityParameters, data["mobility"], "mobility")
             if data.get("mobility") is not None
+            else None
+        ),
+        deployment=(
+            _dict_to_dataclass(
+                ResponseDeployment, data["deployment"], "deployment"
+            )
+            if data.get("deployment") is not None
             else None
         ),
     )

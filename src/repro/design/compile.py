@@ -39,6 +39,8 @@ KNOWN_FACTORS = (
     "af",
     "channel",
     "response",
+    "latency",
+    "rollout",
     "engine",
     "seed",
 )
@@ -137,6 +139,32 @@ def build_scenario(point: Point) -> ScenarioConfig:
         responses = tuple(level.value)
         if responses or level.suffix:
             scenario = scenario.with_responses(*responses, suffix=level.suffix)
+    if "latency" in point or "rollout" in point:
+        # Response-deployment axes (the frontier family): ``latency`` is
+        # the deployment delay in hours, ``rollout`` the coverage rate
+        # per hour (``None`` = instantaneous).  Omitted factors leave the
+        # scenario's deployment unset, so its serialization — and hence
+        # cache identity — is byte-identical to pre-frontier documents.
+        from ..core.parameters import ResponseDeployment
+
+        latency = 0.0
+        rollout: Optional[float] = None
+        suffix_parts: List[str] = []
+        if "latency" in point:
+            level = point["latency"]
+            latency = float(level.value)
+            if level.suffix:
+                suffix_parts.append(level.suffix)
+        if "rollout" in point:
+            level = point["rollout"]
+            rollout = None if level.value is None else float(level.value)
+            if level.suffix:
+                suffix_parts.append(level.suffix)
+        scenario = scenario.with_deployment(
+            ResponseDeployment(latency_hours=latency, rollout_rate=rollout)
+        )
+        for part in suffix_parts:
+            scenario = scenario.with_name(scenario.name + part)
     if "engine" in point:
         scenario = scenario.with_engine(str(point["engine"].value))
     return scenario

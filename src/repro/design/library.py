@@ -485,6 +485,61 @@ def design_hybrid() -> ExperimentDesign:
     )
 
 
+def design_frontier() -> ExperimentDesign:
+    """Response-deployment latency sweep: the frontier family's grid view.
+
+    The extension family behind ``repro-sim frontier`` (ROADMAP;
+    Nikolopoulos & Polenakis, arXiv:1607.00827): the ``latency`` factor
+    delays every detection-triggered response by a fixed number of hours
+    after the virus reaches its detectable level, turning the paper's
+    fixed deployment assumptions into an axis.  Where the frontier CLI
+    *bisects* this axis for the critical latency, this design sweeps a
+    coarse grid of it for the full curve family — virus 1 under the
+    threshold-10 blacklist, on the xl engine at the paper population.
+    The headline shape: containment decays monotonically as deployment
+    slips, and a prompt response contains several times harder than one
+    delayed past the epidemic's growth phase.
+    """
+    latency = Factor(
+        "latency",
+        tuple(
+            Level(f"lat{hours:g}", float(hours), suffix=f"-lat{hours:g}")
+            for hours in (0, 24, 48, 96)
+        ),
+    )
+    return ExperimentDesign(
+        experiment_id="frontier",
+        title="Blacklist Deployment Latency Sweep (Virus 1)",
+        paper_ref="ROADMAP extension (Nikolopoulos & Polenakis)",
+        description=(
+            "Deployment latency added to the blacklist's detection trigger "
+            "for Virus 1, swept over 0-96 hours at the paper population. "
+            "Later deployment monotonically weakens containment; the "
+            "bisection frontier (repro-sim frontier) locates the critical "
+            "latency this grid brackets."
+        ),
+        design=cross(
+            virus_factor((1,)),
+            response_factor({"blacklist": BlacklistConfig(threshold=10)}),
+            latency,
+        ),
+        label="{latency}",
+        checkpoints=(96.0, 240.0, 432.0),
+        shape_checks=(
+            checks.final_ordering(
+                ["lat0", "lat24", "lat48", "lat96"],
+                name="containment decays monotonically with latency",
+            ),
+            checks.containment_below(
+                "lat0", "lat96", 0.5,
+                name="prompt deployment contains hardest",
+            ),
+        ),
+        default_replications=3,
+        engine="xl",
+    )
+
+
 #: Design factories for every reproduced paper artifact, in paper order.
 DESIGN_FACTORIES: Dict[str, Callable[[], ExperimentDesign]] = {
     "fig1": design_fig1,
@@ -498,12 +553,13 @@ DESIGN_FACTORIES: Dict[str, Callable[[], ExperimentDesign]] = {
     "combo": design_combined_defenses,
     "scaling2000": design_scaling2000,
     "hybrid": design_hybrid,
+    "frontier": design_frontier,
 }
 
 #: Ids beyond the paper's artifact set (ROADMAP extensions).  The legacy
 #: differential-equivalence freeze covers everything *except* these — an
 #: extension has no pre-DSL hand-written builder to compare against.
-EXTENSION_IDS = frozenset({"hybrid"})
+EXTENSION_IDS = frozenset({"hybrid", "frontier"})
 
 
 def design_ids() -> List[str]:

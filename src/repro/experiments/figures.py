@@ -71,6 +71,11 @@ def hybrid() -> ExperimentSpec:
     return build("hybrid")
 
 
+def frontier() -> ExperimentSpec:
+    """Extension: blacklist deployment-latency sweep vs Virus 1 (xl)."""
+    return build("frontier")
+
+
 __all__ = [
     "PAPER_PLATEAU",
     "fig1",
@@ -84,4 +89,5 @@ __all__ = [
     "combined_defenses",
     "scaling2000",
     "hybrid",
+    "frontier",
 ]

@@ -20,6 +20,7 @@ EXPERIMENT_FACTORIES: Dict[str, Callable[[], ExperimentSpec]] = {
     "combo": figures.combined_defenses,
     "scaling2000": figures.scaling2000,
     "hybrid": figures.hybrid,
+    "frontier": figures.frontier,
 }
 
 

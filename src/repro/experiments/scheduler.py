@@ -402,6 +402,12 @@ class ReplicationScheduler:
         """
         if self.processes == 1 or not self._owns_pool:
             return self._pool
+        if pending_count == 0:
+            # A fully cached batch (every probe of a frontier re-run, a
+            # resumed sweep) must never pay pool startup; log the branch
+            # so the manifest shows why no workers ran.
+            self._note_cached_batch()
+            return self._pool
         estimate = self.job_seconds.estimate
         source = "calibrated" if self.job_seconds.calibrated else "default"
         speedup = projected_speedup(
@@ -437,6 +443,35 @@ class ReplicationScheduler:
         if self._inline_pool is None:
             self._inline_pool = WorkerPool(1)
         return self._inline_pool
+
+    def _note_cached_batch(self) -> None:
+        """Log a fully-cached batch as its own dispatch decision.
+
+        Mirrors the ``_plan_dispatch`` guard: serial schedulers and
+        externally injected pools never log decisions, so their
+        manifests are unchanged.  For parallel schedulers the record
+        makes the cache short-circuit auditable — ``mode: "cached"``
+        with zero pending jobs and no speedup projection at all.
+        """
+        if self.processes == 1 or not self._owns_pool:
+            return
+        self.dispatch_decisions.append(
+            {
+                "pending": 0,
+                "requested_processes": self.processes,
+                "cpu_count": os.cpu_count() or 1,
+                "effective_workers": 0,
+                "estimated_job_seconds": round(self.job_seconds.estimate, 6),
+                "estimate_source": (
+                    "calibrated" if self.job_seconds.calibrated else "default"
+                ),
+                "projected_speedup": None,
+                "auto_degrade": self.auto_degrade,
+                "mode": "cached",
+            }
+        )
+        if self.metrics.enabled:
+            self.metrics.inc("scheduler.dispatch.cached")
 
     def _note_job_seconds(self, executed: int, workers: int, wall: float) -> None:
         """Fold one batch's measured wall time into the shared estimator."""
@@ -513,6 +548,10 @@ class ReplicationScheduler:
                     effective_parallelism(pool.processes, len(pending)),
                     time.perf_counter() - dispatch_start,
                 )
+        elif jobs:
+            # Every job was a cache hit: skip dispatch planning entirely
+            # (zero pool startups) but keep the decision trail complete.
+            self._note_cached_batch()
         self.stats.add(
             scheduled=len(jobs), executed=len(pending), cache_hits=cache_hits
         )
@@ -717,6 +756,7 @@ class ReplicationScheduler:
         path: Union[str, Path],
         label: str,
         kind: str = "run",
+        frontier: Optional[Mapping[str, Any]] = None,
         extra: Optional[Mapping[str, Any]] = None,
     ) -> Path:
         """Append this scheduler's run manifest record to ``path`` (JSONL).
@@ -746,6 +786,7 @@ class ReplicationScheduler:
             workers=tele["workers"],
             kernel=tele["kernel"],
             resilience=tele["resilience"],
+            frontier=frontier,
             metrics=self.metrics.snapshot() if self.metrics.enabled else None,
             extra=extra,
         )

@@ -1,0 +1,64 @@
+"""Response-time-bounds frontier: how fast must a defense act?
+
+The paper evaluates its six response mechanisms at fixed deployment
+assumptions; this package asks the quantitative SLA question the
+response-time-bounds literature (Nikolopoulos & Polenakis) frames as a
+race: for one virus × mechanism, what is the *critical deployment
+latency* (or rollout window) beyond which the outbreak escapes a
+declared containment level?
+
+* :mod:`~repro.frontier.bisect` — the pure, property-tested bisection
+  core over a monotone containment predicate.
+* :mod:`~repro.frontier.solver` — the simulation-backed solver: probes
+  are :class:`~repro.core.parameters.ResponseDeployment`-tagged
+  scenarios dispatched through the cached replication scheduler.
+* :mod:`~repro.frontier.analytic` — the mean-field cross-check via the
+  delayed-response ODE terms in :mod:`repro.analysis.meanfield`.
+
+Surfaced as ``repro-sim frontier`` and the ``frontier`` design family.
+"""
+
+from .analytic import AnalyticFrontier, mean_field_frontier
+from .crosscheck import (
+    DEFAULT_GATE_SLACK,
+    CrosscheckResult,
+    crosscheck_response_for,
+    run_crosscheck,
+)
+from .bisect import (
+    BisectionResult,
+    BracketStep,
+    bisect_threshold,
+    max_probes,
+)
+from .solver import (
+    AXES,
+    AXIS_LATENCY,
+    AXIS_ROLLOUT,
+    ContainmentPredicate,
+    FrontierProbe,
+    FrontierResult,
+    FrontierSolver,
+    deployment_for,
+)
+
+__all__ = [
+    "AXES",
+    "AXIS_LATENCY",
+    "AXIS_ROLLOUT",
+    "AnalyticFrontier",
+    "BisectionResult",
+    "BracketStep",
+    "ContainmentPredicate",
+    "CrosscheckResult",
+    "DEFAULT_GATE_SLACK",
+    "crosscheck_response_for",
+    "run_crosscheck",
+    "FrontierProbe",
+    "FrontierResult",
+    "FrontierSolver",
+    "bisect_threshold",
+    "deployment_for",
+    "max_probes",
+    "mean_field_frontier",
+]

@@ -1,0 +1,107 @@
+"""Analytic (mean-field) frontier cross-check.
+
+Runs the same bisection the simulated solver runs, but each probe
+integrates the delayed-response mean-field ODE system
+(:func:`repro.analysis.meanfield.integrate_delayed_response`) instead of
+dispatching replications.  The well-mixed ODE is only exact for
+*matched* scenarios — random dialing with every number valid, every
+phone susceptible, instantaneous reads (see
+:func:`repro.validation.scenarios.frontier_matched_scenario`) — which is
+where the cross-check gate applies: on a matched config the analytic
+critical latency must land inside the simulated frontier's confidence
+bracket.  Contact-list production scenarios saturate their neighborhoods
+in ways no well-mixed model can express, so there the analytic frontier
+is reported as context, never gated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..analysis.meanfield import (
+    expected_mean_field_plateau,
+    integrate_delayed_response,
+    mean_field_for_scenario,
+    response_terms_for,
+)
+from ..core.parameters import ScenarioConfig
+from .bisect import BisectionResult, bisect_threshold
+from .solver import AXIS_LATENCY, ContainmentPredicate, deployment_for
+
+
+@dataclass(frozen=True)
+class AnalyticFrontier:
+    """A mean-field frontier: the bisected ODE crossing point."""
+
+    scenario: str
+    axis: str
+    predicate: ContainmentPredicate
+    bisection: BisectionResult
+
+    @property
+    def critical(self) -> float:
+        return self.bisection.critical
+
+    @property
+    def status(self) -> str:
+        return self.bisection.status
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Manifest-ready record (joins the ``frontier`` section)."""
+        return {
+            "scenario": self.scenario,
+            "axis": self.axis,
+            "predicate": self.predicate.to_dict(),
+            "status": self.status,
+            "critical": round(self.critical, 6),
+            "interval": [
+                round(self.bisection.low, 6),
+                round(self.bisection.high, 6),
+            ],
+            "probes": len(self.bisection.steps),
+        }
+
+
+def mean_field_frontier(
+    scenario: ScenarioConfig,
+    low: float,
+    high: float,
+    axis: str = AXIS_LATENCY,
+    fraction: float = 0.5,
+    tolerance: float = 1.0,
+    latency: float = 0.0,
+    rollout_rate: Optional[float] = None,
+    horizon: Optional[float] = None,
+    dt: float = 0.05,
+) -> AnalyticFrontier:
+    """Bisect the mean-field critical latency (or rollout window).
+
+    Same axis semantics and containment predicate as
+    :meth:`repro.frontier.solver.FrontierSolver.solve`; each probe is one
+    deterministic ODE integration, so a much tighter default tolerance
+    is affordable.
+    """
+    parameters = mean_field_for_scenario(scenario)
+    plateau = expected_mean_field_plateau(parameters)
+    predicate = ContainmentPredicate(plateau=plateau, fraction=fraction)
+    end = horizon if horizon is not None else scenario.duration
+
+    def contained_at(value: float) -> bool:
+        deployment = deployment_for(
+            axis, value, latency=latency, rollout_rate=rollout_rate
+        )
+        terms = response_terms_for(scenario, deployment=deployment)
+        trajectory = integrate_delayed_response(parameters, terms, end, dt=dt)
+        return trajectory.final_infected <= predicate.threshold
+
+    bisection = bisect_threshold(contained_at, low, high, tolerance=tolerance)
+    return AnalyticFrontier(
+        scenario=scenario.name,
+        axis=axis,
+        predicate=predicate,
+        bisection=bisection,
+    )
+
+
+__all__ = ["AnalyticFrontier", "mean_field_frontier"]

@@ -1,0 +1,167 @@
+"""Deterministic bisection over a monotone containment boundary.
+
+The frontier question — "how slow can a response be before the epidemic
+escapes?" — reduces to locating the flip point of a *monotone
+containment predicate*: a function of one deployment axis (response
+latency in hours, or rollout window) that is ``True`` (contained) at
+favorable values and ``False`` (escaped) at unfavorable ones, with at
+most one crossing.  This module holds the pure solver: no simulation,
+no randomness, every probe recorded, so the property tests in
+``tests/test_frontier_bisect.py`` can pin its contract exactly:
+
+* the bracket narrows on every interior step (width halves);
+* the final interval width is ≤ the tolerance;
+* the probe count is bounded by ``2 + ceil(log2(range / tolerance))``
+  (two endpoint probes plus the halving steps);
+* identical inputs produce identical probe sequences.
+
+Degenerate outcomes are first-class: a predicate that escapes even at
+``low`` has no frontier in range (``all_escaped``), one that stays
+contained through ``high`` never crosses (``all_contained``) — both
+return after the single endpoint probe that proved it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+#: Bisection outcome statuses.
+STATUS_CONVERGED = "converged"
+STATUS_ALL_CONTAINED = "all_contained"
+STATUS_ALL_ESCAPED = "all_escaped"
+
+
+@dataclass(frozen=True)
+class BracketStep:
+    """One probe: the bracket it saw and the verdict it produced."""
+
+    #: Bracket endpoints *before* this probe.
+    low: float
+    high: float
+    #: The probed axis value.
+    probe: float
+    #: Predicate verdict at ``probe`` (True = contained).
+    contained: bool
+
+    def to_dict(self) -> dict:
+        """Manifest-ready record."""
+        return {
+            "low": self.low,
+            "high": self.high,
+            "probe": self.probe,
+            "contained": self.contained,
+        }
+
+
+@dataclass(frozen=True)
+class BisectionResult:
+    """The final bracket, its status, and the full probe history."""
+
+    #: Final bracket: contained at ``low``, escaped at ``high`` (when
+    #: ``status == "converged"``); degenerate statuses collapse both
+    #: endpoints onto the proving probe.
+    low: float
+    high: float
+    status: str
+    steps: Tuple[BracketStep, ...]
+
+    @property
+    def critical(self) -> float:
+        """Point estimate of the boundary: the bracket midpoint."""
+        return 0.5 * (self.low + self.high)
+
+    @property
+    def width(self) -> float:
+        """Final bracket width."""
+        return self.high - self.low
+
+    @property
+    def probe_count(self) -> int:
+        """Total predicate evaluations (endpoints included)."""
+        return len(self.steps)
+
+    @property
+    def converged(self) -> bool:
+        """True when the boundary was bracketed to tolerance."""
+        return self.status == STATUS_CONVERGED
+
+
+def max_probes(low: float, high: float, tolerance: float) -> int:
+    """Upper bound on predicate evaluations for one bisection.
+
+    Two endpoint probes plus one probe per halving of the bracket down
+    to ``tolerance``.  The property tests assert :func:`bisect_threshold`
+    never exceeds this.
+    """
+    if high - low <= tolerance:
+        return 2
+    return 2 + int(math.ceil(math.log2((high - low) / tolerance)))
+
+
+def bisect_threshold(
+    predicate: Callable[[float], bool],
+    low: float,
+    high: float,
+    tolerance: float,
+) -> BisectionResult:
+    """Bracket the flip point of a monotone containment predicate.
+
+    ``predicate(x)`` must be ``True`` (contained) on some prefix of
+    ``[low, high]`` and ``False`` (escaped) on the suffix.  Probes the
+    endpoints first — the degenerate all-escaped / all-contained cases
+    return immediately — then halves the bracket until its width is at
+    most ``tolerance``.  Every probe is recorded with the bracket it saw.
+    """
+    if not (low < high):
+        raise ValueError(f"need low < high, got [{low}, {high}]")
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be > 0, got {tolerance}")
+    if not (math.isfinite(low) and math.isfinite(high)):
+        raise ValueError(f"bracket endpoints must be finite, got [{low}, {high}]")
+
+    steps = []
+
+    def probe(x: float, bracket_low: float, bracket_high: float) -> bool:
+        contained = bool(predicate(x))
+        steps.append(
+            BracketStep(
+                low=bracket_low, high=bracket_high, probe=x, contained=contained
+            )
+        )
+        return contained
+
+    if not probe(low, low, high):
+        # Escapes even at the most favorable setting: no frontier in range.
+        return BisectionResult(
+            low=low, high=low, status=STATUS_ALL_ESCAPED, steps=tuple(steps)
+        )
+    if probe(high, low, high):
+        # Contained even at the least favorable setting: never crosses.
+        return BisectionResult(
+            low=high, high=high, status=STATUS_ALL_CONTAINED, steps=tuple(steps)
+        )
+
+    while high - low > tolerance:
+        mid = 0.5 * (low + high)
+        if not (low < mid < high):  # float underflow: cannot narrow further
+            break
+        if probe(mid, low, high):
+            low = mid
+        else:
+            high = mid
+    return BisectionResult(
+        low=low, high=high, status=STATUS_CONVERGED, steps=tuple(steps)
+    )
+
+
+__all__ = [
+    "STATUS_ALL_CONTAINED",
+    "STATUS_ALL_ESCAPED",
+    "STATUS_CONVERGED",
+    "BisectionResult",
+    "BracketStep",
+    "bisect_threshold",
+    "max_probes",
+]

@@ -1,0 +1,376 @@
+"""Simulation-backed response-time frontier solver.
+
+:class:`FrontierSolver` answers the response-SLA question for one
+scenario: *how much deployment latency (or how slow a rollout) can a
+response mechanism afford before the outbreak escapes?*  Each bisection
+probe attaches a :class:`~repro.core.parameters.ResponseDeployment` to
+the scenario and dispatches its replications through the existing
+:class:`~repro.experiments.scheduler.ReplicationScheduler` — so probes
+are cached like any other job, a re-run of the same frontier is fully
+cache-served (and, per the scheduler's dispatch planner, never spins up
+a worker pool), and the manifest records exactly which configurations
+were simulated.
+
+Containment is judged by a :class:`ContainmentPredicate`: the mean final
+infection count over the probe's replications must stay at or below a
+declared fraction of the scenario's analytic (mean-field) plateau.  The
+axis is monotone — more latency / a slower rollout can only weaken a
+response — which is what licenses bisection (property-tested in
+``tests/test_frontier_bisect.py``; the engines' monotonicity is covered
+by the differential frontier gate).
+
+Besides the bisection bracket, the result carries a *confidence bracket*
+from replication spread: the widest interval between the largest probed
+value where **every** replication stayed contained and the smallest
+where **every** replication escaped.  Inside it, replication noise makes
+the verdict genuinely uncertain; the analytic cross-check gates against
+this bracket rather than the (noise-sharpened) bisection interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..analysis.meanfield import (
+    expected_mean_field_plateau,
+    mean_field_for_scenario,
+)
+from ..core.parameters import ResponseDeployment, ScenarioConfig
+from ..experiments.scheduler import ReplicationScheduler
+from .bisect import BisectionResult, bisect_threshold
+
+#: Frontier axes: deployment latency in hours, or the rollout *window*
+#: (hours until full coverage, the reciprocal of the rollout rate) —
+#: both monotone in the "larger = weaker response" direction.
+AXIS_LATENCY = "latency"
+AXIS_ROLLOUT = "rollout"
+AXES = (AXIS_LATENCY, AXIS_ROLLOUT)
+
+
+def deployment_for(
+    axis: str,
+    value: float,
+    latency: float = 0.0,
+    rollout_rate: Optional[float] = None,
+) -> ResponseDeployment:
+    """The deployment one probe value denotes on one axis.
+
+    On the latency axis ``value`` is the deployment latency in hours
+    (``rollout_rate`` rides along fixed); on the rollout axis ``value``
+    is the rollout *window* in hours (coverage rate ``1/value``) with
+    ``latency`` fixed.  Shared by the simulated and analytic solvers so
+    the two sides can never diverge in axis interpretation.
+    """
+    if axis == AXIS_LATENCY:
+        return ResponseDeployment(latency_hours=value, rollout_rate=rollout_rate)
+    if axis == AXIS_ROLLOUT:
+        if value <= 0:
+            raise ValueError(
+                f"rollout-axis probes need a positive window, got {value}"
+            )
+        return ResponseDeployment(latency_hours=latency, rollout_rate=1.0 / value)
+    raise ValueError(f"unknown frontier axis {axis!r}; known: {AXES}")
+
+
+@dataclass(frozen=True)
+class ContainmentPredicate:
+    """Containment = mean final infections ≤ fraction × analytic plateau."""
+
+    #: The unconstrained mean-field plateau used as the reference scale.
+    plateau: float
+    #: Fraction of the plateau the mean outbreak must stay at or below.
+    fraction: float
+
+    def __post_init__(self) -> None:
+        if self.plateau <= 0:
+            raise ValueError(f"plateau must be > 0, got {self.plateau}")
+        if not 0.0 < self.fraction < 1.0:
+            raise ValueError(
+                f"fraction must be in (0, 1), got {self.fraction}"
+            )
+
+    @property
+    def threshold(self) -> float:
+        """The absolute containment level (infections)."""
+        return self.fraction * self.plateau
+
+    def contained(self, finals) -> bool:
+        """Verdict for one probe's per-replication final counts."""
+        values = [float(v) for v in finals]
+        if not values:
+            raise ValueError("containment verdict needs at least one final")
+        return sum(values) / len(values) <= self.threshold
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Manifest-ready predicate configuration."""
+        return {
+            "plateau": round(self.plateau, 4),
+            "fraction": self.fraction,
+            "threshold": round(self.threshold, 4),
+        }
+
+
+@dataclass(frozen=True)
+class FrontierProbe:
+    """One simulated probe: axis value, per-replication finals, verdict."""
+
+    value: float
+    finals: Tuple[float, ...]
+    contained: bool
+
+    @property
+    def mean_final(self) -> float:
+        return sum(self.finals) / len(self.finals)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "value": self.value,
+            "finals": [float(v) for v in self.finals],
+            "mean_final": round(self.mean_final, 4),
+            "contained": self.contained,
+        }
+
+
+@dataclass(frozen=True)
+class FrontierResult:
+    """A solved frontier: bracket, probes, and replication-spread bounds."""
+
+    scenario: str
+    engine: str
+    axis: str
+    predicate: ContainmentPredicate
+    bisection: BisectionResult
+    #: Probes in evaluation order (mirrors ``bisection.steps``).
+    probes: Tuple[FrontierProbe, ...]
+    replications: int
+    seed: int
+    #: Conservative bracket from replication spread (see module docstring).
+    confidence_low: float
+    confidence_high: float
+    #: Scheduler accounting over this solve (cache dedup evidence).
+    jobs_scheduled: int
+    jobs_executed: int
+    cache_hits: int
+
+    @property
+    def critical(self) -> float:
+        """Point estimate of the critical axis value."""
+        return self.bisection.critical
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        """The bisection bracket."""
+        return (self.bisection.low, self.bisection.high)
+
+    @property
+    def status(self) -> str:
+        return self.bisection.status
+
+    def contains(self, value: float, slack: float = 0.0) -> bool:
+        """Whether ``value`` lies within the confidence bracket (± slack)."""
+        return (
+            self.confidence_low - slack <= value <= self.confidence_high + slack
+        )
+
+    def manifest_section(self) -> Dict[str, Any]:
+        """The run manifest's validated ``frontier`` record."""
+        return {
+            "scenario": self.scenario,
+            "engine": self.engine,
+            "axis": self.axis,
+            "predicate": self.predicate.to_dict(),
+            "status": self.status,
+            "critical": round(self.critical, 6),
+            "interval": [
+                round(self.bisection.low, 6),
+                round(self.bisection.high, 6),
+            ],
+            "confidence": {
+                "low": round(self.confidence_low, 6),
+                "high": round(self.confidence_high, 6),
+                "basis": "unanimous-replication-bracket",
+            },
+            "bracket": [step.to_dict() for step in self.bisection.steps],
+            "probes": [probe.to_dict() for probe in self.probes],
+            "replications": self.replications,
+            "seed": self.seed,
+            "cache": {
+                "scheduled": self.jobs_scheduled,
+                "executed": self.jobs_executed,
+                "cache_hits": self.cache_hits,
+            },
+        }
+
+    def format(self) -> str:
+        """Human summary for the CLI."""
+        lines = [
+            f"frontier[{self.axis}] of {self.scenario} ({self.engine} engine, "
+            f"{self.replications} replication(s), seed {self.seed})",
+            f"  containment: mean final ≤ {self.predicate.threshold:.1f} "
+            f"infections ({self.predicate.fraction:.0%} of plateau "
+            f"{self.predicate.plateau:.1f})",
+        ]
+        if self.status == "converged":
+            lines.append(
+                f"  critical {self.axis}: {self.critical:.2f} h "
+                f"(bracket [{self.bisection.low:.2f}, "
+                f"{self.bisection.high:.2f}])"
+            )
+        else:
+            lines.append(f"  no crossing in range: {self.status}")
+        lines.append(
+            f"  confidence bracket (replication spread): "
+            f"[{self.confidence_low:.2f}, {self.confidence_high:.2f}]"
+        )
+        for probe in sorted(self.probes, key=lambda p: p.value):
+            verdict = "contained" if probe.contained else "escaped"
+            finals = ", ".join(f"{v:.0f}" for v in probe.finals)
+            lines.append(
+                f"    {self.axis} {probe.value:8.2f} h: mean "
+                f"{probe.mean_final:7.1f} [{finals}] → {verdict}"
+            )
+        lines.append(
+            f"  jobs: {self.jobs_scheduled} scheduled, "
+            f"{self.jobs_executed} simulated, {self.cache_hits} from cache"
+        )
+        return "\n".join(lines)
+
+
+class FrontierSolver:
+    """Bisects one scenario's response frontier through the scheduler."""
+
+    def __init__(
+        self,
+        scheduler: ReplicationScheduler,
+        replications: int = 3,
+        seed: int = 0,
+        fraction: float = 0.5,
+        tolerance: float = 4.0,
+    ) -> None:
+        if replications < 1:
+            raise ValueError(
+                f"replications must be >= 1, got {replications}"
+            )
+        self.scheduler = scheduler
+        self.replications = replications
+        self.seed = seed
+        self.fraction = fraction
+        self.tolerance = tolerance
+
+    def predicate_for(
+        self, scenario: ScenarioConfig, plateau: Optional[float] = None
+    ) -> ContainmentPredicate:
+        """The containment predicate for one scenario.
+
+        The plateau defaults to the analytic mean-field fixed point —
+        the same reference the delayed-response cross-check uses, so the
+        simulated and analytic frontiers judge against one scale.
+        """
+        if plateau is None:
+            plateau = expected_mean_field_plateau(
+                mean_field_for_scenario(scenario)
+            )
+        return ContainmentPredicate(plateau=plateau, fraction=self.fraction)
+
+    def solve(
+        self,
+        scenario: ScenarioConfig,
+        low: float,
+        high: float,
+        axis: str = AXIS_LATENCY,
+        latency: float = 0.0,
+        rollout_rate: Optional[float] = None,
+        plateau: Optional[float] = None,
+    ) -> FrontierResult:
+        """Bisect ``scenario``'s frontier over ``[low, high]`` on ``axis``."""
+        if axis not in AXES:
+            raise ValueError(f"unknown frontier axis {axis!r}; known: {AXES}")
+        predicate = self.predicate_for(scenario, plateau)
+        probes = []
+        scheduled_before = self.scheduler.stats.scheduled
+        executed_before = self.scheduler.stats.executed
+        hits_before = self.scheduler.stats.cache_hits
+
+        def contained_at(value: float) -> bool:
+            deployment = deployment_for(
+                axis, value, latency=latency, rollout_rate=rollout_rate
+            )
+            probe_config = scenario.with_deployment(deployment).with_name(
+                f"{scenario.name}-{axis}{value:.6g}"
+            )
+            replication_set = self.scheduler.replicate(
+                probe_config, replications=self.replications, seed=self.seed
+            )
+            finals = tuple(
+                float(v) for v in replication_set.final_infected()
+            )
+            contained = predicate.contained(finals)
+            probes.append(
+                FrontierProbe(value=value, finals=finals, contained=contained)
+            )
+            return contained
+
+        bisection = bisect_threshold(
+            contained_at, low, high, tolerance=self.tolerance
+        )
+        confidence_low, confidence_high = self._confidence_bracket(
+            probes, predicate, bisection
+        )
+        return FrontierResult(
+            scenario=scenario.name,
+            engine=scenario.engine,
+            axis=axis,
+            predicate=predicate,
+            bisection=bisection,
+            probes=tuple(probes),
+            replications=self.replications,
+            seed=self.seed,
+            confidence_low=confidence_low,
+            confidence_high=confidence_high,
+            jobs_scheduled=self.scheduler.stats.scheduled - scheduled_before,
+            jobs_executed=self.scheduler.stats.executed - executed_before,
+            cache_hits=self.scheduler.stats.cache_hits - hits_before,
+        )
+
+    @staticmethod
+    def _confidence_bracket(
+        probes, predicate: ContainmentPredicate, bisection: BisectionResult
+    ) -> Tuple[float, float]:
+        """Unanimity bounds, widened to cover the bisection bracket.
+
+        Below the returned low every replication of every probe stayed
+        contained; above the high every replication escaped.  The bracket
+        is never narrower than the bisection interval — replication
+        spread can only add uncertainty, not remove it.
+        """
+        threshold = predicate.threshold
+        fully_contained = [
+            p.value
+            for p in probes
+            if all(f <= threshold for f in p.finals)
+        ]
+        fully_escaped = [
+            p.value for p in probes if all(f > threshold for f in p.finals)
+        ]
+        low = max(
+            (v for v in fully_contained if v <= bisection.low),
+            default=min((p.value for p in probes), default=bisection.low),
+        )
+        high = min(
+            (v for v in fully_escaped if v >= bisection.high),
+            default=max((p.value for p in probes), default=bisection.high),
+        )
+        return (min(low, bisection.low), max(high, bisection.high))
+
+
+__all__ = [
+    "AXES",
+    "AXIS_LATENCY",
+    "AXIS_ROLLOUT",
+    "ContainmentPredicate",
+    "FrontierProbe",
+    "FrontierResult",
+    "FrontierSolver",
+    "deployment_for",
+]

@@ -29,7 +29,11 @@ optional sections
     the dedup ratio), ``service`` (required for ``kind == "service"``
     records: the campaign id, the journal recovery report, the shard
     fleet accounting, and per-op request counts from the daemon's
-    request log), ``metrics`` (a full
+    request log), ``frontier`` (a solved response-time frontier: the
+    containment-predicate configuration, the bisection bracket trace,
+    every probe's per-replication finals, the scheduler's cache-dedup
+    accounting, and — when the analytic gate ran — the mean-field
+    cross-check verdict; see :mod:`repro.frontier`), ``metrics`` (a full
     :meth:`repro.obs.metrics.Metrics.snapshot`), ``extra``.
 
 :func:`validate_manifest` returns a list of problems (empty = valid);
@@ -96,6 +100,113 @@ _WORKER_FIELDS: Dict[str, tuple] = {
     "events_per_second": (int, float),
 }
 
+#: The frontier axes a ``frontier`` record may declare.
+_FRONTIER_AXES = ("latency", "rollout")
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _frontier_record_problems(
+    record: Any, prefix: str
+) -> List[str]:
+    """Schema-check one solved-frontier record (see ``FrontierResult``).
+
+    A frontier record must carry its full evidence trail: the predicate
+    configuration, the bisection bracket trace, every probe's
+    per-replication finals, and the scheduler's cache-dedup accounting.
+    """
+    problems: List[str] = []
+    if not isinstance(record, Mapping):
+        return [f"{prefix} is not an object"]
+    for field in ("scenario", "engine", "status"):
+        if not isinstance(record.get(field), str):
+            problems.append(f"{prefix}.{field} missing or not a string")
+    if record.get("axis") not in _FRONTIER_AXES:
+        problems.append(f"{prefix}.axis not in {_FRONTIER_AXES}")
+    predicate = record.get("predicate")
+    if not isinstance(predicate, Mapping):
+        problems.append(f"{prefix}.predicate missing or not an object")
+    else:
+        for field in ("plateau", "fraction", "threshold"):
+            if not _is_number(predicate.get(field)):
+                problems.append(
+                    f"{prefix}.predicate.{field} missing or not a number"
+                )
+    if not _is_number(record.get("critical")):
+        problems.append(f"{prefix}.critical missing or not a number")
+    interval = record.get("interval")
+    if (
+        not isinstance(interval, Sequence)
+        or isinstance(interval, (str, bytes))
+        or len(interval) != 2
+        or not all(_is_number(v) for v in interval)
+    ):
+        problems.append(f"{prefix}.interval is not [low, high]")
+    confidence = record.get("confidence")
+    if not isinstance(confidence, Mapping) or not all(
+        _is_number(confidence.get(field)) for field in ("low", "high")
+    ):
+        problems.append(f"{prefix}.confidence lacks numeric low/high")
+    bracket = record.get("bracket")
+    if not isinstance(bracket, Sequence) or isinstance(bracket, (str, bytes)):
+        problems.append(f"{prefix}.bracket missing or not a list")
+    else:
+        for position, step in enumerate(bracket):
+            if (
+                not isinstance(step, Mapping)
+                or not all(
+                    _is_number(step.get(field))
+                    for field in ("low", "high", "probe")
+                )
+                or not isinstance(step.get("contained"), bool)
+            ):
+                problems.append(
+                    f"{prefix}.bracket[{position}] lacks "
+                    "low/high/probe/contained"
+                )
+    probes = record.get("probes")
+    if (
+        not isinstance(probes, Sequence)
+        or isinstance(probes, (str, bytes))
+        or not probes
+    ):
+        problems.append(f"{prefix}.probes missing or empty")
+    else:
+        for position, probe in enumerate(probes):
+            if not isinstance(probe, Mapping):
+                problems.append(f"{prefix}.probes[{position}] is not an object")
+                continue
+            finals = probe.get("finals")
+            if (
+                not _is_number(probe.get("value"))
+                or not isinstance(probe.get("contained"), bool)
+                or not isinstance(finals, Sequence)
+                or isinstance(finals, (str, bytes))
+                or not finals
+                or not all(_is_number(v) for v in finals)
+            ):
+                problems.append(
+                    f"{prefix}.probes[{position}] lacks "
+                    "value/finals/contained"
+                )
+    for field in ("replications", "seed"):
+        value = record.get(field)
+        if not isinstance(value, int) or isinstance(value, bool):
+            problems.append(f"{prefix}.{field} missing or not an int")
+    cache = record.get("cache")
+    if not isinstance(cache, Mapping):
+        problems.append(f"{prefix}.cache missing or not an object")
+    else:
+        for field in ("scheduled", "executed", "cache_hits"):
+            value = cache.get(field)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                problems.append(
+                    f"{prefix}.cache.{field} missing or not a non-negative int"
+                )
+    return problems
+
 
 def scenario_hash(config: ScenarioConfig) -> str:
     """Content hash of a scenario's canonical JSON.
@@ -151,6 +262,7 @@ def build_manifest(
     kernel: Optional[Mapping[str, Any]] = None,
     resilience: Optional[Mapping[str, Any]] = None,
     service: Optional[Mapping[str, Any]] = None,
+    frontier: Optional[Mapping[str, Any]] = None,
     metrics: Optional[Mapping[str, Any]] = None,
     extra: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
@@ -199,6 +311,8 @@ def build_manifest(
         document["resilience"] = dict(resilience)
     if service is not None:
         document["service"] = dict(service)
+    if frontier is not None:
+        document["frontier"] = dict(frontier)
     if metrics is not None:
         document["metrics"] = dict(metrics)
     if extra is not None:
@@ -373,6 +487,49 @@ def validate_manifest(document: Mapping[str, Any]) -> List[str]:
                     problems.append(
                         f"design[{position}].dedup_ratio outside (0, 1]"
                     )
+
+    frontier = document.get("frontier")
+    if frontier is not None:
+        if not isinstance(frontier, Mapping):
+            problems.append("frontier section is not an object")
+        else:
+            production = frontier.get("production")
+            if production is None:
+                problems.append("frontier.production missing")
+            else:
+                problems.extend(
+                    _frontier_record_problems(production, "frontier.production")
+                )
+            crosscheck = frontier.get("crosscheck")
+            if crosscheck is not None:
+                if not isinstance(crosscheck, Mapping):
+                    problems.append("frontier.crosscheck is not an object")
+                else:
+                    simulated = crosscheck.get("simulated")
+                    if simulated is None:
+                        problems.append("frontier.crosscheck.simulated missing")
+                    else:
+                        problems.extend(
+                            _frontier_record_problems(
+                                simulated, "frontier.crosscheck.simulated"
+                            )
+                        )
+                    analytic = crosscheck.get("analytic")
+                    if not isinstance(analytic, Mapping) or not _is_number(
+                        analytic.get("critical")
+                    ):
+                        problems.append(
+                            "frontier.crosscheck.analytic lacks a numeric "
+                            "critical"
+                        )
+                    if not isinstance(crosscheck.get("passed"), bool):
+                        problems.append(
+                            "frontier.crosscheck.passed missing or not a bool"
+                        )
+                    if not _is_number(crosscheck.get("slack")):
+                        problems.append(
+                            "frontier.crosscheck.slack missing or not a number"
+                        )
 
     scenarios = document.get("scenarios")
     if scenarios is not None:

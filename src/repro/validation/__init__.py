@@ -22,11 +22,13 @@ differential-gate failure.
 
 from .differential import (
     CampaignResult,
+    FrontierDifferential,
     ScenarioVerdict,
     Tolerances,
     run_bluetooth_differential,
     run_campaign,
     run_differential_scenario,
+    run_frontier_differential,
 )
 from .gates import (
     GateResult,
@@ -51,6 +53,7 @@ from .scenarios import (
     DifferentialScenario,
     baseline_differential_scenarios,
     bluetooth_differential_scenario,
+    frontier_matched_scenario,
     golden_scenarios,
     matched_scenario,
 )
@@ -59,6 +62,7 @@ __all__ = [
     "CampaignResult",
     "DifferentialScenario",
     "Drift",
+    "FrontierDifferential",
     "GateResult",
     "ScenarioVerdict",
     "Tolerances",
@@ -68,6 +72,7 @@ __all__ = [
     "bluetooth_differential_scenario",
     "check_golden",
     "failures",
+    "frontier_matched_scenario",
     "golden_scenarios",
     "infection_digest",
     "load_golden",
@@ -80,6 +85,7 @@ __all__ = [
     "run_bluetooth_differential",
     "run_campaign",
     "run_differential_scenario",
+    "run_frontier_differential",
     "save_golden",
     "welch_gate",
 ]

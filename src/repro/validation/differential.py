@@ -370,6 +370,189 @@ def run_bluetooth_differential(
 
 
 @dataclass
+class FrontierDifferential:
+    """Core-vs-xl agreement on one scenario's critical latency."""
+
+    scenario: DifferentialScenario
+    core: Any  # FrontierResult
+    xl: Any  # FrontierResult
+    analytic: Any  # AnalyticFrontier
+    gates: List[GateResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(g.passed for g in self.gates)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario.name,
+            "virus": self.scenario.virus_number,
+            "passed": self.passed,
+            "core": self.core.manifest_section(),
+            "xl": self.xl.manifest_section(),
+            "analytic": self.analytic.to_dict(),
+            "gates": [
+                {
+                    "name": g.name,
+                    "passed": g.passed,
+                    "statistic": g.statistic,
+                    "threshold": g.threshold,
+                    "detail": g.detail,
+                }
+                for g in self.gates
+            ],
+        }
+
+    def format_report(self) -> str:
+        lines = [
+            f"frontier differential: {self.scenario.name} "
+            f"(critical latency, hours)",
+            f"  core: {self.core.critical:.2f} "
+            f"[{self.core.bisection.low:.2f}, {self.core.bisection.high:.2f}] "
+            f"({self.core.status})",
+            f"  xl:   {self.xl.critical:.2f} "
+            f"[{self.xl.bisection.low:.2f}, {self.xl.bisection.high:.2f}] "
+            f"({self.xl.status})",
+            f"  mean-field: {self.analytic.critical:.2f} "
+            f"({self.analytic.status})",
+        ]
+        for gate in self.gates:
+            lines.append(f"  {gate.format()}")
+        return "\n".join(lines)
+
+
+def _interval_gate(
+    value: float,
+    low: float,
+    high: float,
+    slack: float,
+    name: str,
+) -> GateResult:
+    """``value`` lies inside ``[low - slack, high + slack]``."""
+    passed = low - slack <= value <= high + slack
+    return GateResult(
+        name=name,
+        passed=passed,
+        statistic=value,
+        threshold=high + slack,
+        detail=(
+            f"value={value:.2f} vs bracket [{low:.2f}, {high:.2f}] "
+            f"± {slack:g}"
+        ),
+    )
+
+
+def run_frontier_differential(
+    scenario: Optional[DifferentialScenario] = None,
+    seed: int = VALIDATION_SEED,
+    replications: int = 3,
+    low: float = 0.0,
+    high: float = 72.0,
+    fraction: float = 0.5,
+    tolerance: float = 4.0,
+    latency_tolerance: float = 8.0,
+    gate_slack: float = 6.0,
+    scheduler: Optional[Any] = None,
+) -> FrontierDifferential:
+    """Gate core-vs-xl frontier estimates on one matched scenario.
+
+    Both engines bisect the same matched virus × mechanism over the same
+    latency range; the gates require (1) the two critical latencies to
+    agree within ``latency_tolerance`` hours (2× the default bisection
+    tolerance — one step of bracket disagreement), (2) each engine's
+    bracket to contain the other's critical, and (3) the mean-field
+    critical to land inside both engines' replication-spread confidence
+    brackets (± ``gate_slack``).  The default scenario is the matched
+    virus-1 blacklist at the cross-check threshold, where containment is
+    deep and the crossing steep (see :mod:`repro.frontier.crosscheck`).
+    """
+    from ..core.parameters import BlacklistConfig
+    from ..experiments.scheduler import ReplicationScheduler
+    from ..frontier import FrontierSolver, mean_field_frontier
+    from ..frontier.crosscheck import MATCHED_BLACKLIST_THRESHOLD
+    from .scenarios import frontier_matched_scenario
+
+    if scenario is None:
+        scenario = frontier_matched_scenario(
+            1,
+            BlacklistConfig(threshold=MATCHED_BLACKLIST_THRESHOLD),
+            replications=replications,
+        )
+    owned = scheduler is None
+    if owned:
+        scheduler = ReplicationScheduler(processes=1)
+    try:
+        solver = FrontierSolver(
+            scheduler,
+            replications=replications,
+            seed=seed,
+            fraction=fraction,
+            tolerance=tolerance,
+        )
+        core = solver.solve(scenario.config, low=low, high=high)
+        xl = solver.solve(
+            scenario.config.with_engine("xl"), low=low, high=high
+        )
+    finally:
+        if owned:
+            scheduler.close()
+    analytic = mean_field_frontier(
+        scenario.config,
+        low=low,
+        high=high,
+        fraction=fraction,
+        tolerance=min(1.0, tolerance),
+    )
+    gates = [
+        GateResult(
+            name="core-vs-xl critical latency",
+            passed=(
+                core.status == xl.status
+                and abs(core.critical - xl.critical) <= latency_tolerance
+            ),
+            statistic=abs(core.critical - xl.critical),
+            threshold=latency_tolerance,
+            detail=(
+                f"|Δcritical|={abs(core.critical - xl.critical):.2f} h vs "
+                f"tolerance {latency_tolerance:g} h "
+                f"(core {core.status}, xl {xl.status})"
+            ),
+        ),
+        _interval_gate(
+            xl.critical,
+            core.confidence_low,
+            core.confidence_high,
+            slack=gate_slack,
+            name="xl critical in core confidence bracket",
+        ),
+        _interval_gate(
+            core.critical,
+            xl.confidence_low,
+            xl.confidence_high,
+            slack=gate_slack,
+            name="core critical in xl confidence bracket",
+        ),
+        _interval_gate(
+            analytic.critical,
+            core.confidence_low,
+            core.confidence_high,
+            slack=gate_slack,
+            name="mean-field critical in core confidence bracket",
+        ),
+        _interval_gate(
+            analytic.critical,
+            xl.confidence_low,
+            xl.confidence_high,
+            slack=gate_slack,
+            name="mean-field critical in xl confidence bracket",
+        ),
+    ]
+    return FrontierDifferential(
+        scenario=scenario, core=core, xl=xl, analytic=analytic, gates=gates
+    )
+
+
+@dataclass
 class CampaignResult:
     """Outcome of a whole differential campaign."""
 
@@ -471,9 +654,11 @@ def run_campaign(
 
 __all__ = [
     "CampaignResult",
+    "FrontierDifferential",
     "ScenarioVerdict",
     "Tolerances",
     "run_bluetooth_differential",
     "run_campaign",
     "run_differential_scenario",
+    "run_frontier_differential",
 ]

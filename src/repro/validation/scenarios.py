@@ -157,6 +157,62 @@ def bluetooth_differential_scenario(
     )
 
 
+def frontier_matched_scenario(
+    virus_number: int,
+    response,
+    population: int = 1000,
+    horizon_intervals: float = 100.0,
+    replications: int = 3,
+) -> DifferentialScenario:
+    """Well-mixed variant of one paper virus for frontier cross-checks.
+
+    The frontier's analytic gate compares a simulated critical latency
+    against the delayed-response mean-field ODE — which is only exact
+    when the simulation is itself well mixed.  This factory keeps the
+    virus's send pacing and attaches the response under test, but
+    switches targeting to random dialing with every number valid (each
+    send is a uniform draw over the population — the mean-field's
+    homogeneous-mixing assumption, exactly), makes every phone
+    susceptible, and zeroes read and gateway delays.  Contact-list
+    production scenarios saturate their neighborhoods in ways the
+    well-mixed ODE cannot express, so the gate runs here and the
+    production frontier is reported ungated.
+    """
+    virus = virus_parameters(virus_number)
+    matched_virus = replace(
+        virus,
+        name=f"{virus.name}-frontier-matched",
+        targeting=Targeting.RANDOM_DIALING,
+        recipients_per_message=1,
+        message_limit=None,
+        limit_counts_recipients=False,
+        limit_period=LimitPeriod.NONE,
+        global_limit_windows=False,
+        dormancy=0.0,
+        valid_number_fraction=1.0,
+    )
+    mean_interval = matched_virus.send_interval_distribution().mean
+    horizon = max(1.0, horizon_intervals * mean_interval)
+    config = ScenarioConfig(
+        name=f"virus{virus_number}-frontier-matched",
+        virus=matched_virus,
+        network=NetworkParameters(
+            population=population,
+            susceptible_fraction=1.0,
+            gateway_delay_mean=0.0,
+        ),
+        user=UserParameters(read_delay_mean=0.0),
+        responses=(response,),
+        duration=horizon,
+    )
+    return DifferentialScenario(
+        name=config.name,
+        virus_number=virus_number,
+        config=config,
+        replications=replications,
+    )
+
+
 def _small_network(population: int = 100) -> NetworkParameters:
     """A fast golden-trace network: small power-law population."""
     return NetworkParameters(
@@ -231,6 +287,7 @@ __all__ = [
     "DifferentialScenario",
     "baseline_differential_scenarios",
     "bluetooth_differential_scenario",
+    "frontier_matched_scenario",
     "golden_scenarios",
     "matched_scenario",
 ]

@@ -236,6 +236,27 @@ class XLEngine:
             else None
         )
 
+        # -- deployment assumptions (response-time-bounds axis) --------------
+        # Zero latency / no rollout keeps every code path and stream draw
+        # identical to a deployment-free scenario.
+        deployment = config.deployment
+        self.response_latency = (
+            deployment.latency_hours if deployment is not None else 0.0
+        )
+        self.rollout_rate = (
+            deployment.rollout_rate if deployment is not None else None
+        )
+        self.rng_scan_rollout = (
+            streams.stream("response.gateway_scan.rollout")
+            if self.rollout_rate is not None and self.scan is not None
+            else None
+        )
+        self.rng_bl_rollout = (
+            streams.stream("response.blacklist.rollout")
+            if self.rollout_rate is not None and self.blacklist is not None
+            else None
+        )
+
         scale = self.education.acceptance_scale if self.education else 1.0
         self.effective_af = config.user.acceptance_factor * scale
         self.read_delay_mean = config.user.read_delay_mean
@@ -281,6 +302,7 @@ class XLEngine:
         if self.blacklist is not None:
             self.bl_counts = np.zeros(n, dtype=np.int64)
             self.blacklisted = np.zeros(n, dtype=bool)
+            self.bl_counting_from = np.inf
 
         # -- pending-event buckets (round index -> list of (ids, times)) ----
         self._delivery_buckets: Dict[int, List[Tuple[np.ndarray, np.ndarray]]] = {}
@@ -530,13 +552,22 @@ class XLEngine:
 
     def _on_detection(self, detection_time: float) -> None:
         self.detection_time = detection_time
+        latency = self.response_latency
         if self.scan is not None:
-            self.scan_activation = detection_time + self.scan.activation_delay
+            self.scan_activation = (
+                detection_time + self.scan.activation_delay + latency
+            )
         if self.detect_alg is not None:
-            self.da_activation = detection_time + self.detect_alg.analysis_period
+            self.da_activation = (
+                detection_time + self.detect_alg.analysis_period + latency
+            )
         if self.immunization is not None:
-            self.patch_ready_at = detection_time + self.immunization.development_time
+            self.patch_ready_at = (
+                detection_time + self.immunization.development_time + latency
+            )
             self.patch_ready_time = self.patch_ready_at
+        if self.blacklist is not None:
+            self.bl_counting_from = detection_time + latency
 
     # -- periodic budget machinery -------------------------------------------
 
@@ -613,8 +644,11 @@ class XLEngine:
             return
         assert self.rng_immunization is not None
         susceptible_ids = np.nonzero(self.susceptible)[0]
+        window = self.immunization.deployment_window
+        if self.rollout_rate is not None:
+            window = 1.0 / self.rollout_rate
         offsets = self.rng_immunization.uniform(
-            0.0, self.immunization.deployment_window, size=susceptible_ids.size
+            0.0, window, size=susceptible_ids.size
         )
         arrival = self.patch_ready_at + offsets
         within = arrival <= self.duration
@@ -771,6 +805,26 @@ class XLEngine:
             self._monitor_batch(ids, send_times)
         if self.blacklist is not None and self.detection_time is not None:
             countable = ids[~self.blacklisted[ids]]
+            if self.response_latency > 0.0 or self.rollout_rate is not None:
+                # Deployment-delayed counting: sends before the
+                # latency-adjusted activation are unseen, and a partial
+                # rollout counts each send only with the ramp's coverage.
+                # (At latency 0 every send in the batch already satisfies
+                # ``send_times >= detection_time``, so the deployment-free
+                # path below is untouched.)
+                countable_times = send_times[~self.blacklisted[ids]]
+                seen = countable_times >= self.bl_counting_from
+                if self.rng_bl_rollout is not None and countable.size:
+                    coverage = np.minimum(
+                        1.0,
+                        np.maximum(
+                            0.0,
+                            (countable_times - self.bl_counting_from)
+                            * self.rollout_rate,
+                        ),
+                    )
+                    seen &= self.rng_bl_rollout.random(countable.size) < coverage
+                countable = countable[seen]
             self.bl_counts[countable] += 1
             newly = countable[self.bl_counts[countable] >= self.blacklist.threshold]
             if newly.size:
@@ -792,6 +846,18 @@ class XLEngine:
         for kind in self._filter_order:
             if kind == "scan":
                 candidate = has_recipients & ~blocked & (send_times >= self.scan_activation)
+                if self.rng_scan_rollout is not None:
+                    # Partial signature rollout: each message past the
+                    # activation is blocked with the ramp's coverage.
+                    cidx = np.nonzero(candidate)[0]
+                    if cidx.size:
+                        coverage = np.minimum(
+                            1.0,
+                            (send_times[cidx] - self.scan_activation)
+                            * self.rollout_rate,
+                        )
+                        miss = self.rng_scan_rollout.random(cidx.size) >= coverage
+                        candidate[cidx[miss]] = False
                 self.scan_blocked += int(candidate.sum())
                 blocked |= candidate
             else:
@@ -799,7 +865,16 @@ class XLEngine:
                 candidate = has_recipients & ~blocked & (send_times >= self.da_activation)
                 candidates = np.nonzero(candidate)[0]
                 if candidates.size:
-                    hit = self.rng_da.random(candidates.size) < self.detect_alg.accuracy
+                    accuracy = self.detect_alg.accuracy
+                    if self.rollout_rate is not None:
+                        # Ramp scales the effective per-message accuracy;
+                        # the one-draw-per-candidate shape is unchanged.
+                        accuracy = accuracy * np.minimum(
+                            1.0,
+                            (send_times[candidates] - self.da_activation)
+                            * self.rollout_rate,
+                        )
+                    hit = self.rng_da.random(candidates.size) < accuracy
                     blocked[candidates[hit]] = True
                     self.da_blocked += int(hit.sum())
                     self.da_missed += int(candidates.size - hit.sum())

@@ -101,3 +101,65 @@ def test_parser_rejects_bad_virus():
     parser = build_parser()
     with pytest.raises(SystemExit):
         parser.parse_args(["run", "--virus", "9"])
+
+
+def test_frontier_command_small(tmp_path, capsys):
+    """A coarse frontier bisection end to end, manifest validated."""
+    manifest_path = tmp_path / "frontier.jsonl"
+    code = main(
+        [
+            "frontier",
+            "--virus", "3",
+            "--response", "blacklist",
+            "--population", "300",
+            "--duration", "6",
+            "--low", "0",
+            "--high", "8",
+            "--tolerance", "8",
+            "--replications", "1",
+            "--no-crosscheck",
+            "--no-cache",
+            "--metrics", str(manifest_path),
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "frontier[latency]" in output
+    assert "containment: mean final" in output
+
+    from repro.obs.manifest import read_manifests, validate_manifest
+
+    records = read_manifests(manifest_path)
+    assert len(records) == 1
+    assert validate_manifest(records[0]) == []
+    production = records[0]["frontier"]["production"]
+    assert production["axis"] == "latency"
+    assert production["probes"]
+    assert "crosscheck" not in records[0]["frontier"]
+
+
+def test_frontier_rollout_axis_rejects_zero_low(capsys):
+    code = main(
+        [
+            "frontier",
+            "--virus", "3",
+            "--response", "blacklist",
+            "--population", "300",
+            "--duration", "6",
+            "--axis", "rollout",
+            "--low", "0",
+            "--high", "8",
+            "--replications", "1",
+            "--no-crosscheck",
+            "--no-cache",
+        ]
+    )
+    assert code == 2
+    assert "positive window" in capsys.readouterr().err
+
+
+def test_frontier_parser_rejects_standing_mechanisms():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            ["frontier", "--virus", "1", "--response", "monitoring"]
+        )

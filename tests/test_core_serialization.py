@@ -131,3 +131,67 @@ class TestValidation:
         path = save_scenario(scenario, tmp_path / "s.json")
         result = run_scenario(load_scenario(path), seed=0)
         assert result.total_infected >= 1
+
+
+class TestResponseDeployment:
+    """Deployment axes serialize opt-in: absent = byte-identical legacy."""
+
+    def test_deployment_round_trips(self):
+        from repro.core.parameters import ResponseDeployment
+
+        scenario = full_scenario().with_deployment(
+            ResponseDeployment(latency_hours=24.0, rollout_rate=0.25)
+        )
+        document = scenario_to_dict(scenario)
+        assert document["deployment"] == {
+            "latency_hours": 24.0,
+            "rollout_rate": 0.25,
+        }
+        assert scenario_from_json(scenario_to_json(scenario)) == scenario
+
+    def test_unset_deployment_is_omitted(self):
+        for virus in (1, 2, 3, 4):
+            assert "deployment" not in scenario_to_dict(baseline_scenario(virus))
+        assert "deployment" not in scenario_to_dict(full_scenario())
+
+    def test_none_deployment_is_byte_identical(self):
+        """`with_deployment(None)` must not perturb canonical JSON.
+
+        Frontier-aware code paths normalize configs through
+        ``with_deployment``; a stray key would silently fork every
+        cache entry and golden fixture recorded before the field
+        existed.
+        """
+        scenario = full_scenario()
+        assert scenario_to_json(scenario.with_deployment(None)) == (
+            scenario_to_json(scenario)
+        )
+
+    def test_cache_keys_unchanged_without_deployment(self):
+        from repro.core.cache import result_key
+
+        scenario = full_scenario()
+        assert result_key(scenario.with_deployment(None), 0, 0) == (
+            result_key(scenario, 0, 0)
+        )
+
+    def test_deployment_changes_cache_key(self):
+        from repro.core.cache import result_key
+        from repro.core.parameters import ResponseDeployment
+
+        scenario = full_scenario()
+        deployed = scenario.with_deployment(
+            ResponseDeployment(latency_hours=6.0)
+        )
+        assert result_key(deployed, 0, 0) != result_key(scenario, 0, 0)
+
+    def test_legacy_document_loads_with_no_deployment(self):
+        document = scenario_to_dict(full_scenario())
+        assert "deployment" not in document
+        assert scenario_from_dict(document).deployment is None
+
+    def test_invalid_deployment_rejected(self):
+        document = scenario_to_dict(full_scenario())
+        document["deployment"] = {"latency_hours": -1.0}
+        with pytest.raises(SerializationError):
+            scenario_from_dict(document)

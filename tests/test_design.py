@@ -438,3 +438,54 @@ def test_cli_design_run_small(tmp_path, capsys):
     assert design_section[0]["experiment"] == "tiny"
     assert design_section[0]["requested_jobs"] == 2
     assert design_section[0]["dedup_ratio"] == 1.0
+
+
+def test_build_scenario_latency_and_rollout_factors():
+    from repro.core.parameters import ResponseDeployment
+
+    scenario = build_scenario(
+        {
+            "virus": Level("virus1", 1),
+            "response": Level("bl", (BlacklistConfig(threshold=10),)),
+            "latency": Level("lat24", 24.0, suffix="-lat24"),
+            "rollout": Level("roll4", 0.25, suffix="-roll4h"),
+        }
+    )
+    assert scenario.deployment == ResponseDeployment(
+        latency_hours=24.0, rollout_rate=0.25
+    )
+    assert scenario.name.endswith("-lat24-roll4h")
+    # A null rollout level keeps the instantaneous-coverage default.
+    latency_only = build_scenario(
+        {
+            "virus": Level("virus1", 1),
+            "latency": Level("lat0", 0.0),
+        }
+    )
+    assert latency_only.deployment == ResponseDeployment(
+        latency_hours=0.0, rollout_rate=None
+    )
+
+
+def test_build_scenario_without_deployment_factors_leaves_deployment_unset():
+    scenario = build_scenario({"virus": Level("virus1", 1)})
+    assert scenario.deployment is None
+
+
+def test_frontier_design_compiles_with_deployments():
+    from repro.core.parameters import ResponseDeployment
+    from repro.design.library import EXTENSION_IDS
+
+    assert "frontier" in EXTENSION_IDS
+    spec = get_design("frontier").to_spec()
+    assert spec.experiment_id == "frontier"
+    labels = [series.label for series in spec.series]
+    assert labels == ["lat0", "lat24", "lat48", "lat96"]
+    for series, hours in zip(spec.series, (0.0, 24.0, 48.0, 96.0)):
+        assert series.scenario.deployment == ResponseDeployment(
+            latency_hours=hours, rollout_rate=None
+        )
+    assert spec.engine == "xl"
+    compiled = compile_design(get_design("frontier"), replications=2, seed=0)
+    assert len(compiled.jobs) == 8  # 4 distinct deployments x 2 replications
+    assert compiled.manifest_section()["experiment"] == "frontier"

@@ -1,0 +1,177 @@
+"""Property tests for the frontier bisection core.
+
+:func:`repro.frontier.bisect.bisect_threshold` is the pure solver under
+every frontier sweep, so its contract is pinned with hypothesis-driven
+monotone predicates (``x <= critical``):
+
+* the bracket narrows on every interior step and stays nested;
+* a converged final interval is no wider than the tolerance and
+  contains the true critical value;
+* the probe count never exceeds ``max_probes`` — two endpoint probes
+  plus one per halving of the range down to the tolerance;
+* identical inputs produce identical probe sequences (determinism);
+* the degenerate all-escaped / all-contained outcomes return after the
+  single endpoint probe that proved them.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.frontier.bisect import (  # noqa: E402
+    STATUS_ALL_CONTAINED,
+    STATUS_ALL_ESCAPED,
+    STATUS_CONVERGED,
+    BisectionResult,
+    bisect_threshold,
+    max_probes,
+)
+
+# Moderate magnitudes keep float ulps (~1e-13 at this scale) far below
+# the smallest tolerance, so halving is effectively exact and the probe
+# bound is tight.
+LOWS = st.floats(
+    min_value=-1000.0, max_value=1000.0, allow_nan=False, allow_infinity=False
+)
+WIDTHS = st.floats(
+    min_value=0.01, max_value=2000.0, allow_nan=False, allow_infinity=False
+)
+TOLERANCES = st.floats(
+    min_value=1e-3, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+FRACTIONS = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+def _case(low, width, tolerance, fraction):
+    """One bisection problem: bracket, tolerance, and a true critical."""
+    high = low + width
+    critical = low + fraction * width
+    return low, high, tolerance, critical
+
+
+class TestConvergence:
+    @given(low=LOWS, width=WIDTHS, tolerance=TOLERANCES, fraction=FRACTIONS)
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_predicate_converges_in_bound(
+        self, low, width, tolerance, fraction
+    ):
+        low, high, tolerance, critical = _case(low, width, tolerance, fraction)
+        result = bisect_threshold(lambda x: x <= critical, low, high, tolerance)
+        assert result.probe_count <= max_probes(low, high, tolerance)
+        if critical < low:
+            assert result.status == STATUS_ALL_ESCAPED
+        elif critical >= high:
+            assert result.status == STATUS_ALL_CONTAINED
+        else:
+            assert result.status == STATUS_CONVERGED
+            assert result.width <= tolerance
+            # Contained at the final low, escaped at the final high.
+            assert result.low <= critical < result.high or math.isclose(
+                result.high, critical
+            )
+            assert result.low <= result.critical <= result.high
+
+    @given(low=LOWS, width=WIDTHS, tolerance=TOLERANCES, fraction=FRACTIONS)
+    @settings(max_examples=200, deadline=None)
+    def test_bracket_narrows_and_stays_nested(
+        self, low, width, tolerance, fraction
+    ):
+        low, high, tolerance, critical = _case(low, width, tolerance, fraction)
+        result = bisect_threshold(lambda x: x <= critical, low, high, tolerance)
+        # The first two steps are the endpoint probes over the full
+        # bracket; every interior step must see a strictly narrower,
+        # nested bracket than its predecessor.
+        interior = result.steps[2:]
+        previous = None
+        for step in interior:
+            assert low <= step.low < step.high <= high
+            assert step.low < step.probe < step.high
+            if previous is not None:
+                assert step.high - step.low < previous.high - previous.low
+                assert step.low >= previous.low
+                assert step.high <= previous.high
+            previous = step
+
+    @given(low=LOWS, width=WIDTHS, tolerance=TOLERANCES, fraction=FRACTIONS)
+    @settings(max_examples=100, deadline=None)
+    def test_deterministic(self, low, width, tolerance, fraction):
+        low, high, tolerance, critical = _case(low, width, tolerance, fraction)
+        first = bisect_threshold(lambda x: x <= critical, low, high, tolerance)
+        second = bisect_threshold(lambda x: x <= critical, low, high, tolerance)
+        assert first == second  # identical brackets, statuses, and steps
+
+    @given(low=LOWS, width=WIDTHS, fraction=FRACTIONS)
+    @settings(max_examples=50, deadline=None)
+    def test_wide_tolerance_stops_at_endpoints(self, low, width, fraction):
+        low, high, tolerance, critical = _case(
+            low, width, 2.0 * width + 1.0, fraction
+        )
+        result = bisect_threshold(lambda x: x <= critical, low, high, tolerance)
+        assert result.probe_count == 2 or result.status == STATUS_ALL_ESCAPED
+
+
+class TestDegenerate:
+    def test_all_escaped_after_one_probe(self):
+        result = bisect_threshold(lambda x: False, 0.0, 10.0, 1.0)
+        assert result.status == STATUS_ALL_ESCAPED
+        assert result.probe_count == 1
+        assert result.low == result.high == 0.0
+        assert not result.converged
+
+    def test_all_contained_after_two_probes(self):
+        result = bisect_threshold(lambda x: True, 0.0, 10.0, 1.0)
+        assert result.status == STATUS_ALL_CONTAINED
+        assert result.probe_count == 2
+        assert result.low == result.high == 10.0
+        assert not result.converged
+
+    def test_steps_record_verdicts(self):
+        result = bisect_threshold(lambda x: x <= 3.0, 0.0, 8.0, 1.0)
+        assert result.converged
+        assert result.steps[0].probe == 0.0 and result.steps[0].contained
+        assert result.steps[1].probe == 8.0 and not result.steps[1].contained
+        for step in result.steps:
+            assert step.to_dict() == {
+                "low": step.low,
+                "high": step.high,
+                "probe": step.probe,
+                "contained": step.contained,
+            }
+
+
+class TestValidation:
+    def test_rejects_inverted_bracket(self):
+        with pytest.raises(ValueError, match="low < high"):
+            bisect_threshold(lambda x: True, 5.0, 5.0, 1.0)
+        with pytest.raises(ValueError, match="low < high"):
+            bisect_threshold(lambda x: True, 7.0, 5.0, 1.0)
+
+    def test_rejects_nonpositive_tolerance(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            bisect_threshold(lambda x: True, 0.0, 1.0, 0.0)
+        with pytest.raises(ValueError, match="tolerance"):
+            bisect_threshold(lambda x: True, 0.0, 1.0, -1.0)
+
+    def test_rejects_infinite_endpoints(self):
+        with pytest.raises(ValueError, match="finite"):
+            bisect_threshold(lambda x: True, 0.0, math.inf, 1.0)
+
+    def test_max_probes_floor(self):
+        assert max_probes(0.0, 1.0, 2.0) == 2  # range already inside tol
+        assert max_probes(0.0, 8.0, 1.0) == 5  # 2 endpoints + 3 halvings
+
+    def test_result_properties(self):
+        result = BisectionResult(
+            low=2.0, high=4.0, status=STATUS_CONVERGED, steps=()
+        )
+        assert result.critical == 3.0
+        assert result.width == 2.0
+        assert result.converged

@@ -1,0 +1,301 @@
+"""Unit tests for the frontier solver, predicate, and manifest record.
+
+The bisection core is property-tested in ``test_frontier_bisect.py``;
+here a stub scheduler pins the solver's orchestration contract — probe
+configs carry the right :class:`ResponseDeployment`, cache accounting
+deltas are correct, the replication-spread confidence bracket widens
+around mixed probes — and a small real scheduler run checks the whole
+stack end to end, including the validated ``frontier`` manifest section.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.parameters import (
+    BlacklistConfig,
+    GatewayScanConfig,
+    ImmunizationConfig,
+    ResponseDeployment,
+)
+from repro.experiments import ReplicationScheduler
+from repro.frontier import (
+    AXES,
+    AXIS_LATENCY,
+    AXIS_ROLLOUT,
+    ContainmentPredicate,
+    FrontierSolver,
+    crosscheck_response_for,
+    deployment_for,
+    mean_field_frontier,
+)
+from repro.frontier.crosscheck import MATCHED_BLACKLIST_THRESHOLD
+from repro.obs.manifest import build_manifest, validate_manifest
+from repro.validation import frontier_matched_scenario
+
+
+class TestContainmentPredicate:
+    def test_threshold_and_verdict(self):
+        predicate = ContainmentPredicate(plateau=100.0, fraction=0.5)
+        assert predicate.threshold == 50.0
+        assert predicate.contained([10.0, 20.0])
+        assert predicate.contained([50.0, 50.0])  # boundary counts
+        assert not predicate.contained([60.0, 70.0])
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError, match="plateau"):
+            ContainmentPredicate(plateau=0.0, fraction=0.5)
+        for fraction in (0.0, 1.0, -0.2, 1.5):
+            with pytest.raises(ValueError, match="fraction"):
+                ContainmentPredicate(plateau=100.0, fraction=fraction)
+
+    def test_rejects_empty_finals(self):
+        predicate = ContainmentPredicate(plateau=100.0, fraction=0.5)
+        with pytest.raises(ValueError, match="at least one"):
+            predicate.contained([])
+
+    def test_to_dict_shape(self):
+        record = ContainmentPredicate(plateau=320.4, fraction=0.5).to_dict()
+        assert record == {
+            "plateau": 320.4,
+            "fraction": 0.5,
+            "threshold": 160.2,
+        }
+
+
+class TestDeploymentFor:
+    def test_latency_axis(self):
+        deployment = deployment_for(AXIS_LATENCY, 24.0, rollout_rate=0.5)
+        assert deployment == ResponseDeployment(
+            latency_hours=24.0, rollout_rate=0.5
+        )
+
+    def test_rollout_axis_takes_reciprocal(self):
+        deployment = deployment_for(AXIS_ROLLOUT, 8.0, latency=6.0)
+        assert deployment.latency_hours == 6.0
+        assert deployment.rollout_rate == pytest.approx(1.0 / 8.0)
+
+    def test_rollout_axis_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError, match="positive window"):
+            deployment_for(AXIS_ROLLOUT, 0.0)
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown frontier axis"):
+            deployment_for("severity", 1.0)
+        assert AXES == (AXIS_LATENCY, AXIS_ROLLOUT)
+
+
+class TestCrosscheckResponse:
+    def test_blacklist_is_sharpened(self):
+        sharpened = crosscheck_response_for(BlacklistConfig(threshold=10))
+        assert sharpened.threshold == MATCHED_BLACKLIST_THRESHOLD
+
+    def test_already_sharp_blacklist_kept(self):
+        assert crosscheck_response_for(BlacklistConfig(threshold=2)).threshold == 2
+
+    def test_other_mechanisms_unchanged(self):
+        for response in (
+            GatewayScanConfig(activation_delay=6.0),
+            ImmunizationConfig(development_time=24.0, deployment_window=6.0),
+        ):
+            assert crosscheck_response_for(response) is response
+
+
+class _StubStats:
+    def __init__(self):
+        self.scheduled = 0
+        self.executed = 0
+        self.cache_hits = 0
+
+
+class _StubSet:
+    def __init__(self, finals):
+        self._finals = finals
+
+    def final_infected(self):
+        return list(self._finals)
+
+
+class _StubScheduler:
+    """Replays a value -> finals curve; counts scheduler accounting."""
+
+    def __init__(self, curve):
+        self.curve = curve
+        self.stats = _StubStats()
+        self.configs = []
+
+    def replicate(self, config, replications, seed):
+        self.configs.append(config)
+        value = config.deployment.latency_hours
+        self.stats.scheduled += replications
+        self.stats.executed += replications
+        return _StubSet(self.curve(value))
+
+
+def _step_curve(value):
+    """Monotone containment with a mixed (non-unanimous) middle probe."""
+    if value < 4.0:
+        return (10.0, 10.0, 10.0)
+    if value < 5.0:
+        return (40.0, 60.0, 45.0)  # mean 48.3: contained, but split
+    return (90.0, 90.0, 90.0)
+
+
+@pytest.fixture
+def tiny_scenario():
+    return frontier_matched_scenario(
+        1, BlacklistConfig(threshold=3), population=200, horizon_intervals=20.0
+    ).config
+
+
+class TestSolverWithStub:
+    def test_probe_configs_and_accounting(self, tiny_scenario):
+        scheduler = _StubScheduler(_step_curve)
+        solver = FrontierSolver(
+            scheduler, replications=3, seed=7, fraction=0.5, tolerance=2.0
+        )
+        result = solver.solve(
+            tiny_scenario, low=0.0, high=8.0, plateau=100.0
+        )
+        assert result.status == "converged"
+        assert result.interval == (4.0, 6.0)
+        assert result.critical == 5.0
+        # Every probe config carried its deployment and a distinct name.
+        for config, probe in zip(scheduler.configs, result.probes):
+            assert config.deployment == ResponseDeployment(
+                latency_hours=probe.value, rollout_rate=None
+            )
+            assert config.name.endswith(f"latency{probe.value:.6g}")
+        assert result.jobs_scheduled == 3 * len(result.probes)
+        assert result.jobs_executed == 3 * len(result.probes)
+        assert result.cache_hits == 0
+
+    def test_confidence_bracket_widens_on_split_probe(self, tiny_scenario):
+        scheduler = _StubScheduler(_step_curve)
+        solver = FrontierSolver(
+            scheduler, replications=3, seed=7, fraction=0.5, tolerance=2.0
+        )
+        result = solver.solve(tiny_scenario, low=0.0, high=8.0, plateau=100.0)
+        # The probe at 4.0 is contained on the mean but one replication
+        # escaped, so the unanimity bracket must retreat to the last
+        # fully contained probe (0.0) below and the first fully escaped
+        # probe (6.0) above — never narrower than the bisection bracket.
+        assert result.confidence_low == 0.0
+        assert result.confidence_high == 6.0
+        assert result.contains(result.critical)
+        assert not result.contains(7.0)
+        assert result.contains(7.0, slack=1.0)
+
+    def test_deterministic(self, tiny_scenario):
+        results = []
+        for _ in range(2):
+            solver = FrontierSolver(
+                _StubScheduler(_step_curve), replications=3, seed=7,
+                fraction=0.5, tolerance=2.0,
+            )
+            results.append(
+                solver.solve(tiny_scenario, low=0.0, high=8.0, plateau=100.0)
+            )
+        assert results[0] == results[1]
+
+    def test_manifest_section_validates(self, tiny_scenario):
+        solver = FrontierSolver(
+            _StubScheduler(_step_curve), replications=3, seed=7,
+            fraction=0.5, tolerance=2.0,
+        )
+        result = solver.solve(tiny_scenario, low=0.0, high=8.0, plateau=100.0)
+        document = build_manifest(
+            "run",
+            "frontier-unit",
+            wall_seconds=0.1,
+            frontier={"production": result.manifest_section()},
+        )
+        assert validate_manifest(document) == []
+
+    def test_broken_manifest_section_rejected(self, tiny_scenario):
+        solver = FrontierSolver(
+            _StubScheduler(_step_curve), replications=3, seed=7,
+            fraction=0.5, tolerance=2.0,
+        )
+        section = solver.solve(
+            tiny_scenario, low=0.0, high=8.0, plateau=100.0
+        ).manifest_section()
+        del section["predicate"]
+        section["cache"]["executed"] = -1
+        document = build_manifest(
+            "run", "frontier-unit", wall_seconds=0.1,
+            frontier={"production": section},
+        )
+        problems = validate_manifest(document)
+        assert any("predicate" in p for p in problems)
+        assert any("cache.executed" in p for p in problems)
+
+    def test_solver_validation(self, tiny_scenario):
+        with pytest.raises(ValueError, match="replications"):
+            FrontierSolver(_StubScheduler(_step_curve), replications=0)
+        solver = FrontierSolver(_StubScheduler(_step_curve))
+        with pytest.raises(ValueError, match="unknown frontier axis"):
+            solver.solve(tiny_scenario, low=0.0, high=8.0, axis="bogus")
+
+
+class TestSolverEndToEnd:
+    def test_small_real_frontier(self, tiny_scenario):
+        with ReplicationScheduler(processes=1) as scheduler:
+            solver = FrontierSolver(
+                scheduler, replications=2, seed=3, fraction=0.5, tolerance=8.0
+            )
+            result = solver.solve(tiny_scenario, low=0.0, high=16.0)
+        assert result.status in ("converged", "all_contained", "all_escaped")
+        assert result.probes  # every probe recorded
+        assert result.jobs_scheduled == 2 * len(result.probes)
+        assert result.replications == 2
+        document = build_manifest(
+            "run",
+            "frontier-e2e",
+            wall_seconds=0.5,
+            frontier={"production": result.manifest_section()},
+        )
+        assert validate_manifest(document) == []
+
+    def test_real_frontier_deterministic(self, tiny_scenario):
+        runs = []
+        for _ in range(2):
+            with ReplicationScheduler(processes=1) as scheduler:
+                solver = FrontierSolver(
+                    scheduler, replications=2, seed=3,
+                    fraction=0.5, tolerance=8.0,
+                )
+                runs.append(
+                    solver.solve(tiny_scenario, low=0.0, high=16.0)
+                )
+        assert runs[0].probes == runs[1].probes
+        assert runs[0].interval == runs[1].interval
+
+
+class TestAnalyticFrontier:
+    def test_mean_field_frontier_converges(self):
+        scenario = frontier_matched_scenario(
+            1, BlacklistConfig(threshold=3)
+        ).config
+        analytic = mean_field_frontier(
+            scenario, low=0.0, high=72.0, tolerance=1.0, dt=0.1
+        )
+        assert analytic.status == "converged"
+        assert 0.0 < analytic.critical < 72.0
+        record = analytic.to_dict()
+        assert record["axis"] == "latency"
+        assert record["interval"][0] <= record["critical"] <= record["interval"][1]
+
+    def test_stricter_fraction_means_earlier_deadline(self):
+        scenario = frontier_matched_scenario(
+            1, BlacklistConfig(threshold=3)
+        ).config
+        strict = mean_field_frontier(
+            scenario, low=0.0, high=72.0, fraction=0.25, tolerance=1.0, dt=0.1
+        )
+        lax = mean_field_frontier(
+            scenario, low=0.0, high=72.0, fraction=0.75, tolerance=1.0, dt=0.1
+        )
+        assert strict.critical < lax.critical

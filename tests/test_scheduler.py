@@ -463,3 +463,66 @@ class TestAutoDegrade:
         with ReplicationScheduler(processes=1) as scheduler:
             scheduler.run_experiment(mini_spec, replications=1, seed=3)
             assert scheduler.dispatch_decisions == []
+
+
+class TestFullyCachedBatch:
+    """A batch whose every job is a cache hit must never start a pool.
+
+    This is the frontier re-run case: a repeated bisection resolves all
+    of its probes from the result cache, so paying pool spin-up (or even
+    running the cost model) would be pure waste.  The decision trail
+    still records one ``cached`` entry per batch so the manifest shows
+    why no workers ran.
+    """
+
+    def test_cached_rerun_never_starts_pool(
+        self, mini_scenario, tmp_path, monkeypatch
+    ):
+        from repro.core import parallel as parallel_module
+
+        cache = ResultCache(tmp_path / "cache")
+        with ReplicationScheduler(processes=1, cache=cache) as scheduler:
+            scheduler.replicate(mini_scenario, replications=3, seed=5)
+
+        def _no_pool(self):
+            raise AssertionError("pool started on a fully cached batch")
+
+        monkeypatch.setattr(
+            parallel_module.WorkerPool, "_ensure_pool", _no_pool
+        )
+        with ReplicationScheduler(
+            processes=4, cache=cache, auto_degrade=False
+        ) as scheduler:
+            scheduler.replicate(mini_scenario, replications=3, seed=5)
+            assert scheduler.stats.cache_hits == 3
+            assert scheduler.stats.executed == 0
+            decisions = list(scheduler.dispatch_decisions)
+        assert decisions, "the cached batch must still log its decision"
+        decision = decisions[-1]
+        assert decision["mode"] == "cached"
+        assert decision["pending"] == 0
+        assert decision["effective_workers"] == 0
+        assert decision["projected_speedup"] is None
+
+    def test_partial_cache_hit_still_dispatches(self, mini_scenario, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        with ReplicationScheduler(processes=1, cache=cache) as scheduler:
+            scheduler.replicate(mini_scenario, replications=2, seed=5)
+        with ReplicationScheduler(processes=4, cache=cache) as scheduler:
+            scheduler.replicate(mini_scenario, replications=4, seed=5)
+            assert scheduler.stats.cache_hits == 2
+            assert scheduler.stats.executed == 2
+            decisions = list(scheduler.dispatch_decisions)
+        assert decisions[-1]["mode"] in ("serial", "parallel")
+        assert decisions[-1]["pending"] == 2
+
+    def test_empty_pool_batch_returns_without_start(self):
+        from repro.core.parallel import WorkerPool
+
+        pool = WorkerPool(4)
+        try:
+            assert list(pool.imap_indexed([], job_count=0)) == []
+            assert list(pool.imap_indexed_timed([], job_count=0)) == []
+            assert not pool.started
+        finally:
+            pool.close()

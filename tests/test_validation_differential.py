@@ -166,3 +166,51 @@ class TestCli:
     def test_run_rejects_unknown_virus(self):
         with pytest.raises(SystemExit):
             validation_cli.main(["run", "--virus", "9"])
+
+
+class TestFrontierDifferential:
+    """Core-vs-xl frontier agreement, gated against the mean field."""
+
+    def test_matched_frontier_scenario_is_well_mixed(self):
+        from repro.core.parameters import BlacklistConfig, Targeting
+        from repro.validation.scenarios import frontier_matched_scenario
+
+        matched = frontier_matched_scenario(1, BlacklistConfig(threshold=3))
+        config = matched.config
+        assert config.virus.targeting is Targeting.RANDOM_DIALING
+        assert config.virus.valid_number_fraction == 1.0
+        assert config.network.susceptible_fraction == 1.0
+        assert config.user.read_delay_mean == 0.0
+        assert config.network.gateway_delay_mean == 0.0
+        assert len(config.responses) == 1
+
+    def test_interval_gate_shapes(self):
+        from repro.validation.differential import _interval_gate
+
+        inside = _interval_gate(5.0, 0.0, 10.0, 0.0, "inside")
+        assert inside.passed
+        outside = _interval_gate(12.0, 0.0, 10.0, 1.0, "outside")
+        assert not outside.passed
+        rescued = _interval_gate(12.0, 0.0, 10.0, 3.0, "rescued")
+        assert rescued.passed
+
+    @pytest.mark.validation
+    def test_frontier_gate_passes_at_paper_population(self):
+        """Satellite gate: core and xl must agree on the critical latency
+        of the matched virus-1 blacklist frontier at N=1000, and both
+        brackets must admit the delayed-response mean-field estimate."""
+        from repro.validation.differential import run_frontier_differential
+
+        report = run_frontier_differential()
+        assert report.passed, report.format_report()
+        assert report.core.status == "converged"
+        assert report.xl.status == "converged"
+        payload = report.to_dict()
+        assert payload["passed"] is True
+        assert {g["name"] for g in payload["gates"]} == {
+            "core-vs-xl critical latency",
+            "xl critical in core confidence bracket",
+            "core critical in xl confidence bracket",
+            "mean-field critical in core confidence bracket",
+            "mean-field critical in xl confidence bracket",
+        }

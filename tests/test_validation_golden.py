@@ -268,3 +268,44 @@ class TestCli:
         )
         assert rc == 0
         assert (tmp_path / "g" / "virus3.json").exists()
+
+
+class TestDeploymentCompatibility:
+    """The deployment field must not disturb pre-frontier fixtures.
+
+    The committed golden fixtures were recorded before
+    ``ScenarioConfig.deployment`` existed; they embed each scenario's
+    canonical document.  Re-serializing the registry scenarios today
+    must reproduce those documents byte for byte — the omit-when-unset
+    rule is what keeps every legacy cache key and golden trace valid.
+    """
+
+    GOLDEN_DIR = REPO_ROOT / DEFAULT_GOLDEN_DIR
+
+    def test_registry_scenarios_match_committed_documents(self):
+        from repro.core.serialization import scenario_to_dict
+        from repro.validation.scenarios import golden_scenarios
+
+        for name, config in golden_scenarios().items():
+            fixture = load_golden(self.GOLDEN_DIR / f"{name}.json")
+            assert fixture["scenario"] == scenario_to_dict(config), (
+                f"{name}: serialized scenario drifted from its committed "
+                "fixture — deployment-free documents must stay byte-identical"
+            )
+
+    def test_fixture_documents_have_no_deployment_key(self):
+        for path in golden_paths(self.GOLDEN_DIR):
+            assert "deployment" not in load_golden(path)["scenario"]
+
+    def test_fixture_scenario_hashes_stable(self):
+        from repro.core.serialization import scenario_from_dict
+        from repro.obs.manifest import scenario_hash
+        from repro.validation.scenarios import golden_scenarios
+
+        for name, config in golden_scenarios().items():
+            fixture = load_golden(self.GOLDEN_DIR / f"{name}.json")
+            embedded = scenario_from_dict(fixture["scenario"])
+            assert scenario_hash(embedded) == scenario_hash(config)
+            assert scenario_hash(config.with_deployment(None)) == (
+                scenario_hash(config)
+            )
